@@ -1,0 +1,121 @@
+"""Ablation — sensitivity of BlinkML to its two main design knobs.
+
+DESIGN.md calls out two defaults inherited from the paper:
+
+* the initial sample size ``n0`` (10 000 rows by default, Section 2.3);
+* the number of Monte-Carlo parameter samples ``k`` used by the accuracy
+  and sample-size estimators (Lemma 2's conservativeness shrinks as k
+  grows).
+
+This ablation sweeps both on a fixed (LR, HIGGS-like) workload and reports
+how the chosen sample size, the delivered accuracy and the coordinator
+overhead react.  Expected shapes:
+
+* larger ``k`` → a more reliable Monte-Carlo estimate.  With the paper's
+  default δ = 0.05 the Lemma 2 quantile level is capped at 1, so every one
+  of the k sampled differences must fall below ε — hence larger k is *more*
+  conservative (never less) and chosen sample sizes grow slightly, at higher
+  estimation cost;
+* larger ``n0`` → better statistics and a head start, but a floor on the
+  returned sample size (the coordinator never trains on fewer than n0
+  rows), so the sweet spot is workload-dependent — which is exactly why the
+  paper fixes a moderate default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure_table
+from repro.core.coordinator import BlinkML
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.evaluation.metrics import model_agreement
+from repro.evaluation.reporting import format_table
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+N_ROWS = 40_000
+REQUESTED_ACCURACY = 0.95
+K_SWEEP = (16, 64, 256)
+N0_SWEEP = (500, 2_000, 8_000)
+
+
+def _splits():
+    data = higgs_like(n_rows=N_ROWS, n_features=20, seed=240)
+    return train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0))
+
+
+def sweep_parameter_samples(splits, full_model):
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    rows = []
+    for k in K_SWEEP:
+        start = time.perf_counter()
+        trainer = BlinkML(spec, initial_sample_size=2_000, n_parameter_samples=k, seed=0)
+        outcome = trainer.train_with_accuracy(splits.train, splits.holdout, REQUESTED_ACCURACY)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "knob": "n_parameter_samples",
+                "value": k,
+                "chosen_sample_size": outcome.sample_size,
+                "actual_accuracy": model_agreement(
+                    spec, outcome.model.theta, full_model.theta, splits.holdout
+                ),
+                "coordinator_seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def sweep_initial_sample_size(splits, full_model):
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    rows = []
+    for n0 in N0_SWEEP:
+        start = time.perf_counter()
+        trainer = BlinkML(spec, initial_sample_size=n0, n_parameter_samples=64, seed=0)
+        outcome = trainer.train_with_accuracy(splits.train, splits.holdout, REQUESTED_ACCURACY)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "knob": "initial_sample_size",
+                "value": n0,
+                "chosen_sample_size": outcome.sample_size,
+                "actual_accuracy": model_agreement(
+                    spec, outcome.model.theta, full_model.theta, splits.holdout
+                ),
+                "coordinator_seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def test_ablation_estimator_knobs(benchmark):
+    splits = _splits()
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    full_model = spec.fit(splits.train)
+
+    rows = sweep_parameter_samples(splits, full_model) + sweep_initial_sample_size(
+        splits, full_model
+    )
+    print_figure_table(
+        "Ablation — estimator knobs (k parameter samples, initial sample size n0)",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def default_configuration():
+        trainer = BlinkML(spec, initial_sample_size=2_000, n_parameter_samples=64, seed=1)
+        return trainer.train_with_accuracy(splits.train, splits.holdout, REQUESTED_ACCURACY)
+
+    benchmark.pedantic(default_configuration, rounds=1, iterations=1)
+
+    # The guarantee must hold for every configuration (the knobs trade
+    # conservativeness/overhead, never correctness).
+    assert all(row["actual_accuracy"] >= REQUESTED_ACCURACY - 0.02 for row in rows)
+    # With δ = 0.05 (capped Lemma 2 level) more Monte-Carlo samples are more
+    # conservative, so the chosen sample size never shrinks substantially.
+    k_rows = {row["value"]: row for row in rows if row["knob"] == "n_parameter_samples"}
+    assert k_rows[K_SWEEP[-1]]["chosen_sample_size"] >= 0.8 * k_rows[K_SWEEP[0]]["chosen_sample_size"]

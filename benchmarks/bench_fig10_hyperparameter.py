@@ -1,0 +1,119 @@
+"""Figure 10 — hyperparameter optimisation with BlinkML vs. full training.
+
+Random search over (feature subset, regularisation coefficient) pairs, as in
+Section 5.7: both strategies consume the same candidate sequence; the
+traditional approach trains an exact model per candidate while BlinkML
+trains 95 %-accurate approximate models.
+
+Scale note: the paper's 961-vs-3 models-per-half-hour gap relies on full
+training taking minutes per candidate (tens of millions of rows).  At
+laptop scale full training costs well under a second, so BlinkML's fixed
+per-candidate overhead (statistics + sample-size search) is not amortised
+and the wall-clock counts can even invert.  The scale-invariant part of the
+claim — BlinkML reaches an equally good configuration while consuming a
+small fraction of the training rows per candidate — is what the assertions
+below check; the wall-clock counts are reported for reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure_table
+from repro.core.contract import ApproximationContract
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.evaluation.reporting import format_table
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.tuning import RandomSearch, SearchSpace
+
+N_ROWS = 40_000
+N_FEATURES = 24
+TIME_BUDGET_SECONDS = 20.0
+N_CANDIDATES = 200
+
+
+def run_search_comparison():
+    data = higgs_like(n_rows=N_ROWS, n_features=N_FEATURES, seed=220)
+    splits = train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0))
+    candidates = SearchSpace(
+        n_features=N_FEATURES, min_features=6, max_features=N_FEATURES, seed=1
+    ).sample(N_CANDIDATES)
+
+    search = RandomSearch(
+        spec_factory=lambda reg: LogisticRegressionSpec(regularization=reg),
+        train=splits.train,
+        holdout=splits.holdout,
+        test=splits.test,
+        contract=ApproximationContract(epsilon=0.05, delta=0.05),
+        initial_sample_size=2_000,
+        n_parameter_samples=48,
+        seed=0,
+    )
+    results = {
+        strategy: search.run(
+            candidates, strategy=strategy, time_budget_seconds=TIME_BUDGET_SECONDS
+        )
+        for strategy in ("full", "blinkml")
+    }
+
+    rows = []
+    for strategy, result in results.items():
+        best = result.best_trial
+        mean_rows = (
+            sum(trial.sample_size for trial in result.trials) / result.n_trials
+            if result.trials
+            else 0.0
+        )
+        rows.append(
+            {
+                "strategy": strategy,
+                "models_trained_within_budget": result.n_trials,
+                "mean_training_rows_per_model": mean_rows,
+                "best_test_accuracy": best.test_accuracy if best else float("nan"),
+                "seconds_to_best": best.cumulative_seconds if best else float("nan"),
+                "total_seconds": result.trials[-1].cumulative_seconds if result.trials else 0.0,
+            }
+        )
+    return rows, results
+
+
+def test_fig10_hyperparameter_optimization(benchmark):
+    rows, results = run_search_comparison()
+    print_figure_table(
+        f"Figure 10 — random search within a {TIME_BUDGET_SECONDS:.0f}s budget "
+        "(LR, higgs_like)",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Benchmark unit: evaluating a single candidate with the BlinkML strategy.
+    data = higgs_like(n_rows=N_ROWS // 2, n_features=N_FEATURES, seed=221)
+    splits = train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(1))
+    search = RandomSearch(
+        spec_factory=lambda reg: LogisticRegressionSpec(regularization=reg),
+        train=splits.train,
+        holdout=splits.holdout,
+        test=splits.test,
+        initial_sample_size=2_000,
+        n_parameter_samples=48,
+        seed=2,
+    )
+    single = SearchSpace(n_features=N_FEATURES, min_features=8, seed=3).sample(1)
+    benchmark.pedantic(lambda: search.run(single, strategy="blinkml"), rounds=1, iterations=1)
+
+    # Reproduction checks (the scale-invariant part of the Figure 10 claim):
+    # BlinkML finds a configuration essentially as good as full training's
+    # while each of its models consumes a small fraction of the training
+    # rows.  (The wall-clock model counts are reported in the table; see the
+    # module docstring for why they only separate at the paper's data scale.)
+    by_strategy = {row["strategy"]: row for row in rows}
+    assert (
+        by_strategy["blinkml"]["best_test_accuracy"]
+        >= by_strategy["full"]["best_test_accuracy"] - 0.03
+    )
+    assert (
+        by_strategy["blinkml"]["mean_training_rows_per_model"]
+        < 0.6 * by_strategy["full"]["mean_training_rows_per_model"]
+    )

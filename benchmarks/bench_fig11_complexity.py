@@ -1,0 +1,129 @@
+"""Figure 11 — impact of model complexity on the estimated sample size.
+
+* **Figure 11a** — sweep the L2 regularisation coefficient: stronger
+  regularisation shrinks the parameter covariance, so the estimated minimum
+  sample size decreases.
+* **Figure 11b** — sweep the number of parameters: the paper widens the
+  Criteo feature vector; we do the same by appending signal-free (noise)
+  features to a fixed classification task, so the parameter count grows
+  while the underlying prediction problem stays put.  The estimated sample
+  size increases with the parameter count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure_table
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.evaluation.reporting import format_table
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+N_ROWS = 40_000
+REGULARIZATION_SWEEP = (0.0, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+EXTRA_FEATURE_SWEEP = (0, 20, 60, 150)
+REQUESTED_ACCURACY = 0.97
+
+
+def regularization_study():
+    data = higgs_like(n_rows=N_ROWS, n_features=16, seed=230)
+    splits = train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0))
+    rows = []
+    for beta in REGULARIZATION_SWEEP:
+        spec = LogisticRegressionSpec(regularization=beta)
+        trainer = BlinkML(spec, initial_sample_size=1_000, n_parameter_samples=64, seed=0)
+        outcome = trainer.train_with_accuracy(
+            splits.train, splits.holdout, REQUESTED_ACCURACY
+        )
+        rows.append(
+            {
+                "regularization": beta,
+                "estimated_sample_size": outcome.estimated_minimum_sample_size,
+                "sample_fraction": outcome.sample_fraction,
+            }
+        )
+    return rows
+
+
+def parameter_count_study():
+    base = higgs_like(n_rows=N_ROWS, n_features=10, seed=231)
+    noise_rng = np.random.default_rng(7)
+    rows = []
+    for extra in EXTRA_FEATURE_SWEEP:
+        if extra:
+            X = np.hstack([base.X, noise_rng.normal(size=(base.n_rows, extra))])
+        else:
+            X = base.X
+        splits = train_holdout_test_split(
+            Dataset(X, base.y), SplitSpec(0.1, 0.1), rng=np.random.default_rng(1)
+        )
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=1_000, n_parameter_samples=64, seed=0)
+        outcome = trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
+        rows.append(
+            {
+                "n_parameters": 10 + extra,
+                "estimated_sample_size": outcome.estimated_minimum_sample_size,
+                "sample_fraction": outcome.sample_fraction,
+            }
+        )
+    return rows
+
+
+def test_fig11a_regularization_vs_sample_size(benchmark):
+    rows = regularization_study()
+    print_figure_table(
+        "Figure 11a — regularisation coefficient vs estimated sample size",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    data = higgs_like(n_rows=N_ROWS // 2, n_features=16, seed=232)
+    splits = train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(2))
+
+    def estimate_once():
+        trainer = BlinkML(
+            LogisticRegressionSpec(regularization=1e-3),
+            initial_sample_size=1_000,
+            n_parameter_samples=64,
+            seed=1,
+        )
+        return trainer.train_with_accuracy(splits.train, splits.holdout, REQUESTED_ACCURACY)
+
+    benchmark.pedantic(estimate_once, rounds=1, iterations=1)
+
+    # Reproduction check: the strongest regularisation needs no more data
+    # than the weakest (the Figure 11a trend).
+    assert rows[-1]["estimated_sample_size"] <= rows[0]["estimated_sample_size"]
+
+
+def test_fig11b_parameter_count_vs_sample_size(benchmark):
+    rows = parameter_count_study()
+    print_figure_table(
+        "Figure 11b — number of parameters vs estimated sample size",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    base = higgs_like(n_rows=N_ROWS // 2, n_features=10, seed=233)
+    splits = train_holdout_test_split(base, SplitSpec(0.1, 0.1), rng=np.random.default_rng(3))
+
+    def estimate_once():
+        trainer = BlinkML(
+            LogisticRegressionSpec(regularization=1e-3),
+            initial_sample_size=1_000,
+            n_parameter_samples=64,
+            seed=2,
+        )
+        return trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
+
+    benchmark.pedantic(estimate_once, rounds=1, iterations=1)
+
+    # Reproduction check: the widest model needs at least as much data as
+    # the narrowest one (the Figure 11b trend).
+    assert rows[-1]["estimated_sample_size"] >= rows[0]["estimated_sample_size"]

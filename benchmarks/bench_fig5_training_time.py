@@ -1,0 +1,80 @@
+"""Figure 5 / Table 4 — training-time savings of BlinkML vs. full training.
+
+For each of the paper's eight (model, dataset) combinations, the requested
+accuracy is swept and BlinkML's wall-clock training time is compared with
+the time to train the exact full model.  The paper reports speed-ups of
+6.26×–629× for 95 %-accurate models; at laptop scale the absolute speed-ups
+are smaller (full training itself is cheap when N is tens of thousands),
+so the table also reports the *sample fraction* — the quantity that drives
+the paper's savings and is scale-invariant.
+
+Expected shape (matching the paper): the sample fraction and training-time
+ratio increase with the requested accuracy, and the cheapest requests are
+served by the initial model alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ALL_WORKLOAD_KEYS, print_figure_table
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.evaluation.experiments import measure_full_training, run_accuracy_sweep
+from repro.evaluation.reporting import format_table
+
+
+def sweep_workload(workload, repetitions: int = 1):
+    spec_factory = workload.spec_factory
+    full_model, full_seconds = measure_full_training(spec_factory(), workload.splits)
+    records = run_accuracy_sweep(
+        spec_factory=spec_factory,
+        splits=workload.splits,
+        requested_accuracies=workload.requested_accuracies,
+        repetitions=repetitions,
+        initial_sample_size=2_000,
+        n_parameter_samples=64,
+        seed=0,
+        full_model=full_model,
+        full_training_seconds=full_seconds,
+    )
+    rows = []
+    for record in records:
+        rows.append(
+            {
+                "workload": workload.key,
+                "requested_accuracy": record.requested_accuracy,
+                "training_seconds": record.training_seconds,
+                "full_training_seconds": record.full_training_seconds,
+                "ratio_to_full": record.training_seconds / record.full_training_seconds,
+                "speedup": record.speedup,
+                "sample_fraction": record.sample_fraction,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("key", ALL_WORKLOAD_KEYS)
+def test_fig5_training_time(benchmark, workload_cache, key):
+    workload = workload_cache(key)
+    rows = sweep_workload(workload)
+    print_figure_table(
+        f"Figure 5 / Table 4 — training time savings ({key})", format_table(rows)
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # The benchmarked unit is a single 95%-accurate BlinkML training run,
+    # the headline configuration of the paper.
+    contract = ApproximationContract.from_accuracy(0.95)
+
+    def train_once():
+        trainer = BlinkML(
+            workload.make_spec(),
+            initial_sample_size=2_000,
+            n_parameter_samples=64,
+            seed=1,
+        )
+        return trainer.train(workload.splits.train, workload.splits.holdout, contract)
+
+    result = benchmark.pedantic(train_once, rounds=1, iterations=1)
+    assert result.sample_size <= workload.splits.train.n_rows

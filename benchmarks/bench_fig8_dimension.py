@@ -1,0 +1,105 @@
+"""Figure 8 / Tables 8-9 — impact of data dimension.
+
+Reproduces the Section 5.5 study on the Criteo-style logistic-regression
+workload with a growing number of features:
+
+* **Figure 8a** — BlinkML's runtime breakdown (initial training, statistics
+  computation, sample-size search, final training) and its ratio to full
+  training;
+* **Figure 8b** — generalisation error of the full model vs. BlinkML's
+  approximate model, together with the predicted bound from Lemma 1;
+* **Figure 8c** — optimiser iteration counts for full vs. approximate
+  training (the savings come from cheaper gradients, not fewer iterations).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_figure_table
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.core.guarantees import generalization_error_bound
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import criteo_like
+from repro.evaluation.metrics import generalization_error
+from repro.evaluation.reporting import format_table
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+import numpy as np
+
+FEATURE_COUNTS = (50, 200, 800)
+N_ROWS = 25_000
+
+
+def run_dimension_study():
+    rows = []
+    for n_features in FEATURE_COUNTS:
+        data = criteo_like(n_rows=N_ROWS, n_features=n_features, density=0.05, seed=200)
+        splits = train_holdout_test_split(
+            data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0)
+        )
+        spec = LogisticRegressionSpec(regularization=1e-3)
+
+        start = time.perf_counter()
+        full_model = spec.fit(splits.train)
+        full_seconds = time.perf_counter() - start
+
+        trainer = BlinkML(spec, initial_sample_size=2_000, n_parameter_samples=64, seed=0)
+        contract = ApproximationContract.from_accuracy(0.95)
+        outcome = trainer.train(splits.train, splits.holdout, contract)
+
+        approx_error = generalization_error(outcome.model, splits.test)
+        full_error = generalization_error(full_model, splits.test)
+        predicted_bound = generalization_error_bound(approx_error, contract.epsilon)
+
+        timings = outcome.timings
+        rows.append(
+            {
+                "n_features": n_features,
+                "initial_training_s": timings.initial_training_seconds,
+                "statistics_s": timings.statistics_seconds,
+                "size_search_s": timings.sample_size_search_seconds,
+                "final_training_s": timings.final_training_seconds,
+                "blinkml_total_s": timings.total_seconds,
+                "full_training_s": full_seconds,
+                "ratio_to_full": timings.total_seconds / full_seconds,
+                "gen_error_full": full_error,
+                "gen_error_blinkml": approx_error,
+                "predicted_bound": predicted_bound,
+                "bound_holds": full_error <= predicted_bound + 0.01,
+                "iters_full": full_model.optimization.n_iterations,
+                "iters_blinkml": outcome.model.optimization.n_iterations,
+            }
+        )
+    return rows
+
+
+def test_fig8_dimension_impact(benchmark):
+    rows = run_dimension_study()
+    print_figure_table(
+        "Figure 8 / Tables 8-9 — impact of the number of features (LR, criteo_like)",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Benchmark unit: one BlinkML training at the middle dimension.
+    data = criteo_like(n_rows=N_ROWS, n_features=FEATURE_COUNTS[1], density=0.05, seed=201)
+    splits = train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(1))
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    contract = ApproximationContract.from_accuracy(0.95)
+
+    def train_once():
+        trainer = BlinkML(spec, initial_sample_size=2_000, n_parameter_samples=64, seed=1)
+        return trainer.train(splits.train, splits.holdout, contract)
+
+    benchmark.pedantic(train_once, rounds=1, iterations=1)
+
+    # Reproduction checks: the Lemma 1 bound holds at every dimension, the
+    # generalisation errors of the approximate and full models stay close,
+    # and the statistics/size-search overhead grows with d (Figure 8a).
+    assert all(row["bound_holds"] for row in rows)
+    assert all(abs(row["gen_error_full"] - row["gen_error_blinkml"]) < 0.05 for row in rows)
+    assert rows[-1]["statistics_s"] >= rows[0]["statistics_s"]

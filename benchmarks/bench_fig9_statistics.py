@@ -1,0 +1,144 @@
+"""Figure 9 — comparison of the statistics-computation methods.
+
+* **Figure 9a** — how tight each method's variance estimate is: the ratio of
+  the estimated parameter variance (α·diag(H⁻¹JH⁻¹)) to the actual variance
+  observed by retraining on many independent samples, as the sample size
+  grows.  A ratio near (or slightly above) 1 is ideal.
+* **Figure 9b** — runtime and covariance accuracy of InverseGradients vs.
+  ObservedFisher on a low-dimensional (LR, HIGGS-like) and a
+  higher-dimensional (ME, MNIST-like) workload.  InverseGradients calls the
+  ``grads`` function d times, so its runtime blows up with dimension while
+  ObservedFisher needs a single call.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure_table
+from repro.core.statistics import compute_statistics
+from repro.data.dataset import Dataset
+from repro.data.synthetic import higgs_like, mnist_like, power_like
+from repro.evaluation.reporting import format_table
+from repro.linalg.utils import frobenius_distance
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+
+SAMPLE_SIZES = (500, 1_000, 5_000, 10_000)
+POPULATION = 60_000
+
+
+def variance_tightness_study():
+    """Figure 9a: estimated / actual parameter variance per method."""
+    data = power_like(n_rows=POPULATION, n_features=12, noise=0.4, seed=210)
+    spec = LinearRegressionSpec.with_estimated_noise(data, regularization=1e-3)
+    rng = np.random.default_rng(0)
+
+    rows = []
+    for n in SAMPLE_SIZES:
+        # Actual variance: retrain on independent samples of size n.
+        repetitions = 30
+        estimates = []
+        for _ in range(repetitions):
+            idx = rng.choice(data.n_rows, size=n, replace=False)
+            estimates.append(spec.fit(data.take(idx)).theta)
+        actual_variance = np.var(np.array(estimates), axis=0).mean()
+
+        sample = data.take(rng.choice(data.n_rows, size=n, replace=False))
+        model = spec.fit(sample)
+        alpha = 1.0 / n - 1.0 / data.n_rows
+        row = {"sample_size": n, "actual_variance": actual_variance}
+        for method in ("closed_form", "inverse_gradients", "observed_fisher"):
+            stats = compute_statistics(spec, model.theta, sample, method=method)
+            estimated = alpha * stats.covariance.marginal_variances().mean()
+            row[f"ratio_{method}"] = estimated / actual_variance
+        rows.append(row)
+    return rows
+
+
+def method_efficiency_study():
+    """Figure 9b: runtime + accuracy of InverseGradients vs ObservedFisher."""
+    workloads = []
+
+    higgs = higgs_like(n_rows=20_000, n_features=28, seed=211)
+    workloads.append(("lr_higgs", LogisticRegressionSpec(regularization=1e-3), higgs))
+
+    mnist = mnist_like(n_rows=12_000, n_features=36, n_classes=10, seed=212)
+    workloads.append(("me_mnist", MaxEntropySpec(n_classes=10, regularization=1e-3), mnist))
+
+    rows = []
+    for key, spec, data in workloads:
+        sample = data.take(np.arange(min(5_000, data.n_rows)))
+        model = spec.fit(sample)
+        reference = compute_statistics(spec, model.theta, sample, method="closed_form")
+        reference_dense = reference.covariance.dense()
+        for method in ("inverse_gradients", "observed_fisher"):
+            start = time.perf_counter()
+            stats = compute_statistics(spec, model.theta, sample, method=method)
+            elapsed = time.perf_counter() - start
+            error = frobenius_distance(stats.covariance.dense(), reference_dense)
+            rows.append(
+                {
+                    "workload": key,
+                    "n_parameters": stats.dimension,
+                    "method": method,
+                    "runtime_seconds": elapsed,
+                    "frobenius_error_vs_closed_form": error,
+                }
+            )
+    return rows
+
+
+def test_fig9a_variance_tightness(benchmark):
+    rows = variance_tightness_study()
+    print_figure_table(
+        "Figure 9a — estimated / actual parameter variance (Lin, power_like)",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    data = power_like(n_rows=20_000, n_features=12, noise=0.4, seed=213)
+    spec = LinearRegressionSpec.with_estimated_noise(data, regularization=1e-3)
+    sample = data.take(np.arange(5_000))
+    model = spec.fit(sample)
+    benchmark.pedantic(
+        lambda: compute_statistics(spec, model.theta, sample, method="observed_fisher"),
+        rounds=3,
+        iterations=1,
+    )
+
+    # Reproduction check: for n >= 5000 every method's ratio is within a
+    # factor of two of the truth (the paper's "close to the optimal ratio").
+    large = [row for row in rows if row["sample_size"] >= 5_000]
+    for row in large:
+        for method in ("closed_form", "inverse_gradients", "observed_fisher"):
+            assert 0.5 < row[f"ratio_{method}"] < 2.5
+
+
+def test_fig9b_method_efficiency(benchmark):
+    rows = method_efficiency_study()
+    print_figure_table(
+        "Figure 9b — InverseGradients vs ObservedFisher (runtime / accuracy)",
+        format_table(rows),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    higgs = higgs_like(n_rows=10_000, n_features=28, seed=214)
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    sample = higgs.take(np.arange(4_000))
+    model = spec.fit(sample)
+    benchmark.pedantic(
+        lambda: compute_statistics(spec, model.theta, sample, method="observed_fisher"),
+        rounds=3,
+        iterations=1,
+    )
+
+    # Reproduction check (the Figure 9b shape): for the high-dimensional ME
+    # workload ObservedFisher is substantially faster than InverseGradients,
+    # while both stay accurate.
+    me_rows = {row["method"]: row for row in rows if row["workload"] == "me_mnist"}
+    assert me_rows["observed_fisher"]["runtime_seconds"] < me_rows["inverse_gradients"]["runtime_seconds"]

@@ -1,0 +1,157 @@
+"""Shared workload definitions for the benchmark harness.
+
+Each benchmark module regenerates one figure/table of the paper's
+evaluation (see DESIGN.md, "Per-experiment index").  The workloads below
+are the scaled-down counterparts of the paper's eight (model, dataset)
+combinations; row counts and dimensions are laptop-sized but every code
+path exercised by the original experiments is exercised here too.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag lets the per-figure tables print; every table is also
+attached to the pytest-benchmark ``extra_info`` of its benchmark entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.splits import DataSplits, SplitSpec, train_holdout_test_split
+from repro.data.synthetic import (
+    criteo_like,
+    gas_like,
+    higgs_like,
+    mnist_like,
+    power_like,
+    yelp_like,
+)
+from repro.models.base import ModelClassSpec
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.ppca import PPCASpec
+
+#: default scale for benchmark workloads; increase to approach paper scale.
+BENCH_ROWS = 30_000
+
+
+@dataclass
+class Workload:
+    """One (model, dataset) combination of the paper's evaluation."""
+
+    key: str
+    model_name: str
+    dataset_name: str
+    splits: DataSplits
+    spec_factory: "callable"
+    requested_accuracies: tuple[float, ...]
+
+    def make_spec(self) -> ModelClassSpec:
+        return self.spec_factory()
+
+
+def _split(dataset: Dataset, seed: int) -> DataSplits:
+    return train_holdout_test_split(
+        dataset, SplitSpec(holdout_fraction=0.1, test_fraction=0.1),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def build_workload(key: str, n_rows: int = BENCH_ROWS) -> Workload:
+    """Construct one of the eight paper combinations at benchmark scale."""
+    classification_sweep = (0.80, 0.90, 0.95, 0.99)
+    ppca_sweep = (0.90, 0.99, 0.999)
+
+    if key == "lin_gas":
+        data = gas_like(n_rows=n_rows, n_features=30, seed=101)
+        splits = _split(data, 1)
+        factory = lambda: LinearRegressionSpec.with_estimated_noise(
+            splits.train, regularization=1e-3
+        )
+        return Workload(key, "lin", "gas_like", splits, factory, classification_sweep)
+    if key == "lin_power":
+        data = power_like(n_rows=n_rows, n_features=40, seed=102)
+        splits = _split(data, 2)
+        factory = lambda: LinearRegressionSpec.with_estimated_noise(
+            splits.train, regularization=1e-3
+        )
+        return Workload(key, "lin", "power_like", splits, factory, classification_sweep)
+    if key == "lr_criteo":
+        data = criteo_like(n_rows=n_rows, n_features=200, density=0.05, seed=103)
+        splits = _split(data, 3)
+        factory = lambda: LogisticRegressionSpec(regularization=1e-3)
+        return Workload(key, "lr", "criteo_like", splits, factory, classification_sweep)
+    if key == "lr_higgs":
+        data = higgs_like(n_rows=n_rows, n_features=28, seed=104)
+        splits = _split(data, 4)
+        factory = lambda: LogisticRegressionSpec(regularization=1e-3)
+        return Workload(key, "lr", "higgs_like", splits, factory, classification_sweep)
+    if key == "me_mnist":
+        data = mnist_like(n_rows=n_rows, n_features=36, n_classes=10, seed=105)
+        splits = _split(data, 5)
+        factory = lambda: MaxEntropySpec(n_classes=10, regularization=1e-3)
+        return Workload(key, "me", "mnist_like", splits, factory, classification_sweep)
+    if key == "me_yelp":
+        data = yelp_like(n_rows=n_rows // 2, n_features=120, n_classes=5, seed=106)
+        splits = _split(data, 6)
+        factory = lambda: MaxEntropySpec(n_classes=5, regularization=1e-3)
+        return Workload(key, "me", "yelp_like", splits, factory, classification_sweep)
+    if key == "ppca_mnist":
+        base = mnist_like(n_rows=n_rows // 2, n_features=36, n_classes=10, seed=107)
+        centered = Dataset(base.X - base.X.mean(axis=0), None, name="mnist_like")
+        splits = _split(centered, 7)
+        factory = lambda: PPCASpec(n_factors=10, sigma2=1.0)
+        return Workload(key, "ppca", "mnist_like", splits, factory, ppca_sweep)
+    if key == "ppca_gas":
+        # The paper's second PPCA workload uses the HIGGS features.  The
+        # synthetic higgs_like stand-in is nearly isotropic, so a 10-factor
+        # PPCA model is not identifiable on it (any factor basis of the noise
+        # subspace fits equally well) and the parameter-based difference
+        # metric becomes meaningless.  The sensor-array workload (gas_like
+        # features, 12 latent factors) plays the same role — an
+        # unsupervised, dense, moderate-dimensional factor extraction — with
+        # an identifiable 10-factor structure.  See DESIGN.md.
+        base = gas_like(n_rows=n_rows // 2, n_features=96, seed=108)
+        centered = Dataset(base.X - base.X.mean(axis=0), None, name="gas_like")
+        splits = _split(centered, 8)
+        factory = lambda: PPCASpec(n_factors=10, sigma2=1.0)
+        return Workload(key, "ppca", "gas_like", splits, factory, ppca_sweep)
+    raise KeyError(f"unknown workload {key!r}")
+
+
+ALL_WORKLOAD_KEYS = (
+    "lin_gas",
+    "lin_power",
+    "lr_criteo",
+    "lr_higgs",
+    "me_mnist",
+    "me_yelp",
+    "ppca_mnist",
+    "ppca_gas",
+)
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Build workloads lazily and share them across benchmark modules."""
+    cache: dict[str, Workload] = {}
+
+    def get(key: str, n_rows: int = BENCH_ROWS) -> Workload:
+        cache_key = f"{key}:{n_rows}"
+        if cache_key not in cache:
+            cache[cache_key] = build_workload(key, n_rows=n_rows)
+        return cache[cache_key]
+
+    return get
+
+
+def print_figure_table(title: str, table: str) -> None:
+    """Print one figure's reproduction table with a recognisable banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{table}\n")

@@ -1,0 +1,66 @@
+"""Quickstart: train a 95%-accurate logistic-regression model with BlinkML.
+
+The workflow mirrors Figure 1 of the paper: instead of handing the full
+training set to a traditional trainer and waiting, you hand BlinkML the same
+data *plus an approximation contract* (here: 95 % accuracy with 95 %
+confidence) and get back a model trained on a small sample that is
+guaranteed, with high probability, to make the same predictions as the full
+model would.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
+from repro.data import criteo_like, train_holdout_test_split
+
+
+def main() -> None:
+    # A click-through-rate style workload (stand-in for the paper's Criteo
+    # dataset); swap in your own `Dataset(X, y)` here.
+    print("Generating a Criteo-like workload (100k rows, 100 sparse features)...")
+    data = criteo_like(n_rows=100_000, n_features=100, density=0.05, seed=7)
+    splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
+
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    contract = ApproximationContract.from_accuracy(0.95, delta=0.05)
+
+    # --- BlinkML: approximate training under the contract ----------------
+    trainer = BlinkML(spec, initial_sample_size=10_000, n_parameter_samples=128, seed=0)
+    start = time.perf_counter()
+    result = trainer.train(splits.train, splits.holdout, contract)
+    blinkml_seconds = time.perf_counter() - start
+
+    print("\nBlinkML result")
+    print("  " + result.summary())
+    print(f"  wall-clock time: {blinkml_seconds:.2f}s")
+    print(f"  phase breakdown: {result.timings.as_dict()}")
+
+    # --- Traditional approach: train the exact full model ----------------
+    start = time.perf_counter()
+    full_model = trainer.train_full(splits.train)
+    full_seconds = time.perf_counter() - start
+    print("\nFull model (traditional ML library behaviour)")
+    print(f"  trained on all {splits.train.n_rows} rows in {full_seconds:.2f}s")
+
+    # --- Did the guarantee hold? ------------------------------------------
+    agreement = 1.0 - spec.prediction_difference(
+        result.model.theta, full_model.theta, splits.holdout
+    )
+    print("\nComparison")
+    print(f"  actual prediction agreement with the full model: {agreement:.2%}")
+    print(f"  requested: {contract.requested_accuracy:.2%} at confidence {contract.confidence:.0%}")
+    print(f"  sample used: {result.sample_size} of {result.full_size} rows "
+          f"({result.sample_fraction:.2%})")
+    print(f"  speed-up over full training: {full_seconds / blinkml_seconds:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in pyproject.toml; this file exists so that the
+package can be installed editable (``pip install -e .``) in offline
+environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "BlinkML reproduction: efficient maximum likelihood estimation "
+        "with probabilistic guarantees"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

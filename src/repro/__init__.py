@@ -1,0 +1,82 @@
+"""BlinkML reproduction: approximate MLE training with probabilistic guarantees.
+
+This package reimplements the BlinkML system (Park, Qing, Shen, Mozafari —
+SIGMOD 2019) from scratch on NumPy/SciPy.  The top-level namespace
+re-exports the pieces a typical user needs:
+
+>>> from repro import BlinkML, ApproximationContract, LogisticRegressionSpec
+>>> from repro.data import criteo_like, train_holdout_test_split
+>>> splits = train_holdout_test_split(criteo_like(n_rows=20_000, n_features=50))
+>>> trainer = BlinkML(LogisticRegressionSpec(regularization=1e-3), seed=0)
+>>> result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
+>>> result.estimated_accuracy >= 0.95
+True
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every figure and table.
+"""
+
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.core.result import ApproximateTrainingResult, TimingBreakdown
+from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
+from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.statistics import ModelStatistics, StatisticsMethod, compute_statistics
+from repro.core.parameter_sampler import ParameterSampler
+from repro.models import (
+    LinearRegressionSpec,
+    LogisticRegressionSpec,
+    MaxEntropySpec,
+    PoissonRegressionSpec,
+    PPCASpec,
+    ModelClassSpec,
+    TrainedModel,
+    get_model_spec,
+    available_models,
+)
+from repro.data import Dataset, train_holdout_test_split
+from repro.exceptions import (
+    BlinkMLError,
+    ContractError,
+    DataError,
+    ModelSpecError,
+    OptimizationError,
+    SampleSizeError,
+    StatisticsError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximationContract",
+    "BlinkML",
+    "ApproximateTrainingResult",
+    "TimingBreakdown",
+    "AccuracyEstimate",
+    "ModelAccuracyEstimator",
+    "SampleSizeEstimate",
+    "SampleSizeEstimator",
+    "ModelStatistics",
+    "StatisticsMethod",
+    "compute_statistics",
+    "ParameterSampler",
+    "LinearRegressionSpec",
+    "LogisticRegressionSpec",
+    "MaxEntropySpec",
+    "PoissonRegressionSpec",
+    "PPCASpec",
+    "ModelClassSpec",
+    "TrainedModel",
+    "get_model_spec",
+    "available_models",
+    "Dataset",
+    "train_holdout_test_split",
+    "BlinkMLError",
+    "ContractError",
+    "DataError",
+    "ModelSpecError",
+    "OptimizationError",
+    "SampleSizeError",
+    "StatisticsError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Sample-size selection baselines used in the Section 5.4 comparison.
+
+BlinkML's Sample Size Estimator is compared against three simpler policies:
+
+* :class:`repro.baselines.fixed_ratio.FixedRatioBaseline` — always trains on
+  a fixed fraction (1 % in the paper) of the data, regardless of the model
+  or the requested accuracy;
+* :class:`repro.baselines.relative_ratio.RelativeRatioBaseline` — uses a
+  fraction proportional to the requested accuracy ((1 − ε)·10 %);
+* :class:`repro.baselines.incremental.IncrementalEstimatorBaseline`
+  (IncEstimator) — trains models on growing samples (1000·k² at the k-th
+  iteration) until the trained model's *estimated* accuracy meets the
+  request;
+* :class:`repro.baselines.full_training.FullTrainingBaseline` — the
+  traditional approach: always train on everything.
+
+Each baseline returns the same :class:`BaselineRunResult` record so the
+Figure 7 benchmark can tabulate them side by side.
+"""
+
+from repro.baselines.base import BaselineRunResult, SampleSizeBaseline
+from repro.baselines.fixed_ratio import FixedRatioBaseline
+from repro.baselines.relative_ratio import RelativeRatioBaseline
+from repro.baselines.incremental import IncrementalEstimatorBaseline
+from repro.baselines.full_training import FullTrainingBaseline
+
+__all__ = [
+    "BaselineRunResult",
+    "SampleSizeBaseline",
+    "FixedRatioBaseline",
+    "RelativeRatioBaseline",
+    "IncrementalEstimatorBaseline",
+    "FullTrainingBaseline",
+]

@@ -1,0 +1,32 @@
+"""Global defaults for the BlinkML reproduction.
+
+The constants below mirror the defaults mentioned in the paper:
+
+* ``DEFAULT_INITIAL_SAMPLE_SIZE`` — the size n0 of the initial training set
+  (Section 2.3, "10K by default").
+* ``DEFAULT_NUM_PARAMETER_SAMPLES`` — the number k of parameter samples used
+  by the Monte-Carlo estimate in Equation (5) / Lemma 2.
+* ``DEFAULT_CONFIDENCE_SLACK`` — the 0.95 constant appearing in Lemma 2.
+* ``DEFAULT_FINITE_DIFFERENCE_EPS`` — the epsilon used by the
+  InverseGradients statistics method (Section 3.4, "1e-6 by default").
+
+They can be overridden per call; they exist so that every component in the
+system agrees on the same defaults without hidden magic numbers.
+"""
+
+from __future__ import annotations
+
+DEFAULT_INITIAL_SAMPLE_SIZE = 10_000
+DEFAULT_NUM_PARAMETER_SAMPLES = 128
+DEFAULT_CONFIDENCE_SLACK = 0.95
+DEFAULT_FINITE_DIFFERENCE_EPS = 1e-6
+DEFAULT_HOLDOUT_FRACTION = 0.1
+DEFAULT_TEST_FRACTION = 0.2
+DEFAULT_RANDOM_SEED = 0
+
+# Optimiser defaults.  The paper uses BFGS for d < 100 and L-BFGS otherwise
+# (Section 5.1); the coordinator applies the same switch.
+BFGS_DIMENSION_THRESHOLD = 100
+DEFAULT_MAX_ITERATIONS = 500
+DEFAULT_GRADIENT_TOLERANCE = 1e-6
+DEFAULT_LBFGS_MEMORY = 10

@@ -1,0 +1,53 @@
+"""BlinkML core: the paper's primary contribution.
+
+The components mirror Figure 2 of the paper:
+
+* :class:`repro.core.contract.ApproximationContract` — the (ε, δ) request;
+* :class:`repro.core.statistics.ModelStatistics` and
+  :func:`repro.core.statistics.compute_statistics` — the H/J statistics
+  (ClosedForm, InverseGradients, ObservedFisher; Section 3.4);
+* :class:`repro.core.parameter_sampler.ParameterSampler` — fast sampling
+  from ``N(θ, α H⁻¹JH⁻¹)`` using sampling-by-scaling and the ``L = UΛ``
+  factor (Section 4.3);
+* :class:`repro.core.accuracy.ModelAccuracyEstimator` — the error bound on
+  an approximate model (Section 3);
+* :class:`repro.core.sample_size.SampleSizeEstimator` — the minimum sample
+  size search (Section 4);
+* :class:`repro.core.coordinator.BlinkML` — the coordinator workflow
+  (Section 2.3), which is the user-facing entry point;
+* :mod:`repro.core.guarantees` — Lemma 1 (generalisation bound) and
+  Lemma 2 (conservative quantile).
+"""
+
+from repro.core.contract import ApproximationContract
+from repro.core.result import ApproximateTrainingResult, TimingBreakdown
+from repro.core.statistics import ModelStatistics, compute_statistics, StatisticsMethod
+from repro.core.parameter_sampler import ParameterSampler
+from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
+from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.coordinator import BlinkML
+from repro.core.guarantees import (
+    conservative_quantile_level,
+    conservative_upper_bound,
+    satisfies_probability_threshold,
+    generalization_error_bound,
+)
+
+__all__ = [
+    "ApproximationContract",
+    "ApproximateTrainingResult",
+    "TimingBreakdown",
+    "ModelStatistics",
+    "compute_statistics",
+    "StatisticsMethod",
+    "ParameterSampler",
+    "AccuracyEstimate",
+    "ModelAccuracyEstimator",
+    "SampleSizeEstimate",
+    "SampleSizeEstimator",
+    "BlinkML",
+    "conservative_quantile_level",
+    "conservative_upper_bound",
+    "satisfies_probability_threshold",
+    "generalization_error_bound",
+]

@@ -1,0 +1,106 @@
+"""Result records returned by the BlinkML coordinator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.contract import ApproximationContract
+from repro.models.base import TrainedModel
+
+
+@dataclass
+class TimingBreakdown:
+    """Wall-clock breakdown matching the Figure 8a decomposition.
+
+    The four phases of the coordinator workflow: training the initial model,
+    computing the H/J statistics, searching for the minimum sample size, and
+    training the final model (zero when the initial model already satisfied
+    the contract).
+    """
+
+    initial_training_seconds: float = 0.0
+    statistics_seconds: float = 0.0
+    sample_size_search_seconds: float = 0.0
+    final_training_seconds: float = 0.0
+    accuracy_estimation_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.initial_training_seconds
+            + self.statistics_seconds
+            + self.sample_size_search_seconds
+            + self.final_training_seconds
+            + self.accuracy_estimation_seconds
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "initial_training_seconds": self.initial_training_seconds,
+            "statistics_seconds": self.statistics_seconds,
+            "sample_size_search_seconds": self.sample_size_search_seconds,
+            "final_training_seconds": self.final_training_seconds,
+            "accuracy_estimation_seconds": self.accuracy_estimation_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass
+class ApproximateTrainingResult:
+    """Everything BlinkML returns for one approximate-training request.
+
+    Attributes
+    ----------
+    model:
+        The approximate model m_n handed back to the user.
+    contract:
+        The approximation contract that was requested.
+    estimated_epsilon:
+        The conservative bound on the model difference v(m_n) (so the
+        estimated accuracy is ``1 − estimated_epsilon``).
+    sample_size:
+        The sample size n the returned model was trained on.
+    initial_sample_size:
+        The size n0 of the initial sample D0.
+    full_size:
+        The full training-set size N.
+    used_initial_model:
+        True when the initial model already satisfied the contract and no
+        second model was trained (the Section 5.3 discussion of identical
+        actual accuracies across different requests).
+    estimated_minimum_sample_size:
+        The n produced by the Sample Size Estimator (equal to
+        ``sample_size`` unless the initial model was returned directly).
+    timings:
+        Wall-clock breakdown of the coordinator phases.
+    """
+
+    model: TrainedModel
+    contract: ApproximationContract
+    estimated_epsilon: float
+    sample_size: int
+    initial_sample_size: int
+    full_size: int
+    used_initial_model: bool
+    estimated_minimum_sample_size: int
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def estimated_accuracy(self) -> float:
+        return 1.0 - self.estimated_epsilon
+
+    @property
+    def sample_fraction(self) -> float:
+        """Fraction of the full training set the final model consumed."""
+        return self.sample_size / self.full_size if self.full_size else 1.0
+
+    def summary(self) -> str:
+        """One-line description used by the examples."""
+        return (
+            f"model {self.model.spec.name} trained on {self.sample_size}/{self.full_size} rows "
+            f"({100 * self.sample_fraction:.2f}%), estimated accuracy "
+            f"{100 * self.estimated_accuracy:.2f}% "
+            f"(requested {100 * self.contract.requested_accuracy:.2f}% "
+            f"at confidence {100 * self.contract.confidence:.0f}%)"
+        )

@@ -1,0 +1,179 @@
+"""Sample Size Estimator (Section 4).
+
+Given only the *initial* model m_0 (trained on n0 rows), the estimator finds
+the smallest sample size n such that a model trained on n rows would satisfy
+the approximation contract — without training any additional model.
+
+For a candidate n the probability ``Pr[v(m_n, m_N) ≤ ε]`` is estimated via
+the two-stage sampling of Section 4.1 (θ_n | θ_0, then θ_N | θ_n) and the
+conservative correction of Lemma 2.  Theorem 2 shows this probability is
+increasing in n, which justifies the binary search of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DEFAULT_NUM_PARAMETER_SAMPLES
+from repro.core.contract import ApproximationContract
+from repro.core.guarantees import satisfies_probability_threshold
+from repro.core.parameter_sampler import ParameterSampler
+from repro.core.statistics import ModelStatistics
+from repro.data.dataset import Dataset
+from repro.exceptions import SampleSizeError
+from repro.models.base import ModelClassSpec
+
+
+@dataclass(frozen=True)
+class SampleSizeEstimate:
+    """Outcome of the minimum-sample-size search.
+
+    Attributes
+    ----------
+    sample_size:
+        The estimated minimum n.
+    feasible:
+        False when even n = N did not certify the contract through the
+        Monte-Carlo check (the coordinator then trains on the full data).
+    n_probability_evaluations:
+        How many candidate sizes the binary search probed.
+    probed_sizes:
+        The candidate n values inspected, in order (diagnostics).
+    estimation_seconds:
+        Wall-clock cost of the search.
+    """
+
+    sample_size: int
+    feasible: bool
+    n_probability_evaluations: int
+    probed_sizes: tuple[int, ...] = field(default_factory=tuple)
+    estimation_seconds: float = 0.0
+
+
+class SampleSizeEstimator:
+    """Finds the smallest n satisfying the contract using only the initial model."""
+
+    def __init__(
+        self,
+        spec: ModelClassSpec,
+        holdout: Dataset,
+        n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,
+    ):
+        if n_parameter_samples < 2:
+            raise SampleSizeError("need at least two parameter samples")
+        self._spec = spec
+        self._holdout = holdout
+        self._n_parameter_samples = n_parameter_samples
+
+    # ------------------------------------------------------------------
+    # Probability of contract satisfaction for one candidate n
+    # ------------------------------------------------------------------
+    def contract_satisfied(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        candidate_n: int,
+        N: int,
+        contract: ApproximationContract,
+        sampler: ParameterSampler,
+    ) -> bool:
+        """Monte-Carlo check of ``Pr[v(m_n, m_N) ≤ ε] ≥ 1 − δ`` for one n."""
+        theta_n_samples, theta_N_samples = sampler.two_stage_samples(
+            theta0, n0=n0, n=candidate_n, N=N, count=self._n_parameter_samples
+        )
+        differences = np.array(
+            [
+                self._spec.prediction_difference(theta_n, theta_N, self._holdout)
+                for theta_n, theta_N in zip(theta_n_samples, theta_N_samples)
+            ]
+        )
+        return satisfies_probability_threshold(differences, contract.epsilon, contract.delta)
+
+    # ------------------------------------------------------------------
+    # Binary search (Section 4.2)
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        N: int,
+        contract: ApproximationContract,
+        statistics: ModelStatistics,
+        sampler: ParameterSampler | None = None,
+    ) -> SampleSizeEstimate:
+        """Binary-search the smallest n in [n0, N] satisfying the contract.
+
+        Parameters
+        ----------
+        theta0:
+            Parameter vector of the initial model m_0.
+        n0:
+            Size of the initial sample D0.
+        N:
+            Full training-set size.
+        contract:
+            The (ε, δ) approximation contract.
+        statistics:
+            Factored statistics computed at θ_0.
+        sampler:
+            Optional shared sampler (base draws are cached inside it, so the
+            whole search re-uses the same base normal draws — the
+            sampling-by-scaling optimisation).
+        """
+        if n0 <= 0 or N <= 0:
+            raise SampleSizeError("sample sizes must be positive")
+        if n0 > N:
+            raise SampleSizeError(f"initial sample size {n0} exceeds N={N}")
+
+        start = time.perf_counter()
+        sampler = sampler or ParameterSampler(statistics)
+        probed: list[int] = []
+
+        def satisfied(candidate: int) -> bool:
+            probed.append(candidate)
+            return self.contract_satisfied(theta0, n0, candidate, N, contract, sampler)
+
+        # Quick exits: if n0 already satisfies, the coordinator will have
+        # caught it via the accuracy estimator, but the search still handles
+        # it gracefully; if even N fails the Monte-Carlo check, fall back to
+        # the full data.
+        low, high = n0, N
+        if satisfied(low):
+            elapsed = time.perf_counter() - start
+            return SampleSizeEstimate(
+                sample_size=low,
+                feasible=True,
+                n_probability_evaluations=len(probed),
+                probed_sizes=tuple(probed),
+                estimation_seconds=elapsed,
+            )
+        if not satisfied(high):
+            elapsed = time.perf_counter() - start
+            return SampleSizeEstimate(
+                sample_size=N,
+                feasible=False,
+                n_probability_evaluations=len(probed),
+                probed_sizes=tuple(probed),
+                estimation_seconds=elapsed,
+            )
+
+        # Invariant: low fails, high satisfies.  Theorem 2 (monotonicity)
+        # makes the bisection valid.
+        while high - low > 1:
+            mid = (low + high) // 2
+            if satisfied(mid):
+                high = mid
+            else:
+                low = mid
+
+        elapsed = time.perf_counter() - start
+        return SampleSizeEstimate(
+            sample_size=high,
+            feasible=True,
+            n_probability_evaluations=len(probed),
+            probed_sizes=tuple(probed),
+            estimation_seconds=elapsed,
+        )

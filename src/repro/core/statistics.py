@@ -1,0 +1,164 @@
+"""Computation of the H and J statistics (Section 3.4).
+
+Theorem 1 needs two model/data-aware quantities evaluated at the trained
+parameter θ_n:
+
+* ``J`` — the covariance of the per-example gradients (the Jacobian of
+  ``g_n(θ) − r(θ)``);
+* ``H`` — the Jacobian of the full gradient ``g_n(θ)`` (the Hessian of the
+  objective).
+
+Three methods are implemented, matching the paper:
+
+``closed_form``
+    Uses the model's analytic Hessian (available for Lin, LR, ME).  Exact
+    but requires the d-by-d matrix, so only suitable for low-dimensional
+    models.
+
+``inverse_gradients``
+    Numerically reconstructs H from d finite-difference probes of the
+    ``grads`` function: ``g_n(θ_n + dθ) ≈ H dθ``.  Model-agnostic but calls
+    ``grads`` d times, which Section 5.6 shows is slow for large d.
+
+``observed_fisher`` (default)
+    Uses the information-matrix equality: J equals the covariance of the
+    per-example gradients, and ``H = J + J_r``.  Implemented through an SVD
+    of the per-example gradient matrix so no d-by-d matrix is ever formed —
+    the factor feeds straight into the fast sampler of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.config import DEFAULT_FINITE_DIFFERENCE_EPS
+from repro.data.dataset import Dataset
+from repro.exceptions import StatisticsError
+from repro.linalg.covariance import FactoredCovariance
+from repro.linalg.utils import symmetrize
+from repro.models.base import ModelClassSpec
+
+
+class StatisticsMethod(str, Enum):
+    """The three statistics-computation strategies of Section 3.4."""
+
+    CLOSED_FORM = "closed_form"
+    INVERSE_GRADIENTS = "inverse_gradients"
+    OBSERVED_FISHER = "observed_fisher"
+
+
+@dataclass(frozen=True)
+class ModelStatistics:
+    """The factored covariance ``H⁻¹JH⁻¹`` plus provenance information.
+
+    Attributes
+    ----------
+    covariance:
+        The :class:`~repro.linalg.covariance.FactoredCovariance` factor L.
+    method:
+        Which of the three strategies produced it.
+    sample_size:
+        The number of training examples n the statistics were computed from
+        (the initial sample size n0 in the coordinator workflow).
+    computation_seconds:
+        Wall-clock time spent computing the statistics; the Figure 8a
+        runtime-breakdown benchmark reports this.
+    """
+
+    covariance: FactoredCovariance
+    method: StatisticsMethod
+    sample_size: int
+    computation_seconds: float = 0.0
+
+    @property
+    def dimension(self) -> int:
+        return self.covariance.dimension
+
+
+def _closed_form(
+    spec: ModelClassSpec, theta: np.ndarray, dataset: Dataset
+) -> FactoredCovariance:
+    if not spec.has_closed_form_hessian:
+        raise StatisticsError(
+            f"model {spec.name!r} has no closed-form Hessian; "
+            "use inverse_gradients or observed_fisher"
+        )
+    H = symmetrize(spec.hessian(theta, dataset))
+    # J is the Jacobian of g_n − r, i.e. H minus the regulariser's Jacobian
+    # (βI for L2 regularisation).
+    J = H - spec.regularization * np.eye(H.shape[0])
+    return FactoredCovariance.from_dense(H, J, regularization=spec.regularization)
+
+
+def _inverse_gradients(
+    spec: ModelClassSpec,
+    theta: np.ndarray,
+    dataset: Dataset,
+    probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
+) -> FactoredCovariance:
+    theta = np.asarray(theta, dtype=np.float64)
+    d = theta.shape[0]
+    gradient_at_theta = spec.gradient(theta, dataset)
+    # g_n(θ_n + ε e_j) − g_n(θ_n) ≈ ε H e_j, one probe per parameter.
+    H = np.empty((d, d))
+    for j in range(d):
+        probe = theta.copy()
+        probe[j] += probe_eps
+        H[:, j] = (spec.gradient(probe, dataset) - gradient_at_theta) / probe_eps
+    H = symmetrize(H)
+    J = H - spec.regularization * np.eye(d)
+    return FactoredCovariance.from_dense(H, J, regularization=spec.regularization)
+
+
+def _observed_fisher(
+    spec: ModelClassSpec, theta: np.ndarray, dataset: Dataset
+) -> FactoredCovariance:
+    per_example = spec.per_example_gradients(theta, dataset)
+    return FactoredCovariance.from_per_example_gradients(
+        per_example, regularization=spec.regularization
+    )
+
+
+def compute_statistics(
+    spec: ModelClassSpec,
+    theta: np.ndarray,
+    dataset: Dataset,
+    method: StatisticsMethod | str = StatisticsMethod.OBSERVED_FISHER,
+    probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
+) -> ModelStatistics:
+    """Compute the parameter-covariance statistics at a trained θ.
+
+    Parameters
+    ----------
+    spec:
+        The model class specification.
+    theta:
+        The parameter vector of the (initial or approximate) trained model.
+    dataset:
+        The sample the model was trained on (size n); the statistics are the
+        sample estimates of H and J at θ.
+    method:
+        One of :class:`StatisticsMethod` (or its string value).  The default
+        is ObservedFisher, the paper's default.
+    probe_eps:
+        Finite-difference step for InverseGradients.
+    """
+    method = StatisticsMethod(method)
+    start = time.perf_counter()
+    if method is StatisticsMethod.CLOSED_FORM:
+        covariance = _closed_form(spec, theta, dataset)
+    elif method is StatisticsMethod.INVERSE_GRADIENTS:
+        covariance = _inverse_gradients(spec, theta, dataset, probe_eps=probe_eps)
+    else:
+        covariance = _observed_fisher(spec, theta, dataset)
+    elapsed = time.perf_counter() - start
+    return ModelStatistics(
+        covariance=covariance,
+        method=method,
+        sample_size=dataset.n_rows,
+        computation_seconds=elapsed,
+    )

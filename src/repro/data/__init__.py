@@ -1,0 +1,49 @@
+"""Data substrate: dataset containers, splits, sampling and synthetic workloads.
+
+BlinkML is built on top of a sampling abstraction (the paper's key
+observation is that the uniform-sampling operator already offered by nearly
+every database system is enough to approximate MLE training).  This
+subpackage provides that substrate:
+
+* :mod:`repro.data.dataset` — an immutable in-memory training-set container
+  with feature matrix, labels and named splits;
+* :mod:`repro.data.splits` — train / holdout / test splitting;
+* :mod:`repro.data.sampling` — uniform random sampling (with and without
+  replacement) and reservoir sampling over streams;
+* :mod:`repro.data.synthetic` — generators that stand in for the six
+  real-world datasets used in the paper's evaluation (see DESIGN.md for the
+  substitution rationale).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.sampling import UniformSampler, WeightedSampler, reservoir_sample
+from repro.data.synthetic import (
+    SyntheticSpec,
+    gas_like,
+    power_like,
+    criteo_like,
+    higgs_like,
+    mnist_like,
+    yelp_like,
+    bikeshare_like,
+    make_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "SplitSpec",
+    "train_holdout_test_split",
+    "UniformSampler",
+    "WeightedSampler",
+    "reservoir_sample",
+    "SyntheticSpec",
+    "gas_like",
+    "power_like",
+    "criteo_like",
+    "higgs_like",
+    "mnist_like",
+    "yelp_like",
+    "bikeshare_like",
+    "make_dataset",
+]

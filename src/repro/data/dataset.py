@@ -1,0 +1,152 @@
+"""In-memory dataset container used throughout the library.
+
+A :class:`Dataset` bundles a dense feature matrix ``X`` (N rows, d columns)
+with an optional label vector ``y`` (absent for unsupervised models such as
+PPCA).  It is deliberately immutable: every transformation (subsetting,
+sampling, feature selection) returns a new ``Dataset`` that shares the
+underlying NumPy buffers via views wherever possible.
+
+The class is the unit of exchange between the data substrate, the model
+trainers and the BlinkML coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A (multi-)set of training examples ``{(x_i, y_i)}``.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix of shape ``(n_rows, n_features)``.
+    y:
+        Label vector of shape ``(n_rows,)`` or ``None`` for unsupervised
+        tasks.  Classification models expect integer labels; regression
+        models expect floats.
+    name:
+        Optional human-readable name (used in experiment reports).
+    """
+
+    X: np.ndarray
+    y: np.ndarray | None = None
+    name: str = "dataset"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-dimensional, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise DataError("dataset must contain at least one row")
+        object.__setattr__(self, "X", X)
+        if self.y is not None:
+            y = np.asarray(self.y)
+            if y.ndim != 1:
+                raise DataError(f"y must be 1-dimensional, got shape {y.shape}")
+            if y.shape[0] != X.shape[0]:
+                raise DataError(
+                    f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+                )
+            object.__setattr__(self, "y", y)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of examples (the paper's N or n depending on context)."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of features d."""
+        return int(self.X.shape[1])
+
+    @property
+    def is_supervised(self) -> bool:
+        """Whether labels are present."""
+        return self.y is not None
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new Dataset objects)
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> Dataset:
+        """Return the subset of rows addressed by ``indices`` (kept in order)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            raise DataError("cannot take an empty subset of a dataset")
+        if indices.min() < 0 or indices.max() >= self.n_rows:
+            raise DataError("subset indices out of range")
+        y = None if self.y is None else self.y[indices]
+        return Dataset(self.X[indices], y, name=self.name, metadata=dict(self.metadata))
+
+    def head(self, n: int) -> Dataset:
+        """Return the first ``n`` rows."""
+        if n <= 0:
+            raise DataError("head() requires n >= 1")
+        n = min(n, self.n_rows)
+        return self.take(np.arange(n))
+
+    def select_features(self, feature_indices: np.ndarray) -> Dataset:
+        """Return a dataset restricted to the given feature columns.
+
+        Used by the hyperparameter-optimisation harness (Section 5.7), which
+        searches over random feature subsets.
+        """
+        feature_indices = np.asarray(feature_indices, dtype=np.intp)
+        if feature_indices.size == 0:
+            raise DataError("cannot select an empty feature set")
+        if feature_indices.min() < 0 or feature_indices.max() >= self.n_features:
+            raise DataError("feature indices out of range")
+        return Dataset(
+            self.X[:, feature_indices],
+            self.y,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def concat(self, other: Dataset) -> Dataset:
+        """Stack two datasets with identical schemas row-wise."""
+        if self.n_features != other.n_features:
+            raise DataError(
+                "cannot concatenate datasets with different feature counts: "
+                f"{self.n_features} vs {other.n_features}"
+            )
+        if (self.y is None) != (other.y is None):
+            raise DataError("cannot concatenate supervised with unsupervised data")
+        X = np.vstack([self.X, other.X])
+        y = None if self.y is None else np.concatenate([self.y, other.y])
+        return Dataset(X, y, name=self.name, metadata=dict(self.metadata))
+
+    def with_name(self, name: str) -> Dataset:
+        """Return a copy carrying a new name."""
+        return Dataset(self.X, self.y, name=name, metadata=dict(self.metadata))
+
+    def standardized(self, eps: float = 1e-12) -> Dataset:
+        """Return a copy whose feature columns have zero mean and unit variance.
+
+        Columns with (near-)zero variance are left centred but unscaled to
+        avoid dividing by zero.
+        """
+        mean = self.X.mean(axis=0)
+        std = self.X.std(axis=0)
+        std = np.where(std < eps, 1.0, std)
+        X = (self.X - mean) / std
+        return Dataset(X, self.y, name=self.name, metadata=dict(self.metadata))
+
+    def class_labels(self) -> np.ndarray:
+        """Return the sorted unique class labels (classification datasets only)."""
+        if self.y is None:
+            raise DataError("unsupervised dataset has no labels")
+        return np.unique(self.y)

@@ -1,0 +1,219 @@
+"""Uniform random sampling over datasets.
+
+BlinkML deliberately restricts itself to *uniform* random sampling
+(Section 1, "Difference from Previous Work"): unlike coreset or
+leverage-score approaches, no sampling probabilities have to be tailored to
+the model, which is what lets a single system serve every MLE-based model.
+
+This module provides:
+
+* :class:`UniformSampler` — draws size-n uniform samples without replacement
+  from a :class:`~repro.data.dataset.Dataset`, with support for nested
+  sampling (a size-n' sample that contains an earlier size-n sample, which is
+  how the coordinator grows the initial sample into the final one without
+  discarding already-seen rows);
+* :func:`reservoir_sample` — classic reservoir sampling over a row stream,
+  standing in for the database-side sampling operator the paper assumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+class UniformSampler:
+    """Draw uniform random samples (without replacement) from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The training portion of the data.
+    rng:
+        Seeded NumPy generator for reproducibility.
+    """
+
+    def __init__(self, dataset: Dataset, rng: np.random.Generator | None = None):
+        self._dataset = dataset
+        self._rng = rng or np.random.default_rng()
+        # A lazily-built random permutation of all row indices.  Sampling a
+        # prefix of a fixed permutation yields uniform samples with the
+        # useful property that samples of increasing size are nested, which
+        # mirrors how a database cursor over a shuffled table behaves.
+        self._permutation: np.ndarray | None = None
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    @property
+    def population_size(self) -> int:
+        return self._dataset.n_rows
+
+    def _ensure_permutation(self) -> np.ndarray:
+        if self._permutation is None:
+            self._permutation = self._rng.permutation(self._dataset.n_rows)
+        return self._permutation
+
+    def sample(self, n: int) -> Dataset:
+        """Return an independent size-``n`` uniform sample without replacement."""
+        if n <= 0:
+            raise DataError("sample size must be positive")
+        if n > self._dataset.n_rows:
+            raise DataError(
+                f"sample size {n} exceeds population size {self._dataset.n_rows}"
+            )
+        indices = self._rng.choice(self._dataset.n_rows, size=n, replace=False)
+        return self._dataset.take(indices).with_name(f"{self._dataset.name}/sample[{n}]")
+
+    def nested_sample(self, n: int) -> Dataset:
+        """Return the first ``n`` rows of a fixed random permutation.
+
+        Successive calls with increasing ``n`` return nested samples: the
+        size-n0 initial training set D0 is a prefix of the size-n final
+        training set Dn.  This matches the coordinator workflow in
+        Section 2.3 where the final sample subsumes the initial one.
+        """
+        if n <= 0:
+            raise DataError("sample size must be positive")
+        if n > self._dataset.n_rows:
+            raise DataError(
+                f"sample size {n} exceeds population size {self._dataset.n_rows}"
+            )
+        permutation = self._ensure_permutation()
+        return self._dataset.take(permutation[:n]).with_name(
+            f"{self._dataset.name}/nested[{n}]"
+        )
+
+    def sample_indices(self, n: int) -> np.ndarray:
+        """Return ``n`` uniformly sampled row indices without replacement."""
+        if n <= 0 or n > self._dataset.n_rows:
+            raise DataError("sample size out of range")
+        return self._rng.choice(self._dataset.n_rows, size=n, replace=False)
+
+
+class WeightedSampler:
+    """Draw samples with per-row inclusion probabilities proportional to weights.
+
+    BlinkML itself needs only *uniform* sampling, but the paper points out
+    (Sections 3.2 and 7) that its machinery extends to non-uniform sampling
+    as long as the sampling probabilities are known: the gradient covariance
+    J can then be re-weighted accordingly.  This sampler provides the data
+    side of that extension — weighted sampling without replacement using the
+    Efraimidis–Spirakis exponential-key method — together with the
+    importance weights ``1 / (n · p_i)`` a downstream estimator needs to
+    stay unbiased for the full-data objective.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        weights: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (dataset.n_rows,):
+            raise DataError(
+                f"weights must have one entry per row; got {weights.shape} for "
+                f"{dataset.n_rows} rows"
+            )
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise DataError("weights must be finite and non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise DataError("at least one weight must be positive")
+        self._dataset = dataset
+        self._probabilities = weights / total
+        self._rng = rng or np.random.default_rng()
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalised per-row selection probabilities."""
+        return self._probabilities
+
+    def sample_indices(self, n: int) -> np.ndarray:
+        """Weighted sampling of ``n`` distinct row indices (Efraimidis–Spirakis)."""
+        if n <= 0:
+            raise DataError("sample size must be positive")
+        positive = np.flatnonzero(self._probabilities > 0)
+        if n > positive.size:
+            raise DataError(
+                f"cannot draw {n} distinct rows: only {positive.size} rows have "
+                "positive weight"
+            )
+        # Key_i = U_i^(1/w_i); the n largest keys form a weighted sample
+        # without replacement.
+        uniforms = self._rng.uniform(size=positive.size)
+        keys = np.power(uniforms, 1.0 / self._probabilities[positive])
+        chosen = positive[np.argsort(keys)[-n:]]
+        return chosen
+
+    def sample(self, n: int) -> tuple[Dataset, np.ndarray]:
+        """Return a weighted sample and the matching importance weights.
+
+        The importance weight of row i is ``1 / (N · p_i)`` normalised to
+        mean one over the sample, which is what a weighted MLE objective
+        multiplies each per-example loss/gradient by.
+        """
+        indices = self.sample_indices(n)
+        importance = 1.0 / (self._dataset.n_rows * self._probabilities[indices])
+        importance = importance / importance.mean()
+        subset = self._dataset.take(indices).with_name(
+            f"{self._dataset.name}/weighted[{n}]"
+        )
+        return subset, importance
+
+
+def reservoir_sample(
+    rows: Iterable[np.ndarray],
+    k: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Reservoir-sample ``k`` rows from a stream of feature vectors.
+
+    This implements Algorithm R.  It exists to emulate the database-side
+    sampling operator the paper leans on: a single pass over a table (here, a
+    row iterator) producing a uniform sample of fixed size without knowing
+    the table's cardinality in advance.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of 1-D NumPy arrays, all of the same length.
+    k:
+        Reservoir size.
+    rng:
+        Seeded generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(k, d)`` array.  Raises :class:`DataError` if the stream holds
+        fewer than ``k`` rows.
+    """
+    if k <= 0:
+        raise DataError("reservoir size must be positive")
+    rng = rng or np.random.default_rng()
+
+    iterator: Iterator[np.ndarray] = iter(rows)
+    reservoir: list[np.ndarray] = []
+    for _ in range(k):
+        try:
+            reservoir.append(np.asarray(next(iterator), dtype=np.float64))
+        except StopIteration as exc:
+            raise DataError(
+                f"stream exhausted after {len(reservoir)} rows; needed {k}"
+            ) from exc
+
+    seen = k
+    for row in iterator:
+        seen += 1
+        j = int(rng.integers(0, seen))
+        if j < k:
+            reservoir[j] = np.asarray(row, dtype=np.float64)
+
+    return np.vstack(reservoir)

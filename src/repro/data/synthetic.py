@@ -1,0 +1,307 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper evaluates BlinkML on six public datasets (Table 2): Gas, Power,
+Criteo, HIGGS, infinite-MNIST and Yelp.  The raw files are multi-gigabyte
+downloads that are unavailable offline, so this module generates synthetic
+datasets that play the same *statistical role* for each experiment:
+
+============  ==========================  =================================
+paper         task                        synthetic stand-in
+============  ==========================  =================================
+Gas           regression, d=57, dense     correlated sensor drift signal
+Power         regression, d=114, dense    periodic load + noise
+Criteo        binary cls, sparse, huge d  sparse bag-of-features clicks
+HIGGS         binary cls, d=28, dense     two overlapping Gaussian classes
+                                          with nonlinear derived features
+MNIST         10-class cls, d=784         low-rank class-template images
+Yelp          5-class cls, bag of words   topic-model review counts
+============  ==========================  =================================
+
+What BlinkML exercises — the asymptotic normality of MLE parameters trained
+on uniform samples — depends on the task type, feature dimensionality and
+noise level, not on the provenance of the rows, so the who-wins/crossover
+shapes of the paper's figures are preserved (see DESIGN.md, "Substitutions").
+
+Every generator accepts ``n_rows`` and (where meaningful) dimensionality
+parameters so the same code can be scaled from unit-test size to the paper's
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Description of a synthetic workload (used by the benchmark harness)."""
+
+    name: str
+    task: str  # "regression" | "binary" | "multiclass" | "unsupervised"
+    n_rows: int
+    n_features: int
+    n_classes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.task not in {"regression", "binary", "multiclass", "unsupervised"}:
+            raise DataError(f"unknown task type: {self.task!r}")
+        if self.n_rows <= 0 or self.n_features <= 0:
+            raise DataError("n_rows and n_features must be positive")
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Regression workloads (Gas, Power)
+# ----------------------------------------------------------------------
+def gas_like(
+    n_rows: int = 50_000,
+    n_features: int = 57,
+    noise: float = 0.5,
+    seed: int | None = 0,
+) -> Dataset:
+    """Chemical-sensor-style regression data (stand-in for the Gas dataset).
+
+    Features are correlated sensor channels responding to a shared latent
+    concentration signal plus per-sensor drift; the target is a linear
+    combination of the channels with additive Gaussian noise.
+    """
+    rng = _rng(seed)
+    n_latent = max(2, n_features // 8)
+    latent = rng.normal(size=(n_rows, n_latent))
+    mixing = rng.normal(scale=1.0, size=(n_latent, n_features))
+    drift = np.cumsum(rng.normal(scale=0.01, size=(n_rows, 1)), axis=0)
+    X = latent @ mixing + drift + rng.normal(scale=0.2, size=(n_rows, n_features))
+    true_theta = rng.normal(scale=1.0 / np.sqrt(n_features), size=n_features)
+    y = X @ true_theta + rng.normal(scale=noise, size=n_rows)
+    return Dataset(X, y, name="gas_like", metadata={"task": "regression"})
+
+
+def power_like(
+    n_rows: int = 50_000,
+    n_features: int = 114,
+    noise: float = 0.3,
+    seed: int | None = 1,
+) -> Dataset:
+    """Household-power-style regression data (stand-in for the Power dataset).
+
+    Features combine periodic (daily/weekly) load components with appliance
+    sub-meter readings; the target is total consumption.
+    """
+    rng = _rng(seed)
+    t = np.arange(n_rows, dtype=np.float64)
+    n_periodic = min(8, n_features)
+    periods = np.geomspace(24.0, 24.0 * 7 * 4, num=n_periodic)
+    periodic = np.column_stack(
+        [np.sin(2 * np.pi * t / p + rng.uniform(0, 2 * np.pi)) for p in periods]
+    )
+    n_rest = n_features - n_periodic
+    rest = rng.gamma(shape=2.0, scale=0.5, size=(n_rows, n_rest)) if n_rest else None
+    X = periodic if rest is None else np.hstack([periodic, rest])
+    true_theta = rng.normal(scale=1.0 / np.sqrt(n_features), size=n_features)
+    y = X @ true_theta + rng.normal(scale=noise, size=n_rows)
+    return Dataset(X, y, name="power_like", metadata={"task": "regression"})
+
+
+# ----------------------------------------------------------------------
+# Binary classification workloads (Criteo, HIGGS)
+# ----------------------------------------------------------------------
+def criteo_like(
+    n_rows: int = 50_000,
+    n_features: int = 500,
+    density: float = 0.05,
+    class_balance: float = 0.25,
+    seed: int | None = 2,
+) -> Dataset:
+    """Click-through-rate-style sparse binary classification data.
+
+    Criteo features are overwhelmingly sparse one-hot encodings of
+    categorical ad/user attributes; clicks are rare.  The stand-in draws a
+    sparse non-negative feature matrix (each row activates roughly
+    ``density * n_features`` features) and labels from a logistic model with
+    an intercept chosen to hit the requested positive-class rate.
+    """
+    rng = _rng(seed)
+    if not 0 < density <= 1:
+        raise DataError("density must lie in (0, 1]")
+    X = np.zeros((n_rows, n_features))
+    n_active = max(1, int(round(density * n_features)))
+    for i in range(n_rows):
+        cols = rng.choice(n_features, size=n_active, replace=False)
+        X[i, cols] = rng.exponential(scale=1.0, size=n_active)
+    true_theta = rng.normal(scale=1.5 / np.sqrt(n_active), size=n_features)
+    logits = X @ true_theta
+    # Shift the intercept so the marginal positive rate matches class_balance.
+    logits += np.quantile(-logits, class_balance)
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    y = (rng.uniform(size=n_rows) < probs).astype(np.int64)
+    return Dataset(X, y, name="criteo_like", metadata={"task": "binary"})
+
+
+def higgs_like(
+    n_rows: int = 50_000,
+    n_features: int = 28,
+    separation: float = 1.0,
+    seed: int | None = 3,
+) -> Dataset:
+    """Particle-physics-style dense binary classification data.
+
+    Two overlapping Gaussian classes in a low-dimensional latent space,
+    augmented with nonlinear derived features (pairwise products), mimicking
+    HIGGS's mix of low-level and derived kinematic features.
+    """
+    rng = _rng(seed)
+    n_low = max(4, n_features // 2)
+    n_derived = n_features - n_low
+    y = rng.integers(0, 2, size=n_rows)
+    centers = separation * rng.normal(size=(2, n_low)) / np.sqrt(n_low)
+    low = rng.normal(size=(n_rows, n_low)) + centers[y]
+    if n_derived > 0:
+        pair_idx = rng.integers(0, n_low, size=(n_derived, 2))
+        derived = low[:, pair_idx[:, 0]] * low[:, pair_idx[:, 1]]
+        X = np.hstack([low, derived])
+    else:
+        X = low
+    return Dataset(X, y.astype(np.int64), name="higgs_like", metadata={"task": "binary"})
+
+
+# ----------------------------------------------------------------------
+# Multiclass workloads (MNIST, Yelp)
+# ----------------------------------------------------------------------
+def mnist_like(
+    n_rows: int = 50_000,
+    n_features: int = 196,
+    n_classes: int = 10,
+    template_rank: int = 12,
+    noise: float = 0.35,
+    seed: int | None = 4,
+) -> Dataset:
+    """Hand-written-digit-style multiclass data (stand-in for infinite MNIST).
+
+    Each class has a low-rank template image; examples are noisy mixtures of
+    their class template with random deformation coefficients, clipped to the
+    non-negative intensity range as pixel data would be.
+    """
+    rng = _rng(seed)
+    if n_classes < 2:
+        raise DataError("mnist_like requires at least two classes")
+    basis = rng.normal(size=(template_rank, n_features))
+    class_coeff = rng.normal(scale=1.5, size=(n_classes, template_rank))
+    y = rng.integers(0, n_classes, size=n_rows)
+    deformation = rng.normal(scale=0.4, size=(n_rows, template_rank))
+    coeffs = class_coeff[y] + deformation
+    X = coeffs @ basis + rng.normal(scale=noise, size=(n_rows, n_features))
+    X = np.clip(X, 0.0, None)
+    return Dataset(
+        X, y.astype(np.int64), name="mnist_like", metadata={"task": "multiclass"}
+    )
+
+
+def yelp_like(
+    n_rows: int = 50_000,
+    n_features: int = 1_000,
+    n_classes: int = 5,
+    n_topics: int = 20,
+    document_length: int = 40,
+    seed: int | None = 5,
+) -> Dataset:
+    """Review-rating-style bag-of-words multiclass data (stand-in for Yelp).
+
+    A small topic model: each rating class has a distribution over topics,
+    each topic a distribution over vocabulary terms.  Documents are sampled
+    term counts, which produces the sparse, integer-valued, heavy-tailed
+    feature matrix typical of text classification.
+    """
+    rng = _rng(seed)
+    topic_word = rng.dirichlet(np.full(n_features, 0.05), size=n_topics)
+    class_topic = rng.dirichlet(np.full(n_topics, 0.3), size=n_classes)
+    y = rng.integers(0, n_classes, size=n_rows)
+    X = np.zeros((n_rows, n_features))
+    for i in range(n_rows):
+        topic_mixture = class_topic[y[i]] @ topic_word
+        X[i] = rng.multinomial(document_length, topic_mixture)
+    return Dataset(
+        X, y.astype(np.int64), name="yelp_like", metadata={"task": "multiclass"}
+    )
+
+
+# ----------------------------------------------------------------------
+# Count-data workload (Poisson regression)
+# ----------------------------------------------------------------------
+def bikeshare_like(
+    n_rows: int = 50_000,
+    n_features: int = 24,
+    base_rate: float = 3.0,
+    seed: int | None = 6,
+) -> Dataset:
+    """Trip-count-style data for Poisson regression.
+
+    The paper lists Poisson regression among the GLMs its MLE abstraction
+    covers; this workload exercises it.  The first feature is a constant
+    intercept (so the log-linear model is well specified), the rest mix
+    periodic (hour/weekday) signals with weather-like covariates; counts are
+    drawn from a Poisson distribution whose log-rate is linear in the
+    features.
+    """
+    rng = _rng(seed)
+    if n_features < 2:
+        raise DataError("bikeshare_like needs at least two features (incl. intercept)")
+    t = np.arange(n_rows, dtype=np.float64)
+    n_periodic = min(6, n_features - 1)
+    periods = np.geomspace(24.0, 24.0 * 7, num=n_periodic)
+    periodic = np.column_stack(
+        [np.sin(2 * np.pi * t / p + rng.uniform(0, 2 * np.pi)) for p in periods]
+    )
+    n_rest = n_features - 1 - n_periodic
+    columns = [np.ones((n_rows, 1)), periodic]
+    if n_rest:
+        columns.append(rng.normal(scale=0.5, size=(n_rows, n_rest)))
+    X = np.hstack(columns)
+    true_theta = rng.normal(scale=0.4 / np.sqrt(n_features), size=n_features)
+    true_theta[0] = np.log(base_rate)
+    log_rates = X @ true_theta
+    y = rng.poisson(np.exp(np.clip(log_rates, -10, 10))).astype(np.float64)
+    return Dataset(X, y, name="bikeshare_like", metadata={"task": "regression"})
+
+
+# ----------------------------------------------------------------------
+# Generic factory
+# ----------------------------------------------------------------------
+_GENERATORS = {
+    "gas_like": gas_like,
+    "power_like": power_like,
+    "criteo_like": criteo_like,
+    "higgs_like": higgs_like,
+    "mnist_like": mnist_like,
+    "yelp_like": yelp_like,
+    "bikeshare_like": bikeshare_like,
+}
+
+
+def make_dataset(name: str, n_rows: int, seed: int | None = 0, **kwargs) -> Dataset:
+    """Build one of the named synthetic workloads.
+
+    Parameters
+    ----------
+    name:
+        One of ``gas_like``, ``power_like``, ``criteo_like``, ``higgs_like``,
+        ``mnist_like`` or ``yelp_like``.
+    n_rows:
+        Number of examples to generate.
+    seed:
+        Random seed.
+    kwargs:
+        Forwarded to the specific generator (e.g. ``n_features``).
+    """
+    if name not in _GENERATORS:
+        raise DataError(
+            f"unknown synthetic dataset {name!r}; choose from {sorted(_GENERATORS)}"
+        )
+    return _GENERATORS[name](n_rows=n_rows, seed=seed, **kwargs)

@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics, experiment runners and plain-text reporting.
+
+These utilities are shared by the benchmark modules (one per figure/table of
+the paper) and by the examples.  They keep the benchmarks thin: each bench
+mostly wires a workload to :func:`repro.evaluation.experiments.run_accuracy_sweep`
+or a sibling runner and prints the resulting rows.
+"""
+
+from repro.evaluation.metrics import (
+    classification_accuracy,
+    generalization_error,
+    regression_r2,
+    model_agreement,
+)
+from repro.evaluation.experiments import (
+    SweepRecord,
+    run_accuracy_sweep,
+    run_baseline_comparison,
+    measure_full_training,
+)
+from repro.evaluation.reporting import format_table, percentile, summarize
+
+__all__ = [
+    "classification_accuracy",
+    "generalization_error",
+    "regression_r2",
+    "model_agreement",
+    "SweepRecord",
+    "run_accuracy_sweep",
+    "run_baseline_comparison",
+    "measure_full_training",
+    "format_table",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,53 @@
+"""Evaluation metrics used by the experiment harness.
+
+Two families of metrics appear in the paper's evaluation:
+
+* *model agreement* — how often the approximate model makes the same
+  prediction as the full model (this is ``1 − v(m_n)`` and is what the
+  "actual accuracy" columns of Table 5 report);
+* *generalisation error* — the error of a model on unseen labelled data
+  (Figure 8b), which Lemma 1 relates to the agreement guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+from repro.models.base import ModelClassSpec, TrainedModel
+
+
+def classification_accuracy(model: TrainedModel, dataset: Dataset) -> float:
+    """Fraction of correctly classified rows."""
+    if dataset.y is None:
+        raise DataError("classification accuracy needs labels")
+    predictions = model.predict(dataset.X)
+    return float(np.mean(predictions == dataset.y))
+
+
+def generalization_error(model: TrainedModel, dataset: Dataset) -> float:
+    """Misclassification rate on a labelled test set (Figure 8b metric)."""
+    return 1.0 - classification_accuracy(model, dataset)
+
+
+def regression_r2(model: TrainedModel, dataset: Dataset) -> float:
+    """Coefficient of determination R² of a regression model."""
+    if dataset.y is None:
+        raise DataError("R² needs labels")
+    predictions = model.predict(dataset.X)
+    residual = float(np.mean((predictions - dataset.y) ** 2))
+    variance = float(np.var(dataset.y))
+    if variance == 0:
+        return 0.0
+    return 1.0 - residual / variance
+
+
+def model_agreement(
+    spec: ModelClassSpec,
+    theta_approx: np.ndarray,
+    theta_full: np.ndarray,
+    dataset: Dataset,
+) -> float:
+    """The *actual accuracy* ``1 − v`` between an approximate and a full model."""
+    return 1.0 - spec.prediction_difference(theta_approx, theta_full, dataset)

@@ -1,0 +1,52 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks print rows in the same shape as the paper's raw-data tables
+(Appendix D); these helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0-100) of a sequence of floats."""
+    return float(np.percentile(np.asarray(list(values), dtype=np.float64), q))
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean and 5th/95th percentiles, matching the Table 5 columns."""
+    array = np.asarray(list(values), dtype=np.float64)
+    return {
+        "mean": float(array.mean()),
+        "p5": float(np.percentile(array, 5)),
+        "p95": float(np.percentile(array, 95)),
+    }
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render rows of dictionaries as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)

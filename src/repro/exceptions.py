@@ -1,0 +1,51 @@
+"""Exception hierarchy for the BlinkML reproduction.
+
+All library errors derive from :class:`BlinkMLError` so callers can catch a
+single base class.  Each subclass corresponds to one failure mode of the
+system described in the paper (invalid approximation contract, unsupported
+model configuration, optimisation failure, or an infeasible sample-size
+request).
+"""
+
+from __future__ import annotations
+
+
+class BlinkMLError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ContractError(BlinkMLError):
+    """Raised when an approximation contract (epsilon, delta) is invalid.
+
+    Examples include ``epsilon`` outside ``(0, 1)`` or ``delta`` outside
+    ``(0, 1)``.
+    """
+
+
+class ModelSpecError(BlinkMLError):
+    """Raised when a model class specification is mis-configured.
+
+    For instance a negative regularisation coefficient, a PPCA factor count
+    larger than the feature dimension, or labels that do not match the task
+    (non-binary labels passed to logistic regression).
+    """
+
+
+class OptimizationError(BlinkMLError):
+    """Raised when an optimizer fails to make progress.
+
+    The trainer treats non-finite losses or gradients as fatal; the error
+    message records the iteration at which the failure occurred.
+    """
+
+
+class SampleSizeError(BlinkMLError):
+    """Raised when no sample size in ``[n0, N]`` can satisfy the contract."""
+
+
+class DataError(BlinkMLError):
+    """Raised when a dataset is malformed (shape mismatch, empty split)."""
+
+
+class StatisticsError(BlinkMLError):
+    """Raised when the H/J statistics cannot be computed or factorised."""

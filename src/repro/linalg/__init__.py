@@ -1,0 +1,29 @@
+"""Linear-algebra substrate.
+
+BlinkML's scalability to high-dimensional data hinges on never materialising
+the d-by-d covariance matrix ``H^{-1} J H^{-1}`` (Sections 3.4 and 4.3).
+This subpackage holds the factored representation that makes this possible:
+
+* :class:`repro.linalg.covariance.FactoredCovariance` — the SVD-based
+  ``U, Σ`` factorisation of the per-example gradient matrix, the derived
+  transform ``L = U Λ`` with ``L Lᵀ = H⁻¹ J H⁻¹``, and dense reconstruction
+  helpers used for testing and for the ClosedForm / InverseGradients paths;
+* :mod:`repro.linalg.utils` — small shared helpers (safe Cholesky,
+  symmetrisation, dense multivariate-normal sampling).
+"""
+
+from repro.linalg.covariance import FactoredCovariance
+from repro.linalg.utils import (
+    symmetrize,
+    safe_cholesky,
+    sample_multivariate_normal,
+    frobenius_distance,
+)
+
+__all__ = [
+    "FactoredCovariance",
+    "symmetrize",
+    "safe_cholesky",
+    "sample_multivariate_normal",
+    "frobenius_distance",
+]

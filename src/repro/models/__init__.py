@@ -1,0 +1,35 @@
+"""Model class specifications (MCS).
+
+The MCS is the abstraction that keeps BlinkML's estimators generic
+(Section 2.2): every supported model exposes its per-example gradients
+(``grads``) and a prediction-difference function (``diff``), plus the loss
+and prediction functions needed by the trainer and by the evaluation
+harness.
+
+Supported model classes (Section 5.1):
+
+* :class:`repro.models.linear_regression.LinearRegressionSpec` (Lin)
+* :class:`repro.models.logistic_regression.LogisticRegressionSpec` (LR)
+* :class:`repro.models.max_entropy.MaxEntropySpec` (ME)
+* :class:`repro.models.ppca.PPCASpec` (PPCA)
+"""
+
+from repro.models.base import ModelClassSpec, TrainedModel
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.poisson_regression import PoissonRegressionSpec
+from repro.models.ppca import PPCASpec
+from repro.models.registry import get_model_spec, available_models
+
+__all__ = [
+    "ModelClassSpec",
+    "TrainedModel",
+    "LinearRegressionSpec",
+    "LogisticRegressionSpec",
+    "MaxEntropySpec",
+    "PoissonRegressionSpec",
+    "PPCASpec",
+    "get_model_spec",
+    "available_models",
+]

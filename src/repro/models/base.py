@@ -1,0 +1,218 @@
+"""Model class specification (MCS) base class.
+
+Section 2.2 of the paper defines the MCS as the minimal interface BlinkML
+needs from a model family:
+
+* ``grads`` — the list of per-example gradients ``q(θ; x_i, y_i) + r(θ)``
+  (Equation (3)); BlinkML needs the individual values, not just their
+  average, because ObservedFisher estimates the gradient covariance J from
+  them;
+* ``diff`` — the prediction difference between two parameter vectors on the
+  holdout set, which is the quantity ``v(m_n)`` that the approximation
+  contract bounds.
+
+On top of those two, this implementation adds the pieces any real library
+needs: the training objective (so the Model Trainer can run), predictions,
+and a closed-form Hessian where one exists (so the ClosedForm statistics
+method of Section 3.4 can be exercised).
+
+Parameters are always exchanged as flat 1-D vectors; models that are
+naturally matrix-shaped (max-entropy, PPCA) flatten and unflatten internally,
+exactly as the paper describes in Appendix A.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.optim.base import Objective
+from repro.optim.driver import minimize
+from repro.optim.result import OptimizationResult
+
+
+class ModelClassSpec(ABC):
+    """Abstract base class for every supported model family."""
+
+    #: one of "regression", "binary", "multiclass", "unsupervised"
+    task: str = "regression"
+    #: short name used by the registry and in reports (e.g. "lr")
+    name: str = "model"
+
+    def __init__(self, regularization: float = 0.0):
+        if regularization < 0:
+            raise ModelSpecError("regularization coefficient must be non-negative")
+        self.regularization = float(regularization)
+
+    # ------------------------------------------------------------------
+    # Parameter bookkeeping
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def n_parameters(self, dataset: Dataset) -> int:
+        """Dimension of the flattened parameter vector θ for this dataset."""
+
+    def initial_parameters(self, dataset: Dataset, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Deterministic-by-default starting point for the optimizer."""
+        del rng
+        return np.zeros(self.n_parameters(dataset))
+
+    # ------------------------------------------------------------------
+    # MLE objective pieces (Equations (1)-(3))
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def loss(self, theta: np.ndarray, dataset: Dataset) -> float:
+        """The objective ``f_n(θ)``: average negative log-likelihood + R(θ)."""
+
+    @abstractmethod
+    def per_example_gradients(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """The ``(n, p)`` matrix whose i-th row is ``q(θ; x_i, y_i)``.
+
+        These are the *unregularised* per-example gradients; the regulariser
+        gradient ``r(θ)`` is added separately (it does not vary across
+        examples and therefore contributes nothing to the covariance J).
+        """
+
+    def regularizer_gradient(self, theta: np.ndarray) -> np.ndarray:
+        """``r(θ) = ∇R(θ)``; L2 by default: ``βθ``."""
+        return self.regularization * np.asarray(theta, dtype=np.float64)
+
+    def gradient(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """The full gradient ``g_n(θ)`` = mean per-example gradient + r(θ)."""
+        per_example = self.per_example_gradients(theta, dataset)
+        return per_example.mean(axis=0) + self.regularizer_gradient(theta)
+
+    def grads(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """The MCS ``grads`` function from Section 2.2.
+
+        Returns the list of ``q(θ; x_i, y_i) + r(θ)`` for i = 1..n as an
+        ``(n, p)`` matrix.
+        """
+        per_example = self.per_example_gradients(theta, dataset)
+        return per_example + self.regularizer_gradient(theta)[None, :]
+
+    def hessian(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Analytic Hessian of ``f_n`` (ClosedForm path).
+
+        Subclasses with a tractable closed form override this; others raise,
+        in which case BlinkML falls back to InverseGradients or
+        ObservedFisher, exactly as discussed in Section 3.4.
+        """
+        raise ModelSpecError(
+            f"{type(self).__name__} does not provide a closed-form Hessian"
+        )
+
+    @property
+    def has_closed_form_hessian(self) -> bool:
+        """Whether :meth:`hessian` is implemented for this model family."""
+        return type(self).hessian is not ModelClassSpec.hessian
+
+    # ------------------------------------------------------------------
+    # Prediction and the `diff` metric (Section 2.1, Appendix C)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Model predictions ``m(x; θ)`` for each row of ``X``."""
+
+    @abstractmethod
+    def prediction_difference(
+        self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset
+    ) -> float:
+        """The ``diff`` function: ``v`` between two parameter vectors.
+
+        Classification models return the disagreement probability on the
+        holdout set; regression returns the (normalised) RMS prediction
+        difference; PPCA returns ``1 − cosine(θ_a, θ_b)``.
+        """
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def objective(self, dataset: Dataset) -> Objective:
+        """Wrap this model + dataset pair as an optimizer objective."""
+        return _ModelObjective(self, dataset)
+
+    def fit(
+        self,
+        dataset: Dataset,
+        method: str | None = None,
+        theta0: np.ndarray | None = None,
+        **optimizer_kwargs,
+    ) -> TrainedModel:
+        """Train on ``dataset`` and return a :class:`TrainedModel`.
+
+        ``method`` follows :func:`repro.optim.minimize`; when ``None`` the
+        paper's dimension-based BFGS / L-BFGS rule is applied.
+        """
+        if theta0 is None:
+            theta0 = self.initial_parameters(dataset)
+        result = minimize(self.objective(dataset), theta0, method=method, **optimizer_kwargs)
+        return TrainedModel(spec=self, theta=result.theta, n_train=dataset.n_rows, optimization=result)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def validate_dataset(self, dataset: Dataset) -> None:
+        """Raise :class:`ModelSpecError` when the dataset does not fit the task."""
+        if self.task in {"regression", "binary", "multiclass"} and not dataset.is_supervised:
+            raise ModelSpecError(f"{self.name} requires labels but the dataset has none")
+
+    def describe(self) -> dict:
+        """Lightweight description used by reports."""
+        return {"model": self.name, "task": self.task, "regularization": self.regularization}
+
+
+class _ModelObjective(Objective):
+    """Adapter exposing a (spec, dataset) pair through the optimizer interface."""
+
+    def __init__(self, spec: ModelClassSpec, dataset: Dataset):
+        self._spec = spec
+        self._dataset = dataset
+
+    def value(self, theta: np.ndarray) -> float:
+        return self._spec.loss(theta, self._dataset)
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        return self._spec.gradient(theta, self._dataset)
+
+    def value_and_gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
+        return (
+            self._spec.loss(theta, self._dataset),
+            self._spec.gradient(theta, self._dataset),
+        )
+
+    def hessian(self, theta: np.ndarray) -> np.ndarray:
+        return self._spec.hessian(theta, self._dataset)
+
+
+@dataclass
+class TrainedModel:
+    """A fitted model: the spec plus the learned parameter vector.
+
+    This is what the coordinator returns (wrapped in an
+    :class:`repro.core.result.ApproximateTrainingResult`) and what the
+    baselines and the hyperparameter harness consume.
+    """
+
+    spec: ModelClassSpec
+    theta: np.ndarray
+    n_train: int
+    optimization: OptimizationResult | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predictions of the fitted model on a feature matrix."""
+        return self.spec.predict(self.theta, X)
+
+    def difference(self, other: TrainedModel, dataset: Dataset) -> float:
+        """Prediction difference ``v`` between this model and ``other``."""
+        if type(self.spec) is not type(other.spec):
+            raise ModelSpecError("cannot compare models from different model classes")
+        return self.spec.prediction_difference(self.theta, other.theta, dataset)
+
+    @property
+    def n_parameters(self) -> int:
+        return int(self.theta.shape[0])

@@ -1,0 +1,161 @@
+"""Max-entropy classifier (ME): multinomial / softmax logistic regression.
+
+Multiclass classification with labels in {0, …, K−1}.  Parameters form a
+K-by-d matrix Θ that is flattened to a vector when exchanged with the rest
+of the system (Appendix A notes that BlinkML internally passes flattened
+parameters).  The L2-regularised objective is
+
+    f_n(Θ) = −(1/n) Σ log softmax(Θ x_i)[y_i] + (β/2) ‖Θ‖²_F
+
+with per-example gradient (for class k):
+
+    q_k(Θ; x_i, y_i) = (softmax(Θ x_i)[k] − 1[y_i = k]) x_i
+
+The closed-form Hessian is a Kd-by-Kd block matrix
+``H[(k,l)] = (1/n) Σ p_ik (1[k=l] − p_il) x_i x_iᵀ + β 1[k=l] I``; it is
+provided for completeness (ClosedForm) but only used for small K·d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.models.base import ModelClassSpec
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-subtraction for stability."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class MaxEntropySpec(ModelClassSpec):
+    """L2-regularised max-entropy (multiclass softmax) classifier.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes K.  If ``None`` it is inferred from the training
+        labels the first time the spec sees a dataset.
+    regularization:
+        L2 coefficient β.
+    """
+
+    task = "multiclass"
+    name = "me"
+
+    def __init__(self, n_classes: int | None = None, regularization: float = 1e-3):
+        super().__init__(regularization=regularization)
+        if n_classes is not None and n_classes < 2:
+            raise ModelSpecError("a classifier needs at least two classes")
+        self.n_classes = n_classes
+
+    # ------------------------------------------------------------------
+    # Parameter bookkeeping
+    # ------------------------------------------------------------------
+    def _resolve_classes(self, dataset: Dataset) -> int:
+        if self.n_classes is not None:
+            return self.n_classes
+        if dataset.y is None:
+            raise ModelSpecError("cannot infer class count from an unlabelled dataset")
+        inferred = int(dataset.y.max()) + 1
+        self.n_classes = max(inferred, 2)
+        return self.n_classes
+
+    def n_parameters(self, dataset: Dataset) -> int:
+        return self._resolve_classes(dataset) * dataset.n_features
+
+    def reshape(self, theta: np.ndarray, n_features: int) -> np.ndarray:
+        """View the flat parameter vector as the (K, d) matrix Θ."""
+        if self.n_classes is None:
+            raise ModelSpecError("class count unknown; call n_parameters or fit first")
+        theta = np.asarray(theta, dtype=np.float64)
+        expected = self.n_classes * n_features
+        if theta.shape[0] != expected:
+            raise ModelSpecError(
+                f"parameter vector has length {theta.shape[0]}, expected {expected}"
+            )
+        return theta.reshape(self.n_classes, n_features)
+
+    def validate_dataset(self, dataset: Dataset) -> None:
+        super().validate_dataset(dataset)
+        if dataset.y is None:
+            return
+        if np.any(dataset.y < 0):
+            raise ModelSpecError("class labels must be non-negative integers")
+        if self.n_classes is not None and dataset.y.max() >= self.n_classes:
+            raise ModelSpecError(
+                f"label {int(dataset.y.max())} is outside the configured {self.n_classes} classes"
+            )
+
+    # ------------------------------------------------------------------
+    # Objective pieces
+    # ------------------------------------------------------------------
+    def loss(self, theta: np.ndarray, dataset: Dataset) -> float:
+        self.validate_dataset(dataset)
+        K = self._resolve_classes(dataset)
+        Theta = self.reshape(theta, dataset.n_features)
+        logits = dataset.X @ Theta.T
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=1))
+        correct = shifted[np.arange(dataset.n_rows), dataset.y.astype(np.intp)]
+        data_term = float(np.mean(log_norm - correct))
+        reg_term = 0.5 * self.regularization * float(theta @ theta)
+        del K
+        return data_term + reg_term
+
+    def per_example_gradients(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        self.validate_dataset(dataset)
+        K = self._resolve_classes(dataset)
+        Theta = self.reshape(theta, dataset.n_features)
+        probabilities = softmax(dataset.X @ Theta.T)  # (n, K)
+        indicator = np.zeros_like(probabilities)
+        indicator[np.arange(dataset.n_rows), dataset.y.astype(np.intp)] = 1.0
+        residual = probabilities - indicator  # (n, K)
+        # q_i is the outer product residual_i ⊗ x_i flattened to length K·d.
+        per_example = residual[:, :, None] * dataset.X[:, None, :]
+        return per_example.reshape(dataset.n_rows, K * dataset.n_features)
+
+    def hessian(self, theta: np.ndarray, dataset: Dataset) -> np.ndarray:
+        self.validate_dataset(dataset)
+        K = self._resolve_classes(dataset)
+        d = dataset.n_features
+        Theta = self.reshape(theta, d)
+        probabilities = softmax(dataset.X @ Theta.T)
+        n = dataset.n_rows
+        H = np.zeros((K * d, K * d))
+        for k in range(K):
+            for l in range(K):
+                weights = probabilities[:, k] * ((1.0 if k == l else 0.0) - probabilities[:, l])
+                block = dataset.X.T @ (dataset.X * weights[:, None]) / n
+                # Note the sign: d/dΘ_l of (p_k − 1[y=k]) x is p_k(1[k=l] − p_l) x xᵀ.
+                H[k * d : (k + 1) * d, l * d : (l + 1) * d] = block
+        H += self.regularization * np.eye(K * d)
+        return H
+
+    # ------------------------------------------------------------------
+    # Prediction and diff
+    # ------------------------------------------------------------------
+    def predict_proba(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        Theta = self.reshape(theta, X.shape[1])
+        return softmax(X @ Theta.T)
+
+    def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(theta, X), axis=1).astype(np.int64)
+
+    def prediction_difference(
+        self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset
+    ) -> float:
+        predictions_a = self.predict(theta_a, dataset.X)
+        predictions_b = self.predict(theta_b, dataset.X)
+        return float(np.mean(predictions_a != predictions_b))
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description["n_classes"] = self.n_classes
+        return description

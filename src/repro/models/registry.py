@@ -1,0 +1,52 @@
+"""Registry mapping short model names to their specifications.
+
+The benchmark harness and the examples refer to models by the abbreviations
+the paper uses (Lin, LR, ME, PPCA); this module resolves them.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelSpecError
+from repro.models.base import ModelClassSpec
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.poisson_regression import PoissonRegressionSpec
+from repro.models.ppca import PPCASpec
+
+_REGISTRY: dict[str, type[ModelClassSpec]] = {
+    "lin": LinearRegressionSpec,
+    "linear_regression": LinearRegressionSpec,
+    "lr": LogisticRegressionSpec,
+    "logistic_regression": LogisticRegressionSpec,
+    "me": MaxEntropySpec,
+    "max_entropy": MaxEntropySpec,
+    "poisson": PoissonRegressionSpec,
+    "poisson_regression": PoissonRegressionSpec,
+    "ppca": PPCASpec,
+}
+
+
+def available_models() -> list[str]:
+    """Return the canonical short names of the supported model classes."""
+    return ["lin", "lr", "me", "poisson", "ppca"]
+
+
+def get_model_spec(name: str, **kwargs) -> ModelClassSpec:
+    """Instantiate a model class specification by name.
+
+    Parameters
+    ----------
+    name:
+        Case-insensitive model name: ``lin``, ``lr``, ``me``, ``ppca`` (or
+        their long forms).
+    kwargs:
+        Forwarded to the spec constructor (e.g. ``regularization=1e-3``,
+        ``n_factors=10``).
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ModelSpecError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    return _REGISTRY[key](**kwargs)

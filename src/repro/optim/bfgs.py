@@ -1,0 +1,95 @@
+"""Dense BFGS with strong-Wolfe line search.
+
+This is the optimizer the paper uses for low-dimensional datasets
+(Section 5.1, d < 100).  The inverse Hessian approximation is maintained
+explicitly, so memory is O(d²); use :class:`repro.optim.lbfgs.LBFGS` for
+high-dimensional problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_GRADIENT_TOLERANCE, DEFAULT_MAX_ITERATIONS
+from repro.optim.base import Objective, check_finite
+from repro.optim.line_search import wolfe_line_search
+from repro.optim.result import OptimizationResult
+
+
+class BFGS:
+    """Quasi-Newton BFGS maintaining an explicit inverse-Hessian estimate."""
+
+    def __init__(
+        self,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        gradient_tolerance: float = DEFAULT_GRADIENT_TOLERANCE,
+    ):
+        self.max_iterations = max_iterations
+        self.gradient_tolerance = gradient_tolerance
+
+    def minimize(self, objective: Objective, theta0: np.ndarray) -> OptimizationResult:
+        theta = np.asarray(theta0, dtype=np.float64).copy()
+        d = theta.shape[0]
+        inverse_hessian = np.eye(d)
+        value, gradient = objective.value_and_gradient(theta)
+        evaluations = 1
+        history = [value]
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            check_finite("objective value", value, iteration)
+            check_finite("gradient", gradient, iteration)
+            gradient_norm = float(np.max(np.abs(gradient)))
+            if gradient_norm <= self.gradient_tolerance:
+                return OptimizationResult(
+                    theta=theta,
+                    converged=True,
+                    n_iterations=iteration - 1,
+                    final_value=value,
+                    gradient_norm=gradient_norm,
+                    n_function_evaluations=evaluations,
+                    loss_history=history,
+                )
+
+            direction = -(inverse_hessian @ gradient)
+            if float(direction @ gradient) >= 0:
+                # Reset to steepest descent if the approximation degenerated.
+                inverse_hessian = np.eye(d)
+                direction = -gradient
+
+            search = wolfe_line_search(objective, theta, direction, value, gradient)
+            evaluations += search.n_evaluations
+            if not search.success or search.step_size <= 0:
+                break
+
+            step = search.step_size * direction
+            new_theta = theta + step
+            if search.gradient is not None:
+                new_value, new_gradient = search.value, search.gradient
+            else:
+                new_value, new_gradient = objective.value_and_gradient(new_theta)
+                evaluations += 1
+
+            s = new_theta - theta
+            y = new_gradient - gradient
+            sy = float(s @ y)
+            if sy > 1e-12 * float(np.linalg.norm(s) * np.linalg.norm(y) + 1e-300):
+                rho = 1.0 / sy
+                identity = np.eye(d)
+                left = identity - rho * np.outer(s, y)
+                right = identity - rho * np.outer(y, s)
+                inverse_hessian = left @ inverse_hessian @ right + rho * np.outer(s, s)
+
+            theta, value, gradient = new_theta, new_value, new_gradient
+            history.append(value)
+
+        gradient_norm = float(np.max(np.abs(gradient)))
+        return OptimizationResult(
+            theta=theta,
+            converged=gradient_norm <= self.gradient_tolerance,
+            n_iterations=iteration,
+            final_value=value,
+            gradient_norm=gradient_norm,
+            n_function_evaluations=evaluations,
+            loss_history=history,
+        )

@@ -1,0 +1,70 @@
+"""Dispatcher that picks an optimizer the way the paper's trainer does.
+
+Section 5.1: "BlinkML is configured to use the BFGS optimization algorithm
+for low-dimensional datasets (d < 100) and to use a memory-efficient
+alternative, called L-BFGS, for high-dimensional datasets (d >= 100)."
+:func:`optimizer_for_dimension` encodes exactly that rule, and
+:func:`minimize` is the single entry point the Model Trainer (and the rest
+of the library) goes through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BFGS_DIMENSION_THRESHOLD
+from repro.exceptions import OptimizationError
+from repro.optim.base import Objective
+from repro.optim.bfgs import BFGS
+from repro.optim.gradient_descent import GradientDescent
+from repro.optim.lbfgs import LBFGS
+from repro.optim.newton import NewtonMethod
+from repro.optim.result import OptimizationResult
+
+_METHODS = {
+    "gd": GradientDescent,
+    "newton": NewtonMethod,
+    "bfgs": BFGS,
+    "lbfgs": LBFGS,
+}
+
+
+def optimizer_for_dimension(dimension: int, **kwargs):
+    """Return a BFGS instance for small d and an L-BFGS instance otherwise."""
+    if dimension < BFGS_DIMENSION_THRESHOLD:
+        return BFGS(**kwargs)
+    return LBFGS(**kwargs)
+
+
+def minimize(
+    objective: Objective,
+    theta0: np.ndarray,
+    method: str | None = None,
+    **kwargs,
+) -> OptimizationResult:
+    """Minimise ``objective`` starting from ``theta0``.
+
+    Parameters
+    ----------
+    objective:
+        Any :class:`repro.optim.base.Objective`.
+    theta0:
+        Initial parameter vector.
+    method:
+        One of ``"gd"``, ``"newton"``, ``"bfgs"``, ``"lbfgs"`` or ``None``
+        to apply the paper's dimension-based rule.
+    kwargs:
+        Forwarded to the optimizer constructor (``max_iterations``,
+        ``gradient_tolerance``, ...).
+    """
+    theta0 = np.asarray(theta0, dtype=np.float64)
+    if method is None:
+        optimizer = optimizer_for_dimension(theta0.shape[0], **kwargs)
+    else:
+        key = method.lower().replace("-", "")
+        if key not in _METHODS:
+            raise OptimizationError(
+                f"unknown optimisation method {method!r}; choose from {sorted(_METHODS)}"
+            )
+        optimizer = _METHODS[key](**kwargs)
+    return optimizer.minimize(objective, theta0)

@@ -1,0 +1,83 @@
+"""Plain gradient descent with Armijo backtracking.
+
+Included as the simplest trainer and as a reference implementation against
+which the quasi-Newton methods are tested; it is rarely the right choice for
+the paper's workloads but is useful for debugging model gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_GRADIENT_TOLERANCE, DEFAULT_MAX_ITERATIONS
+from repro.optim.base import Objective, check_finite
+from repro.optim.line_search import backtracking_line_search
+from repro.optim.result import OptimizationResult
+
+
+class GradientDescent:
+    """Steepest descent with backtracking line search.
+
+    Parameters
+    ----------
+    max_iterations:
+        Iteration budget.
+    gradient_tolerance:
+        Convergence is declared when the infinity norm of the gradient drops
+        below this value.
+    initial_step:
+        First step size tried by the backtracking search at every iteration.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        gradient_tolerance: float = DEFAULT_GRADIENT_TOLERANCE,
+        initial_step: float = 1.0,
+    ):
+        self.max_iterations = max_iterations
+        self.gradient_tolerance = gradient_tolerance
+        self.initial_step = initial_step
+
+    def minimize(self, objective: Objective, theta0: np.ndarray) -> OptimizationResult:
+        theta = np.asarray(theta0, dtype=np.float64).copy()
+        value, gradient = objective.value_and_gradient(theta)
+        evaluations = 1
+        history = [value]
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            check_finite("objective value", value, iteration)
+            check_finite("gradient", gradient, iteration)
+            gradient_norm = float(np.max(np.abs(gradient)))
+            if gradient_norm <= self.gradient_tolerance:
+                return OptimizationResult(
+                    theta=theta,
+                    converged=True,
+                    n_iterations=iteration - 1,
+                    final_value=value,
+                    gradient_norm=gradient_norm,
+                    n_function_evaluations=evaluations,
+                    loss_history=history,
+                )
+            direction = -gradient
+            search = backtracking_line_search(
+                objective, theta, direction, value, gradient, initial_step=self.initial_step
+            )
+            evaluations += search.n_evaluations
+            if not search.success or search.step_size == 0.0:
+                break
+            theta = theta + search.step_size * direction
+            value, gradient = objective.value_and_gradient(theta)
+            evaluations += 1
+            history.append(value)
+
+        gradient_norm = float(np.max(np.abs(gradient)))
+        return OptimizationResult(
+            theta=theta,
+            converged=gradient_norm <= self.gradient_tolerance,
+            n_iterations=iteration,
+            final_value=value,
+            gradient_norm=gradient_norm,
+            n_function_evaluations=evaluations,
+            loss_history=history,
+        )

@@ -1,0 +1,127 @@
+"""Limited-memory BFGS (two-loop recursion).
+
+The memory-efficient alternative the paper uses when d >= 100
+(Section 5.1).  Only the last ``memory`` curvature pairs are stored, so the
+cost per iteration is O(memory * d) and the footprint never becomes
+quadratic in the number of features.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_GRADIENT_TOLERANCE,
+    DEFAULT_LBFGS_MEMORY,
+    DEFAULT_MAX_ITERATIONS,
+)
+from repro.optim.base import Objective, check_finite
+from repro.optim.line_search import wolfe_line_search
+from repro.optim.result import OptimizationResult
+
+
+class LBFGS:
+    """Limited-memory BFGS with strong-Wolfe line search."""
+
+    def __init__(
+        self,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        gradient_tolerance: float = DEFAULT_GRADIENT_TOLERANCE,
+        memory: int = DEFAULT_LBFGS_MEMORY,
+    ):
+        self.max_iterations = max_iterations
+        self.gradient_tolerance = gradient_tolerance
+        self.memory = memory
+
+    @staticmethod
+    def _two_loop_direction(
+        gradient: np.ndarray,
+        s_history: deque[np.ndarray],
+        y_history: deque[np.ndarray],
+        rho_history: deque[float],
+    ) -> np.ndarray:
+        """Compute ``-H_k g`` using the standard two-loop recursion."""
+        q = gradient.copy()
+        alphas: list[float] = []
+        for s, y, rho in zip(reversed(s_history), reversed(y_history), reversed(rho_history)):
+            alpha = rho * float(s @ q)
+            alphas.append(alpha)
+            q -= alpha * y
+        if s_history:
+            s_last, y_last = s_history[-1], y_history[-1]
+            gamma = float(s_last @ y_last) / max(float(y_last @ y_last), 1e-300)
+            q *= gamma
+        for (s, y, rho), alpha in zip(
+            zip(s_history, y_history, rho_history), reversed(alphas)
+        ):
+            beta = rho * float(y @ q)
+            q += (alpha - beta) * s
+        return -q
+
+    def minimize(self, objective: Objective, theta0: np.ndarray) -> OptimizationResult:
+        theta = np.asarray(theta0, dtype=np.float64).copy()
+        value, gradient = objective.value_and_gradient(theta)
+        evaluations = 1
+        history = [value]
+        s_history: deque[np.ndarray] = deque(maxlen=self.memory)
+        y_history: deque[np.ndarray] = deque(maxlen=self.memory)
+        rho_history: deque[float] = deque(maxlen=self.memory)
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            check_finite("objective value", value, iteration)
+            check_finite("gradient", gradient, iteration)
+            gradient_norm = float(np.max(np.abs(gradient)))
+            if gradient_norm <= self.gradient_tolerance:
+                return OptimizationResult(
+                    theta=theta,
+                    converged=True,
+                    n_iterations=iteration - 1,
+                    final_value=value,
+                    gradient_norm=gradient_norm,
+                    n_function_evaluations=evaluations,
+                    loss_history=history,
+                )
+
+            direction = self._two_loop_direction(gradient, s_history, y_history, rho_history)
+            if float(direction @ gradient) >= 0:
+                s_history.clear()
+                y_history.clear()
+                rho_history.clear()
+                direction = -gradient
+
+            search = wolfe_line_search(objective, theta, direction, value, gradient)
+            evaluations += search.n_evaluations
+            if not search.success or search.step_size <= 0:
+                break
+
+            new_theta = theta + search.step_size * direction
+            if search.gradient is not None:
+                new_value, new_gradient = search.value, search.gradient
+            else:
+                new_value, new_gradient = objective.value_and_gradient(new_theta)
+                evaluations += 1
+
+            s = new_theta - theta
+            y = new_gradient - gradient
+            sy = float(s @ y)
+            if sy > 1e-12 * float(np.linalg.norm(s) * np.linalg.norm(y) + 1e-300):
+                s_history.append(s)
+                y_history.append(y)
+                rho_history.append(1.0 / sy)
+
+            theta, value, gradient = new_theta, new_value, new_gradient
+            history.append(value)
+
+        gradient_norm = float(np.max(np.abs(gradient)))
+        return OptimizationResult(
+            theta=theta,
+            converged=gradient_norm <= self.gradient_tolerance,
+            n_iterations=iteration,
+            final_value=value,
+            gradient_norm=gradient_norm,
+            n_function_evaluations=evaluations,
+            loss_history=history,
+        )

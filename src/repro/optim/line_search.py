@@ -1,0 +1,129 @@
+"""Line searches used by the descent methods.
+
+Two strategies are provided:
+
+* :func:`backtracking_line_search` — Armijo backtracking, cheap and robust,
+  used by plain gradient descent and as a fallback;
+* :func:`wolfe_line_search` — a bracketing strong-Wolfe search (Nocedal &
+  Wright, Algorithm 3.5/3.6).  BFGS and L-BFGS require the curvature
+  condition so that their quasi-Newton updates stay positive definite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optim.base import Objective
+
+
+@dataclass
+class LineSearchResult:
+    """Step size chosen by a line search along a fixed descent direction."""
+
+    step_size: float
+    value: float
+    gradient: np.ndarray | None
+    n_evaluations: int
+    success: bool
+
+
+def backtracking_line_search(
+    objective: Objective,
+    theta: np.ndarray,
+    direction: np.ndarray,
+    value: float,
+    gradient: np.ndarray,
+    initial_step: float = 1.0,
+    shrink: float = 0.5,
+    armijo_c: float = 1e-4,
+    max_steps: int = 40,
+) -> LineSearchResult:
+    """Armijo backtracking: shrink the step until sufficient decrease holds."""
+    directional_derivative = float(gradient @ direction)
+    step = initial_step
+    evaluations = 0
+    for _ in range(max_steps):
+        candidate = theta + step * direction
+        candidate_value = objective.value(candidate)
+        evaluations += 1
+        if np.isfinite(candidate_value) and candidate_value <= value + armijo_c * step * directional_derivative:
+            return LineSearchResult(step, candidate_value, None, evaluations, True)
+        step *= shrink
+    return LineSearchResult(step, value, None, evaluations, False)
+
+
+def wolfe_line_search(
+    objective: Objective,
+    theta: np.ndarray,
+    direction: np.ndarray,
+    value: float,
+    gradient: np.ndarray,
+    initial_step: float = 1.0,
+    c1: float = 1e-4,
+    c2: float = 0.9,
+    max_steps: int = 25,
+    max_step_size: float = 1e8,
+) -> LineSearchResult:
+    """Strong-Wolfe line search (bracket + zoom).
+
+    Returns the gradient at the accepted point so callers can reuse it for
+    the next quasi-Newton update without an extra evaluation.
+    """
+    phi0 = value
+    dphi0 = float(gradient @ direction)
+    evaluations = 0
+
+    def phi(alpha: float) -> tuple[float, np.ndarray]:
+        nonlocal evaluations
+        candidate_value, candidate_gradient = objective.value_and_gradient(theta + alpha * direction)
+        evaluations += 1
+        return candidate_value, candidate_gradient
+
+    if dphi0 >= 0:
+        # Not a descent direction; signal failure so the caller can reset.
+        return LineSearchResult(0.0, value, gradient, evaluations, False)
+
+    def zoom(alpha_lo: float, alpha_hi: float, value_lo: float) -> LineSearchResult:
+        nonlocal evaluations
+        best = LineSearchResult(alpha_lo, value_lo, None, evaluations, False)
+        for _ in range(max_steps):
+            alpha = 0.5 * (alpha_lo + alpha_hi)
+            candidate_value, candidate_gradient = phi(alpha)
+            dphi = float(candidate_gradient @ direction)
+            if (not np.isfinite(candidate_value)) or candidate_value > phi0 + c1 * alpha * dphi0 or candidate_value >= value_lo:
+                alpha_hi = alpha
+            else:
+                if abs(dphi) <= -c2 * dphi0:
+                    return LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+                if dphi * (alpha_hi - alpha_lo) >= 0:
+                    alpha_hi = alpha_lo
+                alpha_lo = alpha
+                value_lo = candidate_value
+                best = LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+            if abs(alpha_hi - alpha_lo) < 1e-14:
+                break
+        return best
+
+    previous_alpha = 0.0
+    previous_value = phi0
+    alpha = min(initial_step, max_step_size)
+    for iteration in range(max_steps):
+        candidate_value, candidate_gradient = phi(alpha)
+        if (not np.isfinite(candidate_value)) or candidate_value > phi0 + c1 * alpha * dphi0 or (
+            iteration > 0 and candidate_value >= previous_value
+        ):
+            return zoom(previous_alpha, alpha, previous_value)
+        dphi = float(candidate_gradient @ direction)
+        if abs(dphi) <= -c2 * dphi0:
+            return LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+        if dphi >= 0:
+            return zoom(alpha, previous_alpha, candidate_value)
+        previous_alpha = alpha
+        previous_value = candidate_value
+        alpha = min(2.0 * alpha, max_step_size)
+
+    # Fall back to the last evaluated point; mark as unsuccessful so the
+    # caller can decide whether to accept the step anyway.
+    return LineSearchResult(previous_alpha, previous_value, None, evaluations, False)

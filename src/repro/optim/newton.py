@@ -1,0 +1,89 @@
+"""Damped Newton's method.
+
+Requires the objective to expose an analytic Hessian (the linear and
+logistic model classes do).  The step solves ``H p = -g``; a backtracking
+search damps the step when the full Newton step overshoots, and a small
+Levenberg-Marquardt style diagonal boost is applied when the Hessian solve
+fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_GRADIENT_TOLERANCE, DEFAULT_MAX_ITERATIONS
+from repro.optim.base import Objective, check_finite
+from repro.optim.line_search import backtracking_line_search
+from repro.optim.result import OptimizationResult
+
+
+class NewtonMethod:
+    """Damped Newton with Hessian regularisation on solve failure."""
+
+    def __init__(
+        self,
+        max_iterations: int = 100,
+        gradient_tolerance: float = DEFAULT_GRADIENT_TOLERANCE,
+        damping: float = 1e-8,
+    ):
+        self.max_iterations = max_iterations
+        self.gradient_tolerance = gradient_tolerance
+        self.damping = damping
+
+    def _newton_direction(self, hessian: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        d = hessian.shape[0]
+        boost = 0.0
+        for _ in range(6):
+            try:
+                direction = np.linalg.solve(hessian + boost * np.eye(d), -gradient)
+                if np.all(np.isfinite(direction)) and float(direction @ gradient) < 0:
+                    return direction
+            except np.linalg.LinAlgError:
+                pass
+            boost = max(self.damping, boost * 10 if boost else self.damping)
+        # Fall back to steepest descent if the Hessian is hopeless.
+        return -gradient
+
+    def minimize(self, objective: Objective, theta0: np.ndarray) -> OptimizationResult:
+        theta = np.asarray(theta0, dtype=np.float64).copy()
+        value, gradient = objective.value_and_gradient(theta)
+        evaluations = 1
+        history = [value]
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            check_finite("objective value", value, iteration)
+            check_finite("gradient", gradient, iteration)
+            gradient_norm = float(np.max(np.abs(gradient)))
+            if gradient_norm <= self.gradient_tolerance:
+                return OptimizationResult(
+                    theta=theta,
+                    converged=True,
+                    n_iterations=iteration - 1,
+                    final_value=value,
+                    gradient_norm=gradient_norm,
+                    n_function_evaluations=evaluations,
+                    loss_history=history,
+                )
+            hessian = objective.hessian(theta)
+            direction = self._newton_direction(hessian, gradient)
+            search = backtracking_line_search(
+                objective, theta, direction, value, gradient, initial_step=1.0
+            )
+            evaluations += search.n_evaluations
+            if not search.success:
+                break
+            theta = theta + search.step_size * direction
+            value, gradient = objective.value_and_gradient(theta)
+            evaluations += 1
+            history.append(value)
+
+        gradient_norm = float(np.max(np.abs(gradient)))
+        return OptimizationResult(
+            theta=theta,
+            converged=gradient_norm <= self.gradient_tolerance,
+            n_iterations=iteration,
+            final_value=value,
+            gradient_norm=gradient_norm,
+            n_function_evaluations=evaluations,
+            loss_history=history,
+        )

@@ -1,0 +1,51 @@
+"""Result record returned by every optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a single optimisation run.
+
+    Attributes
+    ----------
+    theta:
+        The final parameter vector.
+    converged:
+        Whether the gradient-norm tolerance was reached before the iteration
+        budget ran out.
+    n_iterations:
+        Number of iterations performed.  Section 5.5 of the paper compares
+        iteration counts between full and approximate training; the
+        benchmark harness reads this field.
+    final_value:
+        Objective value at ``theta``.
+    gradient_norm:
+        Infinity norm of the gradient at ``theta``.
+    n_function_evaluations:
+        Total objective/gradient evaluations including line-search probes.
+    loss_history:
+        Objective value at the start of every iteration (useful for
+        convergence plots and for asserting monotone decrease in tests).
+    """
+
+    theta: np.ndarray
+    converged: bool
+    n_iterations: int
+    final_value: float
+    gradient_norm: float
+    n_function_evaluations: int = 0
+    loss_history: list[float] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        status = "converged" if self.converged else "did NOT converge"
+        return (
+            f"{status} after {self.n_iterations} iterations "
+            f"(f={self.final_value:.6g}, |g|inf={self.gradient_norm:.3g}, "
+            f"{self.n_function_evaluations} evaluations)"
+        )

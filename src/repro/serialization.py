@@ -1,0 +1,116 @@
+"""Saving and loading trained models and training results.
+
+A model trained under an approximation contract is only useful if it can be
+persisted together with the contract it was trained under and the sample
+size it consumed — otherwise a downstream consumer cannot tell an exact
+model from an approximate one.  This module stores exactly that:
+
+* the model class name and its constructor arguments (from ``describe()``),
+* the flattened parameter vector,
+* the contract, sample sizes and estimated accuracy when a full
+  :class:`~repro.core.result.ApproximateTrainingResult` is saved.
+
+The format is a single ``.npz`` file (NumPy archive) holding the parameter
+vector plus a JSON-encoded metadata blob, so no extra dependencies are
+needed and the file stays portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.contract import ApproximationContract
+from repro.core.result import ApproximateTrainingResult
+from repro.exceptions import BlinkMLError
+from repro.models.base import TrainedModel
+from repro.models.registry import get_model_spec
+
+_FORMAT_VERSION = 1
+
+#: constructor arguments worth round-tripping, per model class name.
+_SPEC_KWARG_KEYS = {
+    "lin": ("regularization", "noise_variance", "normalize_difference"),
+    "lr": ("regularization",),
+    "me": ("regularization", "n_classes"),
+    "poisson": ("regularization", "normalize_difference"),
+    "ppca": ("regularization", "n_factors", "sigma2"),
+}
+
+
+def _spec_metadata(model: TrainedModel) -> dict:
+    description = model.spec.describe()
+    name = description["model"]
+    if name not in _SPEC_KWARG_KEYS:
+        raise BlinkMLError(
+            f"model class {name!r} is not registered for serialisation"
+        )
+    kwargs = {key: description[key] for key in _SPEC_KWARG_KEYS[name] if key in description}
+    return {"model": name, "kwargs": kwargs}
+
+
+def save_model(path: str | Path, model: TrainedModel, extra_metadata: dict | None = None) -> Path:
+    """Persist a trained model to ``path`` (``.npz``)."""
+    path = Path(path)
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "spec": _spec_metadata(model),
+        "n_train": model.n_train,
+        "extra": extra_metadata or {},
+    }
+    np.savez(path, theta=model.theta, metadata=json.dumps(metadata))
+    # np.savez appends .npz when missing; report the real location.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path: str | Path) -> TrainedModel:
+    """Load a model previously written by :func:`save_model` or :func:`save_result`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise BlinkMLError(f"model file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        theta = np.asarray(archive["theta"], dtype=np.float64)
+        metadata = json.loads(str(archive["metadata"]))
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise BlinkMLError(
+            f"unsupported model file version: {metadata.get('format_version')!r}"
+        )
+    spec_info = metadata["spec"]
+    spec = get_model_spec(spec_info["model"], **spec_info["kwargs"])
+    return TrainedModel(
+        spec=spec,
+        theta=theta,
+        n_train=int(metadata["n_train"]),
+        metadata=metadata.get("extra", {}),
+    )
+
+
+def save_result(path: str | Path, result: ApproximateTrainingResult) -> Path:
+    """Persist an approximate-training result (model + contract + provenance)."""
+    extra = {
+        "contract": {"epsilon": result.contract.epsilon, "delta": result.contract.delta},
+        "estimated_epsilon": result.estimated_epsilon,
+        "sample_size": result.sample_size,
+        "initial_sample_size": result.initial_sample_size,
+        "full_size": result.full_size,
+        "used_initial_model": result.used_initial_model,
+        "timings": result.timings.as_dict(),
+    }
+    return save_model(path, result.model, extra_metadata=extra)
+
+
+def load_result_metadata(path: str | Path) -> tuple[TrainedModel, ApproximationContract, dict]:
+    """Load a saved result: the model, its contract and the provenance record."""
+    model = load_model(path)
+    provenance = dict(model.metadata)
+    contract_info = provenance.get("contract")
+    if contract_info is None:
+        raise BlinkMLError("file does not contain an approximate-training result")
+    contract = ApproximationContract(
+        epsilon=float(contract_info["epsilon"]), delta=float(contract_info["delta"])
+    )
+    return model, contract, provenance

@@ -1,0 +1,215 @@
+"""Estimator-style wrappers around the BlinkML coordinator.
+
+The paper's conclusion announces wrappers for popular ML libraries
+(scikit-learn, glm, MLlib).  This module provides the scikit-learn-shaped
+one: classes with ``fit(X, y)`` / ``predict(X)`` / ``score(X, y)`` whose
+constructor takes the approximation contract, so existing pipelines can
+switch to approximate training by swapping the estimator class.
+
+The wrappers do not depend on scikit-learn itself (the library has no such
+dependency); they simply follow its calling conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DEFAULT_INITIAL_SAMPLE_SIZE, DEFAULT_NUM_PARAMETER_SAMPLES
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.core.result import ApproximateTrainingResult
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.exceptions import BlinkMLError, ModelSpecError
+from repro.models.registry import get_model_spec
+
+
+class BlinkMLEstimator:
+    """Base class for the scikit-learn-style wrappers.
+
+    Parameters
+    ----------
+    model:
+        Registry name of the model class (``lin``, ``lr``, ``me``,
+        ``poisson``, ``ppca``).
+    accuracy:
+        Requested accuracy ``1 − ε`` of the approximation contract.
+    delta:
+        Violation probability of the contract.
+    holdout_fraction:
+        Fraction of the supplied training data reserved (internally) for the
+        accuracy estimator's holdout set.
+    initial_sample_size / n_parameter_samples / seed / statistics_method:
+        Forwarded to :class:`repro.core.coordinator.BlinkML`.
+    model_kwargs:
+        Forwarded to the model spec constructor (e.g. ``regularization``).
+    """
+
+    def __init__(
+        self,
+        model: str,
+        accuracy: float = 0.95,
+        delta: float = 0.05,
+        holdout_fraction: float = 0.1,
+        initial_sample_size: int = DEFAULT_INITIAL_SAMPLE_SIZE,
+        n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,
+        seed: int | None = None,
+        statistics_method: str = "observed_fisher",
+        **model_kwargs,
+    ):
+        self.model = model
+        self.accuracy = accuracy
+        self.delta = delta
+        self.holdout_fraction = holdout_fraction
+        self.initial_sample_size = initial_sample_size
+        self.n_parameter_samples = n_parameter_samples
+        self.seed = seed
+        self.statistics_method = statistics_method
+        self.model_kwargs = model_kwargs
+
+        self.spec_ = None
+        self.result_: ApproximateTrainingResult | None = None
+
+    # ------------------------------------------------------------------
+    def _make_dataset(self, X: np.ndarray, y: np.ndarray | None) -> Dataset:
+        return Dataset(np.asarray(X, dtype=np.float64), y)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLEstimator":
+        """Train an approximate model satisfying the configured contract."""
+        self.spec_ = get_model_spec(self.model, **self.model_kwargs)
+        dataset = self._make_dataset(X, y)
+        # Reserve a holdout slice for the accuracy estimator; no test split
+        # is needed because scoring is the caller's business.
+        splits = train_holdout_test_split(
+            dataset,
+            SplitSpec(holdout_fraction=self.holdout_fraction, test_fraction=0.01),
+            rng=np.random.default_rng(self.seed),
+        )
+        trainer = BlinkML(
+            self.spec_,
+            initial_sample_size=self.initial_sample_size,
+            n_parameter_samples=self.n_parameter_samples,
+            statistics_method=self.statistics_method,
+            seed=self.seed,
+        )
+        contract = ApproximationContract.from_accuracy(self.accuracy, delta=self.delta)
+        self.result_ = trainer.train(splits.train, splits.holdout, contract)
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> ApproximateTrainingResult:
+        if self.result_ is None:
+            raise BlinkMLError("estimator is not fitted; call fit(X, y) first")
+        return self.result_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predictions of the fitted approximate model."""
+        result = self._check_fitted()
+        return result.model.predict(np.asarray(X, dtype=np.float64))
+
+    @property
+    def estimated_accuracy_(self) -> float:
+        """The fitted model's estimated agreement with the (untrained) full model."""
+        return self._check_fitted().estimated_accuracy
+
+    @property
+    def sample_size_(self) -> int:
+        """Number of training rows the fitted model consumed."""
+        return self._check_fitted().sample_size
+
+    def get_params(self, deep: bool = True) -> dict:
+        """scikit-learn-compatible parameter introspection."""
+        del deep
+        params = {
+            "model": self.model,
+            "accuracy": self.accuracy,
+            "delta": self.delta,
+            "holdout_fraction": self.holdout_fraction,
+            "initial_sample_size": self.initial_sample_size,
+            "n_parameter_samples": self.n_parameter_samples,
+            "seed": self.seed,
+            "statistics_method": self.statistics_method,
+        }
+        params.update(self.model_kwargs)
+        return params
+
+    def set_params(self, **params) -> "BlinkMLEstimator":
+        """scikit-learn-compatible parameter update."""
+        for key, value in params.items():
+            if hasattr(self, key):
+                setattr(self, key, value)
+            else:
+                self.model_kwargs[key] = value
+        return self
+
+
+class BlinkMLClassifier(BlinkMLEstimator):
+    """Approximate classifier (logistic regression or max-entropy)."""
+
+    def __init__(self, model: str = "lr", **kwargs):
+        super().__init__(model=model, **kwargs)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLClassifier":
+        if y is None:
+            raise ModelSpecError("a classifier requires labels")
+        super().fit(X, np.asarray(y))
+        if self.spec_.task not in {"binary", "multiclass"}:
+            raise ModelSpecError(f"model {self.model!r} is not a classifier")
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities when the underlying model exposes them."""
+        result = self._check_fitted()
+        spec = result.model.spec
+        if not hasattr(spec, "predict_proba"):
+            raise ModelSpecError(f"model {self.model!r} has no probability output")
+        return spec.predict_proba(result.model.theta, np.asarray(X, dtype=np.float64))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean classification accuracy."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+
+class BlinkMLRegressor(BlinkMLEstimator):
+    """Approximate regressor (linear or Poisson regression)."""
+
+    def __init__(self, model: str = "lin", **kwargs):
+        super().__init__(model=model, **kwargs)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLRegressor":
+        if y is None:
+            raise ModelSpecError("a regressor requires targets")
+        super().fit(X, np.asarray(y, dtype=np.float64))
+        if self.spec_.task != "regression":
+            raise ModelSpecError(f"model {self.model!r} is not a regressor")
+        return self
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R² of the predictions."""
+        y = np.asarray(y, dtype=np.float64)
+        predictions = self.predict(X)
+        residual = float(np.sum((y - predictions) ** 2))
+        total = float(np.sum((y - y.mean()) ** 2))
+        if total == 0:
+            return 0.0
+        return 1.0 - residual / total
+
+
+class BlinkMLTransformer(BlinkMLEstimator):
+    """Approximate unsupervised transformer (PPCA)."""
+
+    def __init__(self, model: str = "ppca", **kwargs):
+        super().__init__(model=model, **kwargs)
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLTransformer":
+        super().fit(X, None)
+        if self.spec_.task != "unsupervised":
+            raise ModelSpecError(f"model {self.model!r} is not an unsupervised model")
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Latent scores of each row under the fitted factor model."""
+        return self.predict(X)
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

@@ -1,0 +1,23 @@
+"""Hyperparameter-optimisation harness (Section 5.7).
+
+The paper's Figure 10 experiment runs Random Search over pairs of a random
+feature subset and a regularisation coefficient, training either full models
+(traditional approach) or 95 %-accurate BlinkML models for each candidate.
+This subpackage provides:
+
+* :class:`repro.tuning.search_space.SearchSpace` — the candidate generator
+  (feature subsets × log-uniform regularisation);
+* :class:`repro.tuning.random_search.RandomSearch` — the driver that trains
+  and scores each candidate with either strategy under a time budget.
+"""
+
+from repro.tuning.search_space import HyperparameterCandidate, SearchSpace
+from repro.tuning.random_search import RandomSearch, SearchTrial, SearchResult
+
+__all__ = [
+    "HyperparameterCandidate",
+    "SearchSpace",
+    "RandomSearch",
+    "SearchTrial",
+    "SearchResult",
+]

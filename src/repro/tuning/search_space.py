@@ -1,0 +1,96 @@
+"""Hyperparameter search space: random feature subsets × regularisation.
+
+Mirrors the Section 5.7 setup: "we first generated a sequence of (pairs of)
+a randomly chosen feature set and a regularization coefficient".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelSpecError
+
+
+@dataclass(frozen=True)
+class HyperparameterCandidate:
+    """One point of the search space.
+
+    Attributes
+    ----------
+    feature_indices:
+        The feature columns this candidate trains on.
+    regularization:
+        The L2 coefficient β for this candidate.
+    index:
+        Position of the candidate in the generated sequence (both search
+        strategies consume the same sequence, as in the paper, so results
+        are comparable per index).
+    """
+
+    feature_indices: tuple[int, ...]
+    regularization: float
+    index: int
+
+
+class SearchSpace:
+    """Generates a reproducible sequence of hyperparameter candidates.
+
+    Parameters
+    ----------
+    n_features:
+        Total number of available features.
+    min_features / max_features:
+        Bounds on the size of the sampled feature subsets.
+    log_reg_range:
+        Regularisation coefficients are drawn log-uniformly from
+        ``10**log_reg_range[0]`` to ``10**log_reg_range[1]``.
+    seed:
+        Seed for the candidate sequence.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        min_features: int | None = None,
+        max_features: int | None = None,
+        log_reg_range: tuple[float, float] = (-4.0, 0.0),
+        seed: int | None = 0,
+    ):
+        if n_features < 1:
+            raise ModelSpecError("search space needs at least one feature")
+        self.n_features = int(n_features)
+        self.min_features = int(min_features) if min_features else max(1, n_features // 4)
+        self.max_features = int(max_features) if max_features else n_features
+        if not 1 <= self.min_features <= self.max_features <= self.n_features:
+            raise ModelSpecError(
+                "feature-subset bounds must satisfy 1 <= min <= max <= n_features"
+            )
+        if log_reg_range[0] > log_reg_range[1]:
+            raise ModelSpecError("log_reg_range must be (low, high) with low <= high")
+        self.log_reg_range = (float(log_reg_range[0]), float(log_reg_range[1]))
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, n_candidates: int) -> list[HyperparameterCandidate]:
+        """Draw ``n_candidates`` candidates (a fresh, reproducible sequence)."""
+        if n_candidates < 1:
+            raise ModelSpecError("must request at least one candidate")
+        candidates = []
+        for index in range(n_candidates):
+            subset_size = int(self._rng.integers(self.min_features, self.max_features + 1))
+            features = tuple(
+                int(i)
+                for i in np.sort(
+                    self._rng.choice(self.n_features, size=subset_size, replace=False)
+                )
+            )
+            log_reg = self._rng.uniform(*self.log_reg_range)
+            candidates.append(
+                HyperparameterCandidate(
+                    feature_indices=features,
+                    regularization=float(10.0**log_reg),
+                    index=index,
+                )
+            )
+        return candidates

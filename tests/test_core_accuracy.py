@@ -1,0 +1,102 @@
+"""Tests for the Model Accuracy Estimator (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
+from repro.core.parameter_sampler import ParameterSampler
+from repro.core.statistics import compute_statistics
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.exceptions import ContractError
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+@pytest.fixture(scope="module")
+def logistic_setup():
+    rng = np.random.default_rng(30)
+    X = rng.normal(size=(30_000, 5))
+    theta_true = np.array([1.5, -1.0, 0.5, 0.0, 2.0])
+    y = (rng.uniform(size=30_000) < 1 / (1 + np.exp(-X @ theta_true))).astype(int)
+    splits = train_holdout_test_split(
+        Dataset(X, y), SplitSpec(0.1, 0.1), rng=np.random.default_rng(0)
+    )
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    return spec, splits
+
+
+def estimate_for_sample_size(spec, splits, n, k=96, delta=0.05):
+    rng = np.random.default_rng(7)
+    idx = rng.choice(splits.train.n_rows, size=n, replace=False)
+    sample = splits.train.take(idx)
+    model = spec.fit(sample)
+    stats = compute_statistics(spec, model.theta, sample)
+    estimator = ModelAccuracyEstimator(spec, splits.holdout, n_parameter_samples=k)
+    return estimator.estimate(
+        model.theta, n=n, N=splits.train.n_rows, delta=delta, statistics=stats
+    ), model
+
+
+class TestEstimator:
+    def test_estimate_fields(self, logistic_setup):
+        spec, splits = logistic_setup
+        estimate, _ = estimate_for_sample_size(spec, splits, 1000)
+        assert isinstance(estimate, AccuracyEstimate)
+        assert 0.0 <= estimate.epsilon <= 1.0
+        assert estimate.estimated_accuracy == pytest.approx(1 - estimate.epsilon)
+        assert estimate.sampled_differences.shape == (96,)
+        assert estimate.estimation_seconds >= 0.0
+
+    def test_epsilon_shrinks_with_sample_size(self, logistic_setup):
+        spec, splits = logistic_setup
+        small, _ = estimate_for_sample_size(spec, splits, 500)
+        large, _ = estimate_for_sample_size(spec, splits, 8000)
+        assert large.epsilon < small.epsilon
+
+    def test_epsilon_zero_when_n_equals_N(self, logistic_setup):
+        spec, splits = logistic_setup
+        N = splits.train.n_rows
+        model = spec.fit(splits.train)
+        stats = compute_statistics(spec, model.theta, splits.train)
+        estimator = ModelAccuracyEstimator(spec, splits.holdout, n_parameter_samples=16)
+        estimate = estimator.estimate(model.theta, n=N, N=N, delta=0.05, statistics=stats)
+        assert estimate.epsilon == 0.0
+
+    def test_estimate_bound_holds_against_actual_full_model(self, logistic_setup):
+        """The reported ε must (with margin) cover the true model difference."""
+        spec, splits = logistic_setup
+        estimate, approx_model = estimate_for_sample_size(spec, splits, 2000, k=128)
+        full_model = spec.fit(splits.train)
+        actual_difference = spec.prediction_difference(
+            approx_model.theta, full_model.theta, splits.holdout
+        )
+        # The conservative bound should not be violated (this is the
+        # guarantee Figure 6 validates statistically; a single draw failing
+        # would be a 5%-probability event, so allow a small tolerance).
+        assert actual_difference <= estimate.epsilon + 0.02
+
+    def test_sampler_sharing(self, logistic_setup):
+        spec, splits = logistic_setup
+        rng = np.random.default_rng(9)
+        idx = rng.choice(splits.train.n_rows, size=1500, replace=False)
+        sample = splits.train.take(idx)
+        model = spec.fit(sample)
+        stats = compute_statistics(spec, model.theta, sample)
+        shared_sampler = ParameterSampler(stats, rng=np.random.default_rng(1))
+        estimator = ModelAccuracyEstimator(spec, splits.holdout, n_parameter_samples=32)
+        a = estimator.estimate(
+            model.theta, n=1500, N=splits.train.n_rows, delta=0.05,
+            statistics=stats, sampler=shared_sampler,
+        )
+        b = estimator.estimate(
+            model.theta, n=1500, N=splits.train.n_rows, delta=0.05,
+            statistics=stats, sampler=shared_sampler,
+        )
+        # The shared sampler caches its base draws, so repeated estimates
+        # are deterministic.
+        np.testing.assert_allclose(a.sampled_differences, b.sampled_differences)
+
+    def test_rejects_too_few_samples(self, logistic_setup):
+        spec, splits = logistic_setup
+        with pytest.raises(ContractError):
+            ModelAccuracyEstimator(spec, splits.holdout, n_parameter_samples=1)

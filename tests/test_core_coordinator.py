@@ -1,0 +1,149 @@
+"""Tests for the BlinkML coordinator (Section 2.3 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.exceptions import DataError
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.ppca import PPCASpec
+from repro.data.synthetic import higgs_like, mnist_like
+
+
+@pytest.fixture(scope="module")
+def binary_splits_large():
+    data = higgs_like(n_rows=30_000, n_features=12, seed=50)
+    return train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(2))
+
+
+class TestWorkflow:
+    def test_returns_contract_satisfying_model(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=1000, n_parameter_samples=64, seed=0)
+        contract = ApproximationContract(epsilon=0.05, delta=0.05)
+        result = trainer.train(splits.train, splits.holdout, contract)
+
+        full = trainer.train_full(splits.train)
+        actual_difference = spec.prediction_difference(
+            result.model.theta, full.theta, splits.holdout
+        )
+        assert actual_difference <= contract.epsilon + 0.02
+        assert result.sample_size <= splits.train.n_rows
+        assert result.initial_sample_size == 1000
+        assert result.full_size == splits.train.n_rows
+
+    def test_loose_contract_returns_initial_model(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=1000, n_parameter_samples=64, seed=0)
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.4))
+        assert result.used_initial_model
+        assert result.sample_size == 1000
+        assert result.timings.final_training_seconds == 0.0
+
+    def test_tight_contract_uses_larger_sample(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=500, n_parameter_samples=64, seed=0)
+        loose = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.10))
+        tight = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.02))
+        assert tight.sample_size >= loose.sample_size
+
+    def test_sample_fraction_below_one_for_moderate_accuracy(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=1000, n_parameter_samples=64, seed=1)
+        result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
+        assert result.sample_fraction < 1.0
+
+    def test_train_with_accuracy_wrapper(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=800, n_parameter_samples=48, seed=0)
+        result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.9, delta=0.1)
+        assert result.contract.epsilon == pytest.approx(0.1)
+        assert result.contract.delta == pytest.approx(0.1)
+
+    def test_initial_sample_capped_at_N(self):
+        data = higgs_like(n_rows=3_000, n_features=8, seed=51)
+        splits = train_holdout_test_split(data, SplitSpec(0.2, 0.2), rng=np.random.default_rng(3))
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=10_000, n_parameter_samples=32, seed=0)
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.05))
+        assert result.used_initial_model
+        assert result.sample_size == splits.train.n_rows
+
+    def test_empty_holdout_rejected(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec()
+        trainer = BlinkML(spec, initial_sample_size=100)
+        with pytest.raises((DataError, Exception)):
+            trainer.train(
+                splits.train,
+                splits.holdout.take(np.array([0])).take(np.array([], dtype=int)),
+                ApproximationContract(epsilon=0.1),
+            )
+
+    def test_timings_populated(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=500, n_parameter_samples=48, seed=0)
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.02))
+        timing = result.timings.as_dict()
+        assert timing["initial_training_seconds"] > 0
+        assert timing["statistics_seconds"] > 0
+        assert timing["total_seconds"] >= timing["initial_training_seconds"]
+
+    def test_summary_string(self, binary_splits_large):
+        splits = binary_splits_large
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=500, n_parameter_samples=32, seed=0)
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.1))
+        summary = result.summary()
+        assert "lr" in summary
+        assert "%" in summary
+
+
+class TestOtherModelClasses:
+    def test_linear_regression_workflow(self, regression_splits):
+        spec = LinearRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=400, n_parameter_samples=48, seed=0)
+        result = trainer.train_with_accuracy(
+            regression_splits.train, regression_splits.holdout, 0.95
+        )
+        full = trainer.train_full(regression_splits.train)
+        difference = spec.prediction_difference(
+            result.model.theta, full.theta, regression_splits.holdout
+        )
+        assert difference <= 0.05 + 0.02
+
+    def test_max_entropy_workflow(self, multiclass_splits):
+        spec = MaxEntropySpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=400, n_parameter_samples=32, seed=0)
+        result = trainer.train_with_accuracy(
+            multiclass_splits.train, multiclass_splits.holdout, 0.9
+        )
+        full = trainer.train_full(multiclass_splits.train)
+        difference = spec.prediction_difference(
+            result.model.theta, full.theta, multiclass_splits.holdout
+        )
+        assert difference <= 0.1 + 0.05
+
+    def test_ppca_workflow(self):
+        data = mnist_like(n_rows=6_000, n_features=12, n_classes=3, seed=52)
+        unlabeled = Dataset(data.X - data.X.mean(axis=0), None, name="ppca_data")
+        splits = train_holdout_test_split(
+            unlabeled, SplitSpec(0.1, 0.1), rng=np.random.default_rng(4)
+        )
+        spec = PPCASpec(n_factors=3, sigma2=1.0)
+        trainer = BlinkML(spec, initial_sample_size=500, n_parameter_samples=32, seed=0)
+        result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
+        full = trainer.train_full(splits.train)
+        difference = spec.prediction_difference(result.model.theta, full.theta, splits.holdout)
+        assert difference <= 0.05 + 0.03

@@ -1,0 +1,113 @@
+"""Tests for the Sample Size Estimator (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contract import ApproximationContract
+from repro.core.parameter_sampler import ParameterSampler
+from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.statistics import compute_statistics
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.exceptions import SampleSizeError
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+@pytest.fixture(scope="module")
+def initial_model_setup():
+    rng = np.random.default_rng(40)
+    X = rng.normal(size=(40_000, 6))
+    theta_true = rng.normal(size=6)
+    y = (rng.uniform(size=40_000) < 1 / (1 + np.exp(-X @ theta_true))).astype(int)
+    splits = train_holdout_test_split(
+        Dataset(X, y), SplitSpec(0.1, 0.1), rng=np.random.default_rng(1)
+    )
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    n0 = 1000
+    sample = splits.train.take(np.arange(n0))
+    initial_model = spec.fit(sample)
+    statistics = compute_statistics(spec, initial_model.theta, sample)
+    return spec, splits, initial_model, statistics, n0
+
+
+def make_estimator(spec, splits, k=64):
+    return SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=k)
+
+
+class TestBinarySearch:
+    def test_estimate_within_bounds(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.05, delta=0.05)
+        estimate = estimator.estimate(model.theta, n0, splits.train.n_rows, contract, stats)
+        assert isinstance(estimate, SampleSizeEstimate)
+        assert n0 <= estimate.sample_size <= splits.train.n_rows
+        assert estimate.n_probability_evaluations == len(estimate.probed_sizes)
+
+    def test_tighter_contract_needs_larger_sample(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        loose = estimator.estimate(
+            model.theta, n0, splits.train.n_rows,
+            ApproximationContract(epsilon=0.10, delta=0.05), stats,
+        )
+        tight = estimator.estimate(
+            model.theta, n0, splits.train.n_rows,
+            ApproximationContract(epsilon=0.01, delta=0.05), stats,
+        )
+        assert tight.sample_size >= loose.sample_size
+
+    def test_number_of_probes_is_logarithmic(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        estimate = estimator.estimate(model.theta, n0, splits.train.n_rows, contract, stats)
+        N = splits.train.n_rows
+        # 2 endpoint checks + at most ceil(log2(N - n0)) bisection steps.
+        assert estimate.n_probability_evaluations <= 2 + int(np.ceil(np.log2(N - n0))) + 1
+
+    def test_very_loose_contract_returns_n0(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.9, delta=0.05)
+        estimate = estimator.estimate(model.theta, n0, splits.train.n_rows, contract, stats)
+        assert estimate.sample_size == n0
+        assert estimate.feasible
+
+    def test_shared_sampler_makes_search_deterministic(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.04, delta=0.05)
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(3))
+        a = estimator.estimate(model.theta, n0, splits.train.n_rows, contract, stats, sampler)
+        b = estimator.estimate(model.theta, n0, splits.train.n_rows, contract, stats, sampler)
+        assert a.sample_size == b.sample_size
+
+    def test_contract_satisfied_monotone_in_n(self, initial_model_setup):
+        """Empirical check of Theorem 2: satisfaction probability rises with n."""
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits, k=96)
+        contract = ApproximationContract(epsilon=0.05, delta=0.2)
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(4))
+        N = splits.train.n_rows
+        outcomes = [
+            estimator.contract_satisfied(model.theta, n0, candidate, N, contract, sampler)
+            for candidate in [n0, N // 8, N // 2, N]
+        ]
+        # Once satisfied, staying satisfied as n grows (with shared draws).
+        first_true = outcomes.index(True) if True in outcomes else len(outcomes)
+        assert all(outcomes[first_true:])
+
+    def test_invalid_sizes(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.05, delta=0.05)
+        with pytest.raises(SampleSizeError):
+            estimator.estimate(model.theta, 0, splits.train.n_rows, contract, stats)
+        with pytest.raises(SampleSizeError):
+            estimator.estimate(model.theta, splits.train.n_rows + 1, splits.train.n_rows, contract, stats)
+
+    def test_rejects_too_few_parameter_samples(self, initial_model_setup):
+        spec, splits, *_ = initial_model_setup
+        with pytest.raises(SampleSizeError):
+            SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=1)

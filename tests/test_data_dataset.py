@@ -1,0 +1,127 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+def make_dataset(n=10, d=3, labelled=True):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, 2, size=n) if labelled else None
+    return Dataset(X, y, name="toy")
+
+
+class TestConstruction:
+    def test_shapes_and_properties(self):
+        ds = make_dataset(12, 4)
+        assert ds.n_rows == 12
+        assert ds.n_features == 4
+        assert len(ds) == 12
+        assert ds.is_supervised
+
+    def test_unsupervised(self):
+        ds = make_dataset(labelled=False)
+        assert not ds.is_supervised
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros(5), np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((0, 3)))
+
+    def test_rejects_label_length_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((5, 2)), np.zeros((5, 1)))
+
+    def test_casts_features_to_float64(self):
+        ds = Dataset(np.ones((3, 2), dtype=np.int32), np.zeros(3))
+        assert ds.X.dtype == np.float64
+
+
+class TestTake:
+    def test_take_preserves_rows(self):
+        ds = make_dataset(10, 3)
+        subset = ds.take(np.array([1, 3, 5]))
+        assert subset.n_rows == 3
+        np.testing.assert_array_equal(subset.X, ds.X[[1, 3, 5]])
+        np.testing.assert_array_equal(subset.y, ds.y[[1, 3, 5]])
+
+    def test_take_empty_raises(self):
+        with pytest.raises(DataError):
+            make_dataset().take(np.array([], dtype=int))
+
+    def test_take_out_of_range_raises(self):
+        with pytest.raises(DataError):
+            make_dataset(5).take(np.array([10]))
+
+    def test_head(self):
+        ds = make_dataset(10)
+        assert ds.head(3).n_rows == 3
+        assert ds.head(100).n_rows == 10
+
+    def test_head_zero_raises(self):
+        with pytest.raises(DataError):
+            make_dataset().head(0)
+
+
+class TestFeatureSelection:
+    def test_select_features(self):
+        ds = make_dataset(8, 5)
+        view = ds.select_features(np.array([0, 2]))
+        assert view.n_features == 2
+        np.testing.assert_array_equal(view.X, ds.X[:, [0, 2]])
+
+    def test_select_empty_raises(self):
+        with pytest.raises(DataError):
+            make_dataset().select_features(np.array([], dtype=int))
+
+    def test_select_out_of_range_raises(self):
+        with pytest.raises(DataError):
+            make_dataset(5, 3).select_features(np.array([3]))
+
+
+class TestConcatAndTransforms:
+    def test_concat(self):
+        a, b = make_dataset(4), make_dataset(6)
+        combined = a.concat(b)
+        assert combined.n_rows == 10
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(DataError):
+            make_dataset(4, 3).concat(make_dataset(4, 5))
+
+    def test_concat_supervision_mismatch(self):
+        with pytest.raises(DataError):
+            make_dataset(4).concat(make_dataset(4, labelled=False))
+
+    def test_standardized(self):
+        ds = make_dataset(200, 4)
+        standardized = ds.standardized()
+        np.testing.assert_allclose(standardized.X.mean(axis=0), 0, atol=1e-10)
+        np.testing.assert_allclose(standardized.X.std(axis=0), 1, atol=1e-10)
+
+    def test_standardized_constant_column(self):
+        X = np.ones((10, 2))
+        ds = Dataset(X, np.zeros(10))
+        standardized = ds.standardized()
+        assert np.all(np.isfinite(standardized.X))
+
+    def test_with_name(self):
+        assert make_dataset().with_name("renamed").name == "renamed"
+
+    def test_class_labels(self):
+        ds = Dataset(np.zeros((4, 2)), np.array([2, 0, 2, 1]))
+        np.testing.assert_array_equal(ds.class_labels(), [0, 1, 2])
+
+    def test_class_labels_unsupervised_raises(self):
+        with pytest.raises(DataError):
+            make_dataset(labelled=False).class_labels()

@@ -1,0 +1,106 @@
+"""Unit and property tests for uniform and reservoir sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.sampling import UniformSampler, reservoir_sample
+from repro.exceptions import DataError
+
+
+def make_dataset(n=100, d=2):
+    rng = np.random.default_rng(3)
+    return Dataset(np.arange(n * d, dtype=float).reshape(n, d), rng.integers(0, 2, size=n))
+
+
+class TestUniformSampler:
+    def test_sample_size(self):
+        sampler = UniformSampler(make_dataset(50), rng=np.random.default_rng(0))
+        assert sampler.sample(10).n_rows == 10
+
+    def test_sample_without_replacement(self):
+        sampler = UniformSampler(make_dataset(30), rng=np.random.default_rng(0))
+        sample = sampler.sample(30)
+        # All rows distinct when sampling the whole population.
+        assert len({tuple(row) for row in sample.X}) == 30
+
+    def test_sample_too_large_raises(self):
+        sampler = UniformSampler(make_dataset(10))
+        with pytest.raises(DataError):
+            sampler.sample(11)
+
+    def test_sample_nonpositive_raises(self):
+        sampler = UniformSampler(make_dataset(10))
+        with pytest.raises(DataError):
+            sampler.sample(0)
+
+    def test_nested_samples_are_nested(self):
+        sampler = UniformSampler(make_dataset(100), rng=np.random.default_rng(1))
+        small = sampler.nested_sample(10)
+        large = sampler.nested_sample(40)
+        small_rows = {tuple(row) for row in small.X}
+        large_rows = {tuple(row) for row in large.X}
+        assert small_rows <= large_rows
+
+    def test_nested_sample_is_uniformly_spread(self):
+        # The prefix of a random permutation should not be biased toward the
+        # head of the dataset: its mean row index should be near the middle.
+        sampler = UniformSampler(make_dataset(1000, 1), rng=np.random.default_rng(2))
+        sample = sampler.nested_sample(300)
+        mean_row_id = sample.X[:, 0].mean()
+        assert 300 < mean_row_id < 700
+
+    def test_sample_indices_range(self):
+        sampler = UniformSampler(make_dataset(20), rng=np.random.default_rng(0))
+        indices = sampler.sample_indices(5)
+        assert indices.min() >= 0 and indices.max() < 20
+        assert len(np.unique(indices)) == 5
+
+
+class TestReservoirSample:
+    def test_exact_size(self):
+        rows = (np.array([i, i]) for i in range(100))
+        reservoir = reservoir_sample(rows, 10, rng=np.random.default_rng(0))
+        assert reservoir.shape == (10, 2)
+
+    def test_short_stream_raises(self):
+        rows = (np.array([i]) for i in range(3))
+        with pytest.raises(DataError):
+            reservoir_sample(rows, 5)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(DataError):
+            reservoir_sample(iter([]), 0)
+
+    def test_uniformity(self):
+        # Each of the 20 stream items should appear in roughly 25% of
+        # reservoirs of size 5 over many repetitions.
+        counts = np.zeros(20)
+        rng = np.random.default_rng(7)
+        repetitions = 400
+        for _ in range(repetitions):
+            rows = (np.array([float(i)]) for i in range(20))
+            reservoir = reservoir_sample(rows, 5, rng=rng)
+            for value in reservoir[:, 0]:
+                counts[int(value)] += 1
+        frequencies = counts / repetitions
+        assert np.all(frequencies > 0.15)
+        assert np.all(frequencies < 0.37)
+
+    @given(
+        n_stream=st.integers(min_value=1, max_value=60),
+        k=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_reservoir_rows_come_from_stream(self, n_stream, k):
+        rows = [np.array([float(i)]) for i in range(n_stream)]
+        if k > n_stream:
+            with pytest.raises(DataError):
+                reservoir_sample(iter(rows), k, rng=np.random.default_rng(0))
+        else:
+            reservoir = reservoir_sample(iter(rows), k, rng=np.random.default_rng(0))
+            values = set(reservoir[:, 0])
+            assert values <= {float(i) for i in range(n_stream)}
+            assert len(values) == k

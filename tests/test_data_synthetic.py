@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    criteo_like,
+    gas_like,
+    higgs_like,
+    make_dataset,
+    mnist_like,
+    power_like,
+    yelp_like,
+)
+from repro.exceptions import DataError
+
+
+class TestSpec:
+    def test_valid_spec(self):
+        spec = SyntheticSpec("gas_like", "regression", 100, 10)
+        assert spec.n_rows == 100
+
+    def test_invalid_task(self):
+        with pytest.raises(DataError):
+            SyntheticSpec("x", "ranking", 100, 10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DataError):
+            SyntheticSpec("x", "regression", 0, 10)
+
+
+class TestRegressionGenerators:
+    @pytest.mark.parametrize("generator", [gas_like, power_like])
+    def test_shapes(self, generator):
+        ds = generator(n_rows=500, n_features=20, seed=0)
+        assert ds.X.shape == (500, 20)
+        assert ds.y.shape == (500,)
+        assert ds.metadata["task"] == "regression"
+
+    def test_gas_signal_is_learnable(self):
+        # A linear model should explain a substantial fraction of variance.
+        ds = gas_like(n_rows=3000, n_features=10, noise=0.1, seed=1)
+        theta, *_ = np.linalg.lstsq(ds.X, ds.y, rcond=None)
+        residual = ds.y - ds.X @ theta
+        assert np.var(residual) < 0.5 * np.var(ds.y)
+
+    def test_reproducible(self):
+        a = power_like(n_rows=100, n_features=8, seed=5)
+        b = power_like(n_rows=100, n_features=8, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)
+
+
+class TestBinaryGenerators:
+    @pytest.mark.parametrize("generator", [criteo_like, higgs_like])
+    def test_labels_are_binary(self, generator):
+        ds = generator(n_rows=400, seed=0)
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_criteo_sparsity(self):
+        ds = criteo_like(n_rows=200, n_features=100, density=0.05, seed=0)
+        nonzero_fraction = np.count_nonzero(ds.X) / ds.X.size
+        assert nonzero_fraction < 0.1
+
+    def test_criteo_class_balance(self):
+        ds = criteo_like(n_rows=4000, n_features=50, class_balance=0.3, seed=0)
+        positive_rate = ds.y.mean()
+        assert 0.15 < positive_rate < 0.45
+
+    def test_criteo_invalid_density(self):
+        with pytest.raises(DataError):
+            criteo_like(n_rows=10, n_features=10, density=0.0)
+
+    def test_higgs_classes_are_separable_above_chance(self):
+        ds = higgs_like(n_rows=3000, n_features=12, separation=2.0, seed=2)
+        # Class-conditional means should differ on at least one feature.
+        mean_gap = np.abs(
+            ds.X[ds.y == 0].mean(axis=0) - ds.X[ds.y == 1].mean(axis=0)
+        ).max()
+        assert mean_gap > 0.1
+
+
+class TestMulticlassGenerators:
+    def test_mnist_like(self):
+        ds = mnist_like(n_rows=300, n_features=36, n_classes=5, seed=0)
+        assert ds.X.shape == (300, 36)
+        assert set(np.unique(ds.y)) <= set(range(5))
+        assert np.all(ds.X >= 0)  # pixel intensities are non-negative
+
+    def test_mnist_needs_two_classes(self):
+        with pytest.raises(DataError):
+            mnist_like(n_rows=10, n_classes=1)
+
+    def test_yelp_like_counts(self):
+        ds = yelp_like(n_rows=100, n_features=50, n_classes=3, document_length=30, seed=0)
+        # Bag-of-words rows are integer counts summing to the document length.
+        np.testing.assert_array_equal(ds.X.sum(axis=1), np.full(100, 30))
+        assert np.all(ds.X >= 0)
+
+
+class TestFactory:
+    def test_make_dataset_dispatch(self):
+        ds = make_dataset("higgs_like", n_rows=100, seed=0, n_features=10)
+        assert ds.name == "higgs_like"
+        assert ds.n_rows == 100
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            make_dataset("imagenet", n_rows=10)

@@ -1,0 +1,111 @@
+"""Tests for the ModelClassSpec base behaviour, TrainedModel and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.models import (
+    LinearRegressionSpec,
+    LogisticRegressionSpec,
+    MaxEntropySpec,
+    PoissonRegressionSpec,
+    PPCASpec,
+    available_models,
+    get_model_spec,
+)
+from repro.models.base import ModelClassSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_regression():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = X @ np.array([1.0, -2.0, 0.5]) + rng.normal(scale=0.05, size=200)
+    return Dataset(X, y)
+
+
+class TestBaseBehaviour:
+    def test_objective_adapter_consistency(self, tiny_regression):
+        spec = LinearRegressionSpec(regularization=0.01)
+        objective = spec.objective(tiny_regression)
+        theta = np.array([0.3, -0.2, 0.1])
+        assert objective.value(theta) == pytest.approx(spec.loss(theta, tiny_regression))
+        np.testing.assert_allclose(
+            objective.gradient(theta), spec.gradient(theta, tiny_regression)
+        )
+        value, gradient = objective.value_and_gradient(theta)
+        assert value == pytest.approx(spec.loss(theta, tiny_regression))
+        np.testing.assert_allclose(gradient, spec.gradient(theta, tiny_regression))
+        np.testing.assert_allclose(
+            objective.hessian(theta), spec.hessian(theta, tiny_regression)
+        )
+
+    def test_initial_parameters_are_zero_by_default(self, tiny_regression):
+        spec = LinearRegressionSpec()
+        np.testing.assert_array_equal(spec.initial_parameters(tiny_regression), np.zeros(3))
+
+    def test_fit_produces_trained_model(self, tiny_regression):
+        spec = LinearRegressionSpec(regularization=1e-4)
+        model = spec.fit(tiny_regression)
+        assert model.n_train == tiny_regression.n_rows
+        assert model.n_parameters == 3
+        assert model.optimization is not None
+        assert model.optimization.converged
+
+    def test_fit_with_warm_start(self, tiny_regression):
+        spec = LinearRegressionSpec(regularization=1e-4)
+        cold = spec.fit(tiny_regression)
+        warm = spec.fit(tiny_regression, theta0=cold.theta)
+        np.testing.assert_allclose(warm.theta, cold.theta, atol=1e-5)
+        assert warm.optimization.n_iterations <= cold.optimization.n_iterations
+
+    def test_trained_model_difference_requires_same_spec_type(self, tiny_regression):
+        lin = LinearRegressionSpec().fit(tiny_regression)
+        binary = Dataset(tiny_regression.X, (tiny_regression.y > 0).astype(int))
+        lr = LogisticRegressionSpec().fit(binary)
+        with pytest.raises(ModelSpecError):
+            lin.difference(lr, tiny_regression)
+
+    def test_trained_model_difference_same_spec(self, tiny_regression):
+        spec = LinearRegressionSpec()
+        a = spec.fit(tiny_regression)
+        b = spec.fit(tiny_regression)
+        assert a.difference(b, tiny_regression) == pytest.approx(0.0, abs=1e-6)
+
+    def test_has_closed_form_hessian_flags(self):
+        assert LinearRegressionSpec().has_closed_form_hessian
+        assert LogisticRegressionSpec().has_closed_form_hessian
+        assert MaxEntropySpec(n_classes=3).has_closed_form_hessian
+        assert not PPCASpec().has_closed_form_hessian
+
+    def test_abstract_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            ModelClassSpec()  # type: ignore[abstract]
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert available_models() == ["lin", "lr", "me", "poisson", "ppca"]
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("lin", LinearRegressionSpec),
+            ("LR", LogisticRegressionSpec),
+            ("me", MaxEntropySpec),
+            ("poisson", PoissonRegressionSpec),
+            ("ppca", PPCASpec),
+            ("logistic_regression", LogisticRegressionSpec),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert isinstance(get_model_spec(name), expected)
+
+    def test_kwargs_forwarded(self):
+        spec = get_model_spec("lin", regularization=0.7)
+        assert spec.regularization == 0.7
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelSpecError):
+            get_model_spec("random_forest")

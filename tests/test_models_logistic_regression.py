@@ -1,0 +1,128 @@
+"""Tests for the logistic regression model class specification."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.models.logistic_regression import LogisticRegressionSpec, log_sigmoid, sigmoid
+
+
+@pytest.fixture(scope="module")
+def separable_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(600, 5))
+    theta_true = np.array([2.0, -1.0, 0.5, 0.0, 1.5])
+    probs = sigmoid(X @ theta_true)
+    y = (rng.uniform(size=600) < probs).astype(np.int64)
+    return Dataset(X, y), theta_true
+
+
+class TestNumericalPrimitives:
+    def test_sigmoid_stability(self):
+        values = sigmoid(np.array([-1000.0, -10.0, 0.0, 10.0, 1000.0]))
+        assert np.all(np.isfinite(values))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[2] == pytest.approx(0.5)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_log_sigmoid_stability(self):
+        values = log_sigmoid(np.array([-800.0, 0.0, 800.0]))
+        assert np.all(np.isfinite(values))
+        assert values[1] == pytest.approx(np.log(0.5))
+        assert values[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sigmoid_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(z) + sigmoid(-z), np.ones_like(z), atol=1e-12)
+
+
+class TestObjective:
+    def test_gradient_matches_numerical(self, separable_data, gradient_checker):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec(regularization=0.01)
+        theta = np.linspace(-0.5, 0.5, 5)
+        numerical = gradient_checker(lambda t: spec.loss(t, data), theta)
+        np.testing.assert_allclose(spec.gradient(theta, data), numerical, atol=1e-5)
+
+    def test_hessian_matches_numerical(self, separable_data, gradient_checker):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec(regularization=0.05)
+        theta = np.full(5, 0.2)
+        H = spec.hessian(theta, data)
+        for j in range(5):
+            unit = np.zeros(5)
+            unit[j] = 1.0
+            numerical_col = gradient_checker(
+                lambda t: float(spec.gradient(t, data) @ unit), theta
+            )
+            np.testing.assert_allclose(H[:, j], numerical_col, atol=1e-5)
+
+    def test_loss_at_zero_is_log2(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec(regularization=0.0)
+        assert spec.loss(np.zeros(5), data) == pytest.approx(np.log(2.0))
+
+    def test_per_example_gradient_shape(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec()
+        per_example = spec.per_example_gradients(np.zeros(5), data)
+        assert per_example.shape == (data.n_rows, 5)
+
+    def test_rejects_non_binary_labels(self):
+        spec = LogisticRegressionSpec()
+        data = Dataset(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+        with pytest.raises(ModelSpecError):
+            spec.loss(np.zeros(2), data)
+
+
+class TestFitAndPredict:
+    def test_fit_recovers_direction_of_truth(self, separable_data):
+        data, theta_true = separable_data
+        spec = LogisticRegressionSpec(regularization=1e-4)
+        model = spec.fit(data)
+        cosine = float(model.theta @ theta_true) / (
+            np.linalg.norm(model.theta) * np.linalg.norm(theta_true)
+        )
+        assert cosine > 0.95
+
+    def test_fit_beats_chance_accuracy(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        model = spec.fit(data)
+        accuracy = float(np.mean(model.predict(data.X) == data.y))
+        assert accuracy > 0.8
+
+    def test_predict_proba_in_unit_interval(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec()
+        probabilities = spec.predict_proba(np.ones(5), data.X)
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+
+    def test_predictions_are_binary(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec()
+        predictions = spec.predict(np.ones(5), data.X)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+
+class TestDifference:
+    def test_identical_parameters(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec()
+        theta = np.ones(5)
+        assert spec.prediction_difference(theta, theta, data) == 0.0
+
+    def test_opposite_parameters_disagree_everywhere(self, separable_data):
+        data, theta_true = separable_data
+        spec = LogisticRegressionSpec()
+        # Flipping the sign of θ flips (almost) every prediction.
+        difference = spec.prediction_difference(theta_true, -theta_true, data)
+        assert difference > 0.9
+
+    def test_difference_is_a_probability(self, separable_data):
+        data, _ = separable_data
+        spec = LogisticRegressionSpec()
+        rng = np.random.default_rng(0)
+        difference = spec.prediction_difference(rng.normal(size=5), rng.normal(size=5), data)
+        assert 0.0 <= difference <= 1.0

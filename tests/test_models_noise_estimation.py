@@ -1,0 +1,85 @@
+"""Tests for the noise-variance estimation helpers (Lin and PPCA)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.ppca import PPCASpec
+
+
+class TestLinearRegressionNoiseEstimation:
+    def make_data(self, noise_std=0.4, n=5000, d=6, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        theta = rng.normal(size=d)
+        y = X @ theta + rng.normal(scale=noise_std, size=n)
+        return Dataset(X, y)
+
+    @pytest.mark.parametrize("noise_std", [0.2, 0.5, 1.5])
+    def test_estimate_close_to_truth(self, noise_std):
+        data = self.make_data(noise_std=noise_std)
+        spec = LinearRegressionSpec.with_estimated_noise(data)
+        assert spec.noise_variance == pytest.approx(noise_std**2, rel=0.15)
+
+    def test_estimation_uses_at_most_max_rows(self):
+        data = self.make_data(n=2000)
+        spec = LinearRegressionSpec.with_estimated_noise(data, max_rows=500)
+        assert spec.noise_variance > 0
+
+    def test_requires_labels(self):
+        data = Dataset(np.zeros((10, 2)))
+        with pytest.raises(ModelSpecError):
+            LinearRegressionSpec.with_estimated_noise(data)
+
+    def test_invalid_noise_variance_rejected(self):
+        with pytest.raises(ModelSpecError):
+            LinearRegressionSpec(noise_variance=0.0)
+
+    def test_noise_variance_scales_objective(self):
+        data = self.make_data()
+        theta = np.ones(6)
+        reference = LinearRegressionSpec(regularization=0.0, noise_variance=1.0)
+        halved = LinearRegressionSpec(regularization=0.0, noise_variance=2.0)
+        assert halved.loss(theta, data) == pytest.approx(reference.loss(theta, data) / 2.0)
+
+    def test_minimizer_unchanged_by_noise_variance_without_regularization(self):
+        data = self.make_data()
+        a = LinearRegressionSpec(regularization=0.0, noise_variance=1.0).fit(data)
+        b = LinearRegressionSpec(regularization=0.0, noise_variance=4.0).fit(data)
+        np.testing.assert_allclose(a.theta, b.theta, atol=1e-4)
+
+
+class TestPPCANoiseEstimation:
+    def make_data(self, noise_std=0.5, n=4000, d=12, q=3, seed=1):
+        rng = np.random.default_rng(seed)
+        loadings = rng.normal(scale=2.0, size=(d, q))
+        latent = rng.normal(size=(n, q))
+        X = latent @ loadings.T + rng.normal(scale=noise_std, size=(n, d))
+        return Dataset(X - X.mean(axis=0))
+
+    @pytest.mark.parametrize("noise_std", [0.3, 0.8])
+    def test_estimate_close_to_truth(self, noise_std):
+        data = self.make_data(noise_std=noise_std)
+        spec = PPCASpec.with_estimated_noise(data, n_factors=3)
+        assert spec.sigma2 == pytest.approx(noise_std**2, rel=0.25)
+
+    def test_factor_count_preserved(self):
+        data = self.make_data()
+        spec = PPCASpec.with_estimated_noise(data, n_factors=4)
+        assert spec.n_factors == 4
+
+    def test_too_many_factors_rejected(self):
+        data = self.make_data(d=5)
+        with pytest.raises(ModelSpecError):
+            PPCASpec.with_estimated_noise(data, n_factors=5)
+
+    def test_minimum_sigma_floor(self):
+        # Noise-free low-rank data: the estimate must not collapse to zero.
+        rng = np.random.default_rng(2)
+        loadings = rng.normal(size=(8, 2))
+        latent = rng.normal(size=(1000, 2))
+        data = Dataset(latent @ loadings.T)
+        spec = PPCASpec.with_estimated_noise(data, n_factors=2, min_sigma2=1e-3)
+        assert spec.sigma2 >= 1e-3

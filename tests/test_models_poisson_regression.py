@@ -1,0 +1,122 @@
+"""Tests for the Poisson regression model class specification."""
+
+import numpy as np
+import pytest
+
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.core.statistics import compute_statistics
+from repro.data.dataset import Dataset
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import bikeshare_like
+from repro.exceptions import ModelSpecError
+from repro.models.poisson_regression import PoissonRegressionSpec
+
+
+@pytest.fixture(scope="module")
+def count_data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(scale=0.5, size=(1500, 5))
+    theta_true = np.array([0.4, -0.3, 0.2, 0.0, 0.5])
+    rates = np.exp(1.0 + X @ theta_true)
+    y = rng.poisson(rates).astype(np.float64)
+    # Include an intercept column so the base rate is learnable.
+    X = np.hstack([np.ones((1500, 1)), X])
+    return Dataset(X, y), np.concatenate([[1.0], theta_true])
+
+
+class TestObjective:
+    def test_gradient_matches_numerical(self, count_data, gradient_checker):
+        data, _ = count_data
+        spec = PoissonRegressionSpec(regularization=0.01)
+        theta = np.full(6, 0.1)
+        numerical = gradient_checker(lambda t: spec.loss(t, data), theta)
+        np.testing.assert_allclose(spec.gradient(theta, data), numerical, atol=1e-4)
+
+    def test_hessian_matches_numerical(self, count_data, gradient_checker):
+        data, _ = count_data
+        spec = PoissonRegressionSpec(regularization=0.05)
+        theta = np.full(6, 0.1)
+        H = spec.hessian(theta, data)
+        for j in range(6):
+            unit = np.zeros(6)
+            unit[j] = 1.0
+            numerical_col = gradient_checker(
+                lambda t: float(spec.gradient(t, data) @ unit), theta
+            )
+            np.testing.assert_allclose(H[:, j], numerical_col, atol=1e-3)
+
+    def test_per_example_gradients_average_to_gradient(self, count_data):
+        data, _ = count_data
+        spec = PoissonRegressionSpec(regularization=0.1)
+        theta = np.full(6, 0.2)
+        per_example = spec.per_example_gradients(theta, data)
+        expected = per_example.mean(axis=0) + spec.regularizer_gradient(theta)
+        np.testing.assert_allclose(spec.gradient(theta, data), expected)
+
+    def test_loss_finite_for_extreme_parameters(self, count_data):
+        data, _ = count_data
+        spec = PoissonRegressionSpec()
+        assert np.isfinite(spec.loss(np.full(6, 50.0), data))
+
+    def test_rejects_negative_counts(self):
+        spec = PoissonRegressionSpec()
+        data = Dataset(np.ones((4, 2)), np.array([1.0, 2.0, -1.0, 0.0]))
+        with pytest.raises(ModelSpecError):
+            spec.loss(np.zeros(2), data)
+
+
+class TestFitPredictDiff:
+    def test_fit_recovers_true_parameters(self, count_data):
+        data, theta_true = count_data
+        spec = PoissonRegressionSpec(regularization=1e-6)
+        model = spec.fit(data)
+        np.testing.assert_allclose(model.theta, theta_true, atol=0.1)
+
+    def test_predictions_are_positive_rates(self, count_data):
+        data, _ = count_data
+        spec = PoissonRegressionSpec()
+        rates = spec.predict(np.full(6, 0.1), data.X)
+        assert np.all(rates > 0)
+
+    def test_difference_properties(self, count_data):
+        data, _ = count_data
+        spec = PoissonRegressionSpec()
+        theta = np.full(6, 0.1)
+        assert spec.prediction_difference(theta, theta, data) == 0.0
+        other = np.full(6, 0.3)
+        assert spec.prediction_difference(theta, other, data) > 0
+
+    def test_statistics_methods_agree(self, count_data):
+        data, theta_true = count_data
+        spec = PoissonRegressionSpec(regularization=1e-2)
+        model = spec.fit(data)
+        closed = compute_statistics(spec, model.theta, data, method="closed_form")
+        fisher = compute_statistics(spec, model.theta, data, method="observed_fisher")
+        relative_error = np.linalg.norm(
+            fisher.covariance.dense() - closed.covariance.dense()
+        ) / np.linalg.norm(closed.covariance.dense())
+        assert relative_error < 0.35
+
+
+class TestEndToEnd:
+    def test_blinkml_workflow_on_bikeshare_workload(self):
+        data = bikeshare_like(n_rows=20_000, n_features=12, seed=70)
+        splits = train_holdout_test_split(
+            data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0)
+        )
+        spec = PoissonRegressionSpec(regularization=1e-3)
+        trainer = BlinkML(spec, initial_sample_size=1_000, n_parameter_samples=48, seed=0)
+        result = trainer.train(
+            splits.train, splits.holdout, ApproximationContract(epsilon=0.05)
+        )
+        full = trainer.train_full(splits.train)
+        difference = spec.prediction_difference(result.model.theta, full.theta, splits.holdout)
+        assert difference <= 0.05 + 0.02
+        assert result.sample_size <= splits.train.n_rows
+
+    def test_bikeshare_generator_produces_counts(self):
+        data = bikeshare_like(n_rows=500, n_features=10, seed=1)
+        assert np.all(data.y >= 0)
+        assert np.all(data.y == np.round(data.y))
+        assert data.X.shape == (500, 10)

@@ -1,0 +1,154 @@
+"""Tests for the PPCA model class specification."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ModelSpecError
+from repro.models.ppca import PPCASpec
+
+
+@pytest.fixture(scope="module")
+def low_rank_data():
+    rng = np.random.default_rng(5)
+    n, d, q = 800, 10, 3
+    loadings = rng.normal(scale=2.0, size=(d, q))
+    latent = rng.normal(size=(n, q))
+    X = latent @ loadings.T + rng.normal(scale=0.5, size=(n, d))
+    return Dataset(X - X.mean(axis=0)), loadings
+
+
+class TestConfiguration:
+    def test_parameter_count(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3)
+        assert spec.n_parameters(data) == data.n_features * 3
+
+    def test_invalid_factor_count(self):
+        with pytest.raises(ModelSpecError):
+            PPCASpec(n_factors=0)
+
+    def test_invalid_sigma2(self):
+        with pytest.raises(ModelSpecError):
+            PPCASpec(sigma2=0.0)
+
+    def test_factors_exceeding_dimension(self, low_rank_data):
+        data, _ = low_rank_data
+        with pytest.raises(ModelSpecError):
+            PPCASpec(n_factors=50).n_parameters(data)
+
+    def test_initial_parameters_nonzero_and_deterministic(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3)
+        a = spec.initial_parameters(data)
+        b = spec.initial_parameters(data)
+        assert np.linalg.norm(a) > 0
+        np.testing.assert_array_equal(a, b)
+
+
+class TestObjective:
+    def test_loss_matches_dense_gaussian_likelihood(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3, sigma2=0.7)
+        rng = np.random.default_rng(6)
+        theta = 0.3 * rng.normal(size=spec.n_parameters(data))
+        Theta = spec.reshape(theta, data.n_features)
+        C = Theta @ Theta.T + 0.7 * np.eye(data.n_features)
+        S = data.X.T @ data.X / data.n_rows
+        expected = 0.5 * (
+            data.n_features * np.log(2 * np.pi)
+            + np.linalg.slogdet(C)[1]
+            + np.trace(np.linalg.solve(C, S))
+        )
+        assert spec.loss(theta, data) == pytest.approx(expected, rel=1e-8)
+
+    def test_gradient_matches_numerical(self, low_rank_data, gradient_checker):
+        data, _ = low_rank_data
+        small = data.take(np.arange(150))
+        spec = PPCASpec(n_factors=2, sigma2=1.0)
+        rng = np.random.default_rng(7)
+        theta = 0.4 * rng.normal(size=spec.n_parameters(small))
+        numerical = gradient_checker(lambda t: spec.loss(t, small), theta, eps=1e-5)
+        np.testing.assert_allclose(spec.gradient(theta, small), numerical, atol=1e-4)
+
+    def test_per_example_gradients_average_to_gradient(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3, sigma2=1.0)
+        rng = np.random.default_rng(8)
+        theta = 0.3 * rng.normal(size=spec.n_parameters(data))
+        per_example = spec.per_example_gradients(theta, data)
+        np.testing.assert_allclose(
+            per_example.mean(axis=0), spec.gradient(theta, data), atol=1e-10
+        )
+
+    def test_no_closed_form_hessian(self):
+        assert not PPCASpec().has_closed_form_hessian
+
+
+class TestFitPredictDiff:
+    def test_fit_captures_principal_subspace(self, low_rank_data):
+        data, loadings = low_rank_data
+        spec = PPCASpec(n_factors=3, sigma2=0.25)
+        model = spec.fit(data, max_iterations=300)
+        Theta = spec.reshape(model.theta, data.n_features)
+        # The fitted loading columns must span (close to) the true subspace:
+        # projecting the true loadings onto the fitted span should retain
+        # most of their norm.
+        fitted_basis, _ = np.linalg.qr(Theta)
+        projected = fitted_basis @ (fitted_basis.T @ loadings)
+        retained = np.linalg.norm(projected) / np.linalg.norm(loadings)
+        assert retained > 0.9
+
+    def test_reconstruction_reduces_error_versus_zero(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3, sigma2=0.25)
+        model = spec.fit(data, max_iterations=300)
+        reconstruction = spec.reconstruct(model.theta, data.X)
+        error = np.linalg.norm(data.X - reconstruction)
+        assert error < np.linalg.norm(data.X)
+
+    def test_predict_shape(self, low_rank_data):
+        data, _ = low_rank_data
+        spec = PPCASpec(n_factors=3)
+        theta = spec.initial_parameters(data)
+        scores = spec.predict(theta, data.X)
+        assert scores.shape == (data.n_rows, 3)
+
+    def test_difference_is_rotation_aligned_cosine(self, low_rank_data):
+        data, _ = low_rank_data
+        d = data.n_features
+        spec = PPCASpec(n_factors=2)
+        rng = np.random.default_rng(9)
+        Theta = rng.normal(size=(d, 2))
+        a = Theta.reshape(-1)
+        # Rescaling, sign flips and factor rotations describe the same PPCA
+        # distribution, so the difference must vanish for all of them.
+        assert spec.prediction_difference(a, 2.0 * a, data) == pytest.approx(0.0, abs=1e-9)
+        assert spec.prediction_difference(a, -a, data) == pytest.approx(0.0, abs=1e-9)
+        angle = 0.7
+        rotation = np.array(
+            [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+        )
+        rotated = (Theta @ rotation).reshape(-1)
+        assert spec.prediction_difference(a, rotated, data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_difference_one_for_orthogonal_subspaces(self, low_rank_data):
+        data, _ = low_rank_data
+        d = data.n_features
+        spec = PPCASpec(n_factors=1)
+        theta_a = np.zeros(d)
+        theta_b = np.zeros(d)
+        theta_a[0] = 1.0  # factor along feature 0
+        theta_b[1] = 1.0  # factor along feature 1
+        assert spec.prediction_difference(theta_a, theta_b, data) == pytest.approx(1.0)
+
+    def test_difference_zero_vector(self, low_rank_data):
+        data, _ = low_rank_data
+        d = data.n_features
+        spec = PPCASpec(n_factors=2)
+        assert spec.prediction_difference(np.zeros(2 * d), np.ones(2 * d), data) == 1.0
+
+    def test_describe_includes_factors(self):
+        description = PPCASpec(n_factors=7, sigma2=0.5).describe()
+        assert description["n_factors"] == 7
+        assert description["sigma2"] == 0.5

@@ -1,0 +1,100 @@
+"""Tests for the Armijo and strong-Wolfe line searches."""
+
+import numpy as np
+import pytest
+
+from repro.optim.base import FunctionObjective
+from repro.optim.line_search import backtracking_line_search, wolfe_line_search
+
+
+def quadratic_objective(center=None, scale=1.0):
+    center = np.zeros(2) if center is None else np.asarray(center, dtype=float)
+
+    def value(theta):
+        diff = theta - center
+        return 0.5 * scale * float(diff @ diff)
+
+    def gradient(theta):
+        return scale * (theta - center)
+
+    return FunctionObjective(value, gradient)
+
+
+class TestBacktracking:
+    def test_sufficient_decrease(self):
+        objective = quadratic_objective()
+        theta = np.array([4.0, -2.0])
+        value, gradient = objective.value_and_gradient(theta)
+        result = backtracking_line_search(objective, theta, -gradient, value, gradient)
+        assert result.success
+        assert result.value < value
+
+    def test_tiny_initial_step_still_succeeds(self):
+        objective = quadratic_objective()
+        theta = np.array([1.0, 1.0])
+        value, gradient = objective.value_and_gradient(theta)
+        result = backtracking_line_search(
+            objective, theta, -gradient, value, gradient, initial_step=1e-4
+        )
+        assert result.success
+
+    def test_non_descent_direction_fails(self):
+        objective = quadratic_objective()
+        theta = np.array([1.0, 0.0])
+        value, gradient = objective.value_and_gradient(theta)
+        # Ascent direction: sufficient decrease can never hold.
+        result = backtracking_line_search(objective, theta, gradient, value, gradient, max_steps=5)
+        assert not result.success
+
+
+class TestWolfe:
+    def test_wolfe_conditions_hold_on_quadratic(self):
+        objective = quadratic_objective(scale=3.0)
+        theta = np.array([5.0, -7.0])
+        value, gradient = objective.value_and_gradient(theta)
+        direction = -gradient
+        c1, c2 = 1e-4, 0.9
+        result = wolfe_line_search(objective, theta, direction, value, gradient, c1=c1, c2=c2)
+        assert result.success
+        alpha = result.step_size
+        new_value, new_gradient = objective.value_and_gradient(theta + alpha * direction)
+        dphi0 = float(gradient @ direction)
+        # Armijo (sufficient decrease) condition.
+        assert new_value <= value + c1 * alpha * dphi0 + 1e-12
+        # Curvature condition.
+        assert abs(float(new_gradient @ direction)) <= c2 * abs(dphi0) + 1e-12
+
+    def test_returns_gradient_at_accepted_point(self):
+        objective = quadratic_objective()
+        theta = np.array([2.0, 2.0])
+        value, gradient = objective.value_and_gradient(theta)
+        result = wolfe_line_search(objective, theta, -gradient, value, gradient)
+        assert result.gradient is not None
+        expected = objective.gradient(theta + result.step_size * -gradient)
+        np.testing.assert_allclose(result.gradient, expected)
+
+    def test_non_descent_direction_signals_failure(self):
+        objective = quadratic_objective()
+        theta = np.array([1.0, 1.0])
+        value, gradient = objective.value_and_gradient(theta)
+        result = wolfe_line_search(objective, theta, gradient, value, gradient)
+        assert not result.success
+        assert result.step_size == 0.0
+
+    def test_rosenbrock_direction(self):
+        # A harder non-quadratic objective: the search must still find a
+        # step satisfying sufficient decrease along the negative gradient.
+        def rosenbrock(theta):
+            return float((1 - theta[0]) ** 2 + 100 * (theta[1] - theta[0] ** 2) ** 2)
+
+        def rosenbrock_gradient(theta):
+            g0 = -2 * (1 - theta[0]) - 400 * theta[0] * (theta[1] - theta[0] ** 2)
+            g1 = 200 * (theta[1] - theta[0] ** 2)
+            return np.array([g0, g1])
+
+        objective = FunctionObjective(rosenbrock, rosenbrock_gradient)
+        theta = np.array([-1.2, 1.0])
+        value, gradient = objective.value_and_gradient(theta)
+        result = wolfe_line_search(objective, theta, -gradient, value, gradient)
+        assert result.success
+        assert result.value < value

@@ -1,0 +1,172 @@
+"""Hypothesis property tests on the model class specifications.
+
+These probe invariants that must hold for *any* parameter vector and any
+well-formed dataset, not just the hand-picked cases of the unit tests:
+
+* losses are finite and bounded below by the regulariser value at θ;
+* the averaged per-example gradients plus r(θ) reproduce the full gradient;
+* prediction differences are symmetric, bounded and zero on the diagonal;
+* classification losses decrease along the negative gradient (descent
+  direction sanity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.ppca import PPCASpec
+
+
+def dataset_strategy(task: str):
+    """Generate small random datasets of the requested task type."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=8, max_value=40))
+        d = draw(st.integers(min_value=2, max_value=6))
+        seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        if task == "regression":
+            y = rng.normal(size=n)
+        elif task == "binary":
+            y = rng.integers(0, 2, size=n)
+        elif task == "multiclass":
+            y = rng.integers(0, 3, size=n)
+        else:
+            y = None
+        return Dataset(X, y)
+
+    return build()
+
+
+def theta_strategy(size_fn):
+    @st.composite
+    def build(draw, dataset):
+        seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        scale = draw(st.floats(min_value=0.01, max_value=2.0))
+        rng = np.random.default_rng(seed)
+        return scale * rng.normal(size=size_fn(dataset))
+
+    return build
+
+
+class TestGradientConsistency:
+    @given(data=dataset_strategy("regression"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_regression_gradient_is_mean_of_grads(self, data, seed):
+        spec = LinearRegressionSpec(regularization=0.1, noise_variance=0.5)
+        rng = np.random.default_rng(seed)
+        theta = rng.normal(size=data.n_features)
+        grads = spec.grads(theta, data)
+        np.testing.assert_allclose(grads.mean(axis=0), spec.gradient(theta, data), atol=1e-10)
+
+    @given(data=dataset_strategy("binary"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_logistic_gradient_is_mean_of_grads(self, data, seed):
+        spec = LogisticRegressionSpec(regularization=0.05)
+        rng = np.random.default_rng(seed)
+        theta = rng.normal(size=data.n_features)
+        grads = spec.grads(theta, data)
+        np.testing.assert_allclose(grads.mean(axis=0), spec.gradient(theta, data), atol=1e-10)
+
+    @given(data=dataset_strategy("multiclass"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_max_entropy_gradient_is_mean_of_grads(self, data, seed):
+        spec = MaxEntropySpec(n_classes=3, regularization=0.05)
+        rng = np.random.default_rng(seed)
+        theta = rng.normal(size=3 * data.n_features)
+        grads = spec.grads(theta, data)
+        np.testing.assert_allclose(grads.mean(axis=0), spec.gradient(theta, data), atol=1e-10)
+
+    @given(data=dataset_strategy("unsupervised"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_ppca_gradient_is_mean_of_grads(self, data, seed):
+        spec = PPCASpec(n_factors=2, sigma2=1.0)
+        rng = np.random.default_rng(seed)
+        theta = 0.5 * rng.normal(size=2 * data.n_features)
+        grads = spec.grads(theta, data)
+        np.testing.assert_allclose(grads.mean(axis=0), spec.gradient(theta, data), atol=1e-9)
+
+
+class TestLossProperties:
+    @given(data=dataset_strategy("binary"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_logistic_loss_finite_and_bounded_below(self, data, seed):
+        spec = LogisticRegressionSpec(regularization=0.01)
+        rng = np.random.default_rng(seed)
+        theta = 3 * rng.normal(size=data.n_features)
+        loss = spec.loss(theta, data)
+        assert np.isfinite(loss)
+        assert loss >= 0.5 * 0.01 * float(theta @ theta) - 1e-12
+
+    @given(data=dataset_strategy("binary"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_descent_direction_reduces_logistic_loss(self, data, seed):
+        spec = LogisticRegressionSpec(regularization=0.01)
+        rng = np.random.default_rng(seed)
+        theta = rng.normal(size=data.n_features)
+        gradient = spec.gradient(theta, data)
+        if np.linalg.norm(gradient) < 1e-9:
+            return  # already at a stationary point
+        step = 1e-4 / max(np.linalg.norm(gradient), 1.0)
+        assert spec.loss(theta - step * gradient, data) <= spec.loss(theta, data) + 1e-12
+
+    @given(data=dataset_strategy("regression"), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_regression_loss_nonnegative(self, data, seed):
+        spec = LinearRegressionSpec(regularization=0.0)
+        rng = np.random.default_rng(seed)
+        theta = rng.normal(size=data.n_features)
+        assert spec.loss(theta, data) >= 0.0
+
+
+class TestDifferenceProperties:
+    @given(
+        data=dataset_strategy("binary"),
+        seed_a=st.integers(0, 2**31 - 1),
+        seed_b=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_classification_difference_symmetric_bounded(self, data, seed_a, seed_b):
+        spec = LogisticRegressionSpec()
+        theta_a = np.random.default_rng(seed_a).normal(size=data.n_features)
+        theta_b = np.random.default_rng(seed_b).normal(size=data.n_features)
+        forward = spec.prediction_difference(theta_a, theta_b, data)
+        backward = spec.prediction_difference(theta_b, theta_a, data)
+        assert forward == pytest.approx(backward)
+        assert 0.0 <= forward <= 1.0
+        assert spec.prediction_difference(theta_a, theta_a, data) == 0.0
+
+    @given(
+        data=dataset_strategy("regression"),
+        seed_a=st.integers(0, 2**31 - 1),
+        seed_b=st.integers(0, 2**31 - 1),
+        seed_c=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_regression_difference_triangle_inequality(self, data, seed_a, seed_b, seed_c):
+        # The RMS prediction difference is a pseudometric on parameters.
+        spec = LinearRegressionSpec(normalize_difference=False)
+        a = np.random.default_rng(seed_a).normal(size=data.n_features)
+        b = np.random.default_rng(seed_b).normal(size=data.n_features)
+        c = np.random.default_rng(seed_c).normal(size=data.n_features)
+        ab = spec.prediction_difference(a, b, data)
+        bc = spec.prediction_difference(b, c, data)
+        ac = spec.prediction_difference(a, c, data)
+        assert ac <= ab + bc + 1e-9
+
+    @given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ppca_difference_scale_invariant(self, seed, scale):
+        spec = PPCASpec(n_factors=2)
+        dummy = Dataset(np.zeros((2, 3)))  # 3 features, 2 factors
+        theta = np.random.default_rng(seed).normal(size=6)
+        assert spec.prediction_difference(theta, scale * theta, dummy) == pytest.approx(
+            0.0, abs=1e-9
+        )

@@ -1,0 +1,101 @@
+"""Tests for model and result serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.exceptions import BlinkMLError
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.poisson_regression import PoissonRegressionSpec
+from repro.models.ppca import PPCASpec
+from repro.serialization import load_model, load_result_metadata, save_model, save_result
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture(scope="module")
+def fitted_logistic():
+    data = higgs_like(n_rows=5_000, n_features=8, seed=400)
+    spec = LogisticRegressionSpec(regularization=1e-2)
+    return spec.fit(data), data
+
+
+class TestSaveLoadModel:
+    def test_roundtrip_predictions_identical(self, fitted_logistic, tmp_path):
+        model, data = fitted_logistic
+        path = save_model(tmp_path / "model.npz", model)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.theta, model.theta)
+        np.testing.assert_array_equal(loaded.predict(data.X), model.predict(data.X))
+        assert loaded.n_train == model.n_train
+        assert loaded.spec.regularization == model.spec.regularization
+
+    def test_suffix_added_automatically(self, fitted_logistic, tmp_path):
+        model, _ = fitted_logistic
+        path = save_model(tmp_path / "model", model)
+        assert str(path).endswith(".npz")
+        assert load_model(tmp_path / "model") is not None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BlinkMLError):
+            load_model(tmp_path / "does_not_exist.npz")
+
+    @pytest.mark.parametrize(
+        "spec, labelled",
+        [
+            (LinearRegressionSpec(regularization=0.01, noise_variance=0.5), True),
+            (PoissonRegressionSpec(regularization=0.02), True),
+            (MaxEntropySpec(n_classes=3, regularization=0.05), True),
+            (PPCASpec(n_factors=2, sigma2=0.8), False),
+        ],
+    )
+    def test_every_model_class_roundtrips(self, spec, labelled, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 6))
+        if labelled:
+            if spec.task == "multiclass":
+                y = rng.integers(0, 3, size=300)
+            elif spec.name == "poisson":
+                y = rng.poisson(2.0, size=300).astype(float)
+            else:
+                y = rng.normal(size=300)
+            data = Dataset(X, y)
+        else:
+            data = Dataset(X)
+        model = spec.fit(data, max_iterations=50)
+        path = save_model(tmp_path / f"{spec.name}.npz", model)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.theta, model.theta)
+        assert loaded.spec.name == spec.name
+
+
+class TestSaveLoadResult:
+    def test_result_roundtrip(self, tmp_path):
+        data = higgs_like(n_rows=10_000, n_features=8, seed=401)
+        splits = train_holdout_test_split(
+            data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(0)
+        )
+        trainer = BlinkML(
+            LogisticRegressionSpec(regularization=1e-3),
+            initial_sample_size=1_000,
+            n_parameter_samples=32,
+            seed=0,
+        )
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.1))
+        path = save_result(tmp_path / "result.npz", result)
+
+        model, contract, provenance = load_result_metadata(path)
+        np.testing.assert_array_equal(model.theta, result.model.theta)
+        assert contract.epsilon == pytest.approx(0.1)
+        assert provenance["sample_size"] == result.sample_size
+        assert provenance["full_size"] == result.full_size
+
+    def test_plain_model_file_has_no_contract(self, fitted_logistic, tmp_path):
+        model, _ = fitted_logistic
+        path = save_model(tmp_path / "plain.npz", model)
+        with pytest.raises(BlinkMLError):
+            load_result_metadata(path)

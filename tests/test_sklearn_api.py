@@ -1,0 +1,132 @@
+"""Tests for the scikit-learn-style estimator wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import bikeshare_like, gas_like, higgs_like, mnist_like
+from repro.exceptions import BlinkMLError, ModelSpecError
+from repro.sklearn_api import (
+    BlinkMLClassifier,
+    BlinkMLEstimator,
+    BlinkMLRegressor,
+    BlinkMLTransformer,
+)
+
+
+@pytest.fixture(scope="module")
+def binary_arrays():
+    data = higgs_like(n_rows=12_000, n_features=12, seed=300)
+    return data.X, data.y
+
+
+@pytest.fixture(scope="module")
+def regression_arrays():
+    data = gas_like(n_rows=10_000, n_features=10, seed=301)
+    return data.X, data.y
+
+
+class TestClassifier:
+    def test_fit_predict_score(self, binary_arrays):
+        X, y = binary_arrays
+        clf = BlinkMLClassifier(
+            model="lr", accuracy=0.9, regularization=1e-3,
+            initial_sample_size=1_000, n_parameter_samples=32, seed=0,
+        )
+        clf.fit(X, y)
+        predictions = clf.predict(X[:100])
+        assert predictions.shape == (100,)
+        assert set(np.unique(predictions)) <= {0, 1}
+        assert clf.score(X, y) > 0.6
+        assert clf.sample_size_ <= len(y)
+        assert 0.0 <= clf.estimated_accuracy_ <= 1.0
+
+    def test_predict_proba(self, binary_arrays):
+        X, y = binary_arrays
+        clf = BlinkMLClassifier(
+            model="lr", accuracy=0.9, initial_sample_size=1_000,
+            n_parameter_samples=32, seed=0,
+        ).fit(X, y)
+        probabilities = clf.predict_proba(X[:50])
+        assert np.all(probabilities >= 0) and np.all(probabilities <= 1)
+
+    def test_multiclass_model(self):
+        data = mnist_like(n_rows=8_000, n_features=16, n_classes=4, seed=302)
+        clf = BlinkMLClassifier(
+            model="me", accuracy=0.9, initial_sample_size=1_000,
+            n_parameter_samples=32, seed=0,
+        ).fit(data.X, data.y)
+        assert clf.score(data.X, data.y) > 0.5
+
+    def test_requires_labels(self, binary_arrays):
+        X, _ = binary_arrays
+        with pytest.raises(ModelSpecError):
+            BlinkMLClassifier(model="lr").fit(X)
+
+    def test_rejects_non_classifier_model(self, regression_arrays):
+        X, y = regression_arrays
+        with pytest.raises(ModelSpecError):
+            BlinkMLClassifier(
+                model="lin", initial_sample_size=500, n_parameter_samples=16, seed=0
+            ).fit(X, y)
+
+    def test_unfitted_predict_raises(self, binary_arrays):
+        X, _ = binary_arrays
+        with pytest.raises(BlinkMLError):
+            BlinkMLClassifier(model="lr").predict(X)
+
+
+class TestRegressor:
+    def test_fit_predict_score(self, regression_arrays):
+        X, y = regression_arrays
+        reg = BlinkMLRegressor(
+            model="lin", accuracy=0.95, regularization=1e-3,
+            initial_sample_size=1_000, n_parameter_samples=32, seed=0,
+        ).fit(X, y)
+        assert reg.predict(X[:10]).shape == (10,)
+        # The approximate model must explain essentially as much variance as
+        # the exact ridge solution does on this (noisy) workload.
+        n, d = X.shape
+        exact_theta = np.linalg.solve(
+            X.T @ X / n + 1e-3 * np.eye(d), X.T @ y / n
+        )
+        exact_residual = float(np.sum((y - X @ exact_theta) ** 2))
+        exact_r2 = 1.0 - exact_residual / float(np.sum((y - y.mean()) ** 2))
+        assert reg.score(X, y) > exact_r2 - 0.05
+
+    def test_poisson_model(self):
+        data = bikeshare_like(n_rows=10_000, n_features=8, seed=303)
+        reg = BlinkMLRegressor(
+            model="poisson", accuracy=0.95, initial_sample_size=1_000,
+            n_parameter_samples=32, seed=0,
+        ).fit(data.X, data.y)
+        assert np.all(reg.predict(data.X[:20]) > 0)
+
+    def test_rejects_classifier_model(self, binary_arrays):
+        X, y = binary_arrays
+        with pytest.raises(ModelSpecError):
+            BlinkMLRegressor(
+                model="lr", initial_sample_size=500, n_parameter_samples=16, seed=0
+            ).fit(X, y.astype(float))
+
+
+class TestTransformer:
+    def test_fit_transform(self):
+        data = mnist_like(n_rows=6_000, n_features=16, n_classes=4, seed=304)
+        X = data.X - data.X.mean(axis=0)
+        transformer = BlinkMLTransformer(
+            model="ppca", accuracy=0.95, n_factors=3, sigma2=1.0,
+            initial_sample_size=1_000, n_parameter_samples=32, seed=0,
+        )
+        latent = transformer.fit_transform(X)
+        assert latent.shape == (X.shape[0], 3)
+
+
+class TestParams:
+    def test_get_and_set_params(self):
+        estimator = BlinkMLEstimator(model="lr", accuracy=0.9, regularization=0.5)
+        params = estimator.get_params()
+        assert params["accuracy"] == 0.9
+        assert params["regularization"] == 0.5
+        estimator.set_params(accuracy=0.99, regularization=0.1)
+        assert estimator.accuracy == 0.99
+        assert estimator.model_kwargs["regularization"] == 0.1
