@@ -110,11 +110,12 @@ class ModelAccuracyEstimator:
             theta_N_samples = sampler.sample_around(
                 theta_n, n=n, N=N, count=self._n_parameter_samples, tag="accuracy"
             )
-            differences = np.array(
-                [
-                    self._spec.prediction_difference(theta_n, theta_N, self._holdout)
-                    for theta_N in theta_N_samples
-                ]
+            # Batched MCS diff: all k sampled full-model parameters are
+            # evaluated in one BLAS-level call (model families without a
+            # vectorised override fall back to the per-sample loop).
+            differences = np.asarray(
+                self._spec.prediction_differences(theta_n, theta_N_samples, self._holdout),
+                dtype=np.float64,
             )
             epsilon = conservative_upper_bound(differences, delta)
         elapsed = time.perf_counter() - start

@@ -156,6 +156,9 @@ class BlinkML:
             contract=contract,
             statistics=statistics,
             sampler=parameter_sampler,
+            # The accuracy estimator just rejected n0, so re-probing the
+            # lower endpoint would waste a k-sample Monte-Carlo evaluation.
+            skip_lower_probe=True,
         )
         timings.sample_size_search_seconds = size_estimate.estimation_seconds
         final_n = size_estimate.sample_size

@@ -32,10 +32,13 @@ class ParameterSampler:
     rng:
         Seeded NumPy generator.
     cache_base_samples:
-        When true (default), base draws from the unscaled distribution are
-        cached per requested count, implementing sampling-by-scaling: the
-        binary search over n re-uses the same base draws and only rescales
-        them, exactly as Section 4.3 prescribes.
+        When true (default), the largest block of base draws from the
+        unscaled distribution is cached *per tag*, implementing
+        sampling-by-scaling: the binary search over n re-uses the same base
+        draws and only rescales them, exactly as Section 4.3 prescribes.
+        Smaller requests return prefix slices of the cached block and larger
+        requests extend it in place, so every request against a tag shares a
+        common prefix of draws — even when callers ask for different counts.
     """
 
     def __init__(
@@ -47,7 +50,7 @@ class ParameterSampler:
         self._statistics = statistics
         self._rng = rng or np.random.default_rng()
         self._cache_base_samples = cache_base_samples
-        self._base_cache: dict[tuple[str, int], np.ndarray] = {}
+        self._base_cache: dict[str, np.ndarray] = {}
 
     @property
     def statistics(self) -> ModelStatistics:
@@ -70,19 +73,31 @@ class ParameterSampler:
 
         ``tag`` keys the cache so callers needing two *independent* streams
         (the two-stage sampling of Section 4.1) do not accidentally share
-        draws.
+        draws.  Within a tag the cache holds the largest block drawn so far:
+        a smaller request returns a prefix slice of that block and a larger
+        request extends it with fresh rows, so two callers sharing a tag but
+        requesting different counts still share a common prefix of draws —
+        the Section 4.3 sampling-by-scaling reuse.
         """
         if count <= 0:
             raise StatisticsError("sample count must be positive")
-        key = (tag, count)
-        if self._cache_base_samples and key in self._base_cache:
-            return self._base_cache[key]
         covariance = self._statistics.covariance
-        z = self._rng.standard_normal(size=(count, covariance.rank))
-        base = covariance.apply(z)
-        if self._cache_base_samples:
-            self._base_cache[key] = base
-        return base
+        if not self._cache_base_samples:
+            z = self._rng.standard_normal(size=(count, covariance.rank))
+            return covariance.apply(z)
+        cached = self._base_cache.get(tag)
+        have = 0 if cached is None else cached.shape[0]
+        if have < count:
+            z = self._rng.standard_normal(size=(count - have, covariance.rank))
+            fresh = covariance.apply(z)
+            cached = fresh if cached is None else np.concatenate([cached, fresh], axis=0)
+            self._base_cache[tag] = cached
+        if cached.shape[0] == count:
+            # Return the block itself (not a view of it) so repeated
+            # same-count requests keep array identity, which callers use as
+            # the "draws were reused" signal.
+            return cached
+        return cached[:count]
 
     # ------------------------------------------------------------------
     # Scaled draws

@@ -41,7 +41,9 @@ class SampleSizeEstimate:
     n_probability_evaluations:
         How many candidate sizes the binary search probed.
     probed_sizes:
-        The candidate n values inspected, in order (diagnostics).
+        The candidate n values actually Monte-Carlo-evaluated, in order
+        (diagnostics).  With ``skip_lower_probe`` the lower endpoint ``n0``
+        is never evaluated and therefore never appears here.
     estimation_seconds:
         Wall-clock cost of the search.
     """
@@ -84,11 +86,14 @@ class SampleSizeEstimator:
         theta_n_samples, theta_N_samples = sampler.two_stage_samples(
             theta0, n0=n0, n=candidate_n, N=N, count=self._n_parameter_samples
         )
-        differences = np.array(
-            [
-                self._spec.prediction_difference(theta_n, theta_N, self._holdout)
-                for theta_n, theta_N in zip(theta_n_samples, theta_N_samples)
-            ]
+        # Batched pairwise MCS diff: the k two-stage pairs (θ_n,i, θ_N,i)
+        # are compared in one BLAS-level call per probe (specs without a
+        # vectorised override fall back to the per-pair loop).
+        differences = np.asarray(
+            self._spec.pairwise_prediction_differences(
+                theta_n_samples, theta_N_samples, self._holdout
+            ),
+            dtype=np.float64,
         )
         return satisfies_probability_threshold(differences, contract.epsilon, contract.delta)
 
@@ -103,6 +108,7 @@ class SampleSizeEstimator:
         contract: ApproximationContract,
         statistics: ModelStatistics,
         sampler: ParameterSampler | None = None,
+        skip_lower_probe: bool = False,
     ) -> SampleSizeEstimate:
         """Binary-search the smallest n in [n0, N] satisfying the contract.
 
@@ -122,6 +128,15 @@ class SampleSizeEstimator:
             Optional shared sampler (base draws are cached inside it, so the
             whole search re-uses the same base normal draws — the
             sampling-by-scaling optimisation).
+        skip_lower_probe:
+            When true, ``n0`` is assumed to fail the contract and is not
+            re-probed.  The coordinator sets this because it only reaches
+            the search after the accuracy estimator has already rejected
+            ``n0``, so the k-sample Monte-Carlo evaluation at the lower
+            endpoint would be wasted.  ``probed_sizes`` then starts at the
+            upper endpoint ``N`` and never contains ``n0``; if ``n0``
+            actually satisfies the contract the search conservatively
+            returns a size in ``(n0, N]`` instead of ``n0``.
         """
         if n0 <= 0 or N <= 0:
             raise SampleSizeError("sample sizes must be positive")
@@ -141,7 +156,7 @@ class SampleSizeEstimator:
         # it gracefully; if even N fails the Monte-Carlo check, fall back to
         # the full data.
         low, high = n0, N
-        if satisfied(low):
+        if not skip_lower_probe and satisfied(low):
             elapsed = time.perf_counter() - start
             return SampleSizeEstimate(
                 sample_size=low,

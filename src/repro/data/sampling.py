@@ -105,8 +105,10 @@ class WeightedSampler:
     J can then be re-weighted accordingly.  This sampler provides the data
     side of that extension — weighted sampling without replacement using the
     Efraimidis–Spirakis exponential-key method — together with the
-    importance weights ``1 / (n · p_i)`` a downstream estimator needs to
-    stay unbiased for the full-data objective.
+    raw Horvitz–Thompson-style importance weights ``1 / (n · p_i)`` a
+    downstream estimator needs to stay (asymptotically) unbiased for the
+    full-data objective (see :meth:`sample` for the exact estimator
+    conventions and the without-replacement caveat).
     """
 
     def __init__(
@@ -152,16 +154,42 @@ class WeightedSampler:
         chosen = positive[np.argsort(keys)[-n:]]
         return chosen
 
-    def sample(self, n: int) -> tuple[Dataset, np.ndarray]:
+    def sample(self, n: int, normalize: bool = False) -> tuple[Dataset, np.ndarray]:
         """Return a weighted sample and the matching importance weights.
 
-        The importance weight of row i is ``1 / (N · p_i)`` normalised to
-        mean one over the sample, which is what a weighted MLE objective
-        multiplies each per-example loss/gradient by.
+        The importance weight of row i is the *raw* Horvitz–Thompson-style
+        weight ``w_i = 1 / (n · p_i)``: with it, ``Σ_sample w_i y_i``
+        estimates the population total and ``(1/N) Σ_sample w_i y_i`` the
+        population mean — which is what keeps a weighted MLE objective
+        anchored to the full-data objective.  (For an objective written as
+        a *sample average*, ``(1/n) Σ w'_i ℓ_i`` matching the full-data
+        average requires ``w'_i = (n/N) w_i = 1/(N · p_i)``; either scaling
+        is an exact constant multiple of the weights returned here.)
+
+        Exactness caveat: ``n · p_i`` is the *with-replacement* inclusion
+        rate.  Under the Efraimidis–Spirakis without-replacement draws used
+        here the true inclusion probability of a heavy row is capped at 1,
+        so the estimators above are exactly unbiased for uniform weights
+        (where ``w_i = N/n``) and approximately unbiased otherwise, with
+        bias vanishing as ``max_i n · p_i → 0``.  Rows with extreme weights
+        relative to ``1/n`` should be handled with a dedicated
+        certainty-stratum before relying on these weights.
+
+        Parameters
+        ----------
+        n:
+            Sample size.
+        normalize:
+            When true, rescale the returned weights to mean one over the
+            sample.  Convenient when only *relative* weights matter (e.g.
+            reweighting a loss against a fixed regulariser), but it
+            silently destroys the exact unbiasedness above, so it is an
+            explicit opt-in rather than the default.
         """
         indices = self.sample_indices(n)
-        importance = 1.0 / (self._dataset.n_rows * self._probabilities[indices])
-        importance = importance / importance.mean()
+        importance = 1.0 / (n * self._probabilities[indices])
+        if normalize:
+            importance = importance / importance.mean()
         subset = self._dataset.take(indices).with_name(
             f"{self._dataset.name}/weighted[{n}]"
         )

@@ -11,6 +11,7 @@ from repro.evaluation.metrics import (
     generalization_error,
     regression_r2,
     model_agreement,
+    model_agreements,
 )
 from repro.evaluation.experiments import (
     SweepRecord,
@@ -25,6 +26,7 @@ __all__ = [
     "generalization_error",
     "regression_r2",
     "model_agreement",
+    "model_agreements",
     "SweepRecord",
     "run_accuracy_sweep",
     "run_baseline_comparison",

@@ -49,5 +49,30 @@ def model_agreement(
     theta_full: np.ndarray,
     dataset: Dataset,
 ) -> float:
-    """The *actual accuracy* ``1 − v`` between an approximate and a full model."""
-    return 1.0 - spec.prediction_difference(theta_approx, theta_full, dataset)
+    """The *actual accuracy* ``1 − v`` between an approximate and a full model.
+
+    Routed through the batched diff path so that repeated comparisons
+    against the same full model (the common benchmark-harness pattern) reuse
+    the cached full-model predictions.
+    """
+    return float(model_agreements(spec, [theta_approx], theta_full, dataset)[0])
+
+
+def model_agreements(
+    spec: ModelClassSpec,
+    Thetas_approx: np.ndarray,
+    theta_full: np.ndarray,
+    dataset: Dataset,
+) -> np.ndarray:
+    """Batched *actual accuracy*: ``1 − v`` for a stack of approximate models.
+
+    All model-difference metrics in the library are symmetric, so the full
+    model serves as the reference θ of the batched diff; every approximate
+    model is evaluated in one BLAS-level call.
+    """
+    Thetas_approx = np.asarray(Thetas_approx, dtype=np.float64)
+    differences = np.asarray(
+        spec.prediction_differences(theta_full, Thetas_approx, dataset),
+        dtype=np.float64,
+    )
+    return 1.0 - differences

@@ -47,6 +47,11 @@ class ModelClassSpec(ABC):
         if regularization < 0:
             raise ModelSpecError("regularization coefficient must be non-negative")
         self.regularization = float(regularization)
+        # One-slot memo for the reference predictions of the batched diff
+        # path: (theta bytes, feature-matrix identity) -> predictions.  The
+        # feature matrix is kept alive by the cache entry itself, so the
+        # identity check cannot alias a recycled object.
+        self._reference_cache: tuple[bytes, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Parameter bookkeeping
@@ -127,6 +132,107 @@ class ModelClassSpec(ABC):
         holdout set; regression returns the (normalised) RMS prediction
         difference; PPCA returns ``1 − cosine(θ_a, θ_b)``.
         """
+
+    # ------------------------------------------------------------------
+    # Batched parameter evaluation
+    #
+    # The accuracy and sample-size estimators evaluate the MCS ``diff``
+    # function against k = O(100) sampled parameter vectors at every
+    # estimate and every binary-search probe.  The methods below expose that
+    # inner loop as a set-at-a-time operation so model families can replace
+    # k separate predict calls with a single ``X @ Thetas.T``-style GEMM.
+    # The generic implementations fall back to the per-pair loop, so custom
+    # ModelClassSpec subclasses that only implement ``predict`` and
+    # ``prediction_difference`` keep working unchanged.
+    # ------------------------------------------------------------------
+    def _as_parameter_batch(self, Thetas: np.ndarray) -> np.ndarray:
+        """Validate and coerce a stack of parameter vectors to ``(k, p)``."""
+        Thetas = np.asarray(Thetas, dtype=np.float64)
+        if Thetas.ndim != 2:
+            raise ModelSpecError(
+                f"expected a (k, p) batch of parameter vectors, got shape {Thetas.shape}"
+            )
+        return Thetas
+
+    def _as_paired_batches(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate two parameter batches that must match pair for pair."""
+        Thetas_a = self._as_parameter_batch(Thetas_a)
+        Thetas_b = self._as_parameter_batch(Thetas_b)
+        if Thetas_a.shape != Thetas_b.shape:
+            raise ModelSpecError(
+                f"paired parameter batches must have matching shapes; got "
+                f"{Thetas_a.shape} and {Thetas_b.shape}"
+            )
+        return Thetas_a, Thetas_b
+
+    def _reference_predictions(self, theta_ref: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Predictions of the reference θ, memoised across consecutive calls.
+
+        The batched diff path evaluates many candidate parameter vectors
+        against the *same* reference θ on the *same* holdout features, so the
+        reference predictions are computed once per (θ, X) pair instead of
+        once per candidate.
+
+        The memo hit test is ``X is cached_X`` plus the θ bytes, which
+        relies on :class:`~repro.data.dataset.Dataset`'s documented
+        immutability: mutating a feature matrix in place and re-passing the
+        same array object would return stale predictions.  Build a new
+        Dataset (the library-wide convention) instead of mutating buffers.
+        """
+        theta_ref = np.asarray(theta_ref, dtype=np.float64)
+        key = theta_ref.tobytes()
+        # getattr guards custom specs whose __init__ skips super().__init__.
+        cached = getattr(self, "_reference_cache", None)
+        if cached is not None and cached[0] == key and cached[1] is X:
+            return cached[2]
+        predictions = self.predict(theta_ref, X)
+        self._reference_cache = (key, X, predictions)
+        return predictions
+
+    def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Predictions for each parameter vector in the ``(k, p)`` batch.
+
+        Returns an array whose leading axis indexes the k parameter vectors;
+        entry i equals ``predict(Thetas[i], X)``.  Vectorised overrides
+        compute all k prediction sets in one BLAS-level matrix product.
+        """
+        Thetas = self._as_parameter_batch(Thetas)
+        return np.stack([self.predict(theta, X) for theta in Thetas])
+
+    def prediction_differences(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        """Batched ``diff``: ``v(θ_ref, Thetas[i])`` for each i, shape ``(k,)``.
+
+        This is the accuracy-estimator inner loop (Section 3.3 step 2): one
+        reference model against k sampled full-model parameters.
+        """
+        Thetas = self._as_parameter_batch(Thetas)
+        theta_ref = np.asarray(theta_ref, dtype=np.float64)
+        return np.array(
+            [self.prediction_difference(theta_ref, theta, dataset) for theta in Thetas],
+            dtype=np.float64,
+        )
+
+    def pairwise_prediction_differences(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        """Elementwise batched ``diff``: ``v(Thetas_a[i], Thetas_b[i])``.
+
+        This is the sample-size-estimator inner loop (Section 4.1): the k
+        two-stage pairs ``(θ_n,i, θ_N,i)`` are compared pair by pair at every
+        binary-search probe.
+        """
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        return np.array(
+            [
+                self.prediction_difference(theta_a, theta_b, dataset)
+                for theta_a, theta_b in zip(Thetas_a, Thetas_b)
+            ],
+            dtype=np.float64,
+        )
 
     # ------------------------------------------------------------------
     # Training

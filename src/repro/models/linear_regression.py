@@ -133,22 +133,45 @@ class LinearRegressionSpec(ModelClassSpec):
     def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
         return np.asarray(X, dtype=np.float64) @ np.asarray(theta, dtype=np.float64)
 
+    def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        Thetas = self._as_parameter_batch(Thetas)
+        return Thetas @ np.asarray(X, dtype=np.float64).T
+
+    def _difference_scale(self, dataset: Dataset) -> float:
+        if not self.normalize_difference:
+            return 1.0
+        if dataset.y is None:
+            raise ModelSpecError(
+                "normalised regression difference needs holdout labels for scaling"
+            )
+        scale = float(np.std(dataset.y))
+        return scale if scale > 0 else 1.0
+
     def prediction_difference(
         self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset
     ) -> float:
         predictions_a = self.predict(theta_a, dataset.X)
         predictions_b = self.predict(theta_b, dataset.X)
         rms = float(np.sqrt(np.mean((predictions_a - predictions_b) ** 2)))
-        if not self.normalize_difference:
-            return rms
-        if dataset.y is None:
-            raise ModelSpecError(
-                "normalised regression difference needs holdout labels for scaling"
-            )
-        scale = float(np.std(dataset.y))
-        if scale <= 0:
-            scale = 1.0
-        return rms / scale
+        return rms / self._difference_scale(dataset)
+
+    def prediction_differences(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        reference = self._reference_predictions(theta_ref, dataset.X)
+        batch = self.predict_many(Thetas, dataset.X)  # (k, n) in one GEMM
+        rms = np.sqrt(np.mean((batch - reference[None, :]) ** 2, axis=1))
+        return rms / self._difference_scale(dataset)
+
+    def pairwise_prediction_differences(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        # Predictions are linear in θ, so the k prediction gaps collapse to
+        # a single GEMM over the parameter deltas.
+        deltas = self.predict_many(Thetas_a - Thetas_b, dataset.X)
+        rms = np.sqrt(np.mean(deltas**2, axis=1))
+        return rms / self._difference_scale(dataset)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -97,9 +97,37 @@ class LogisticRegressionSpec(ModelClassSpec):
     def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
         return (self.predict_proba(theta, X) >= 0.5).astype(np.int64)
 
+    def predict_proba_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities for a ``(k, d)`` parameter batch.
+
+        All k logit vectors come out of a single ``Thetas @ Xᵀ`` GEMM.
+        """
+        Thetas = self._as_parameter_batch(Thetas)
+        return sigmoid(Thetas @ np.asarray(X, dtype=np.float64).T)
+
+    def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba_many(Thetas, X) >= 0.5).astype(np.int64)
+
     def prediction_difference(
         self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset
     ) -> float:
         predictions_a = self.predict(theta_a, dataset.X)
         predictions_b = self.predict(theta_b, dataset.X)
         return float(np.mean(predictions_a != predictions_b))
+
+    def prediction_differences(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        reference = self._reference_predictions(theta_ref, dataset.X)
+        batch = self.predict_many(Thetas, dataset.X)  # (k, n)
+        return np.mean(batch != reference[None, :], axis=1)
+
+    def pairwise_prediction_differences(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        # One GEMM for both sides of every pair.
+        stacked = np.concatenate([Thetas_a, Thetas_b], axis=0)
+        labels = self.predict_many(stacked, dataset.X)
+        k = Thetas_a.shape[0]
+        return np.mean(labels[:k] != labels[k:], axis=1)

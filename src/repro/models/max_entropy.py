@@ -148,12 +148,47 @@ class MaxEntropySpec(ModelClassSpec):
     def predict(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(theta, X), axis=1).astype(np.int64)
 
+    def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        Thetas = self._as_parameter_batch(Thetas)
+        if self.n_classes is None:
+            raise ModelSpecError("class count unknown; call n_parameters or fit first")
+        K = self.n_classes
+        d = X.shape[1]
+        k = Thetas.shape[0]
+        if Thetas.shape[1] != K * d:
+            raise ModelSpecError(
+                f"parameter vectors have length {Thetas.shape[1]}, expected {K * d}"
+            )
+        # All k·K class scores come from a single (k·K, d) × (d, n) GEMM.
+        # Softmax is strictly monotone per row, so argmax over raw logits
+        # matches argmax over the per-θ predict_proba path.
+        logits = (Thetas.reshape(k * K, d) @ X.T).reshape(k, K, -1)
+        return np.argmax(logits, axis=1).astype(np.int64)
+
     def prediction_difference(
         self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset
     ) -> float:
         predictions_a = self.predict(theta_a, dataset.X)
         predictions_b = self.predict(theta_b, dataset.X)
         return float(np.mean(predictions_a != predictions_b))
+
+    def prediction_differences(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        reference = self._reference_predictions(theta_ref, dataset.X)
+        batch = self.predict_many(Thetas, dataset.X)  # (k, n)
+        return np.mean(batch != reference[None, :], axis=1)
+
+    def pairwise_prediction_differences(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        labels = self.predict_many(
+            np.concatenate([Thetas_a, Thetas_b], axis=0), dataset.X
+        )
+        k = Thetas_a.shape[0]
+        return np.mean(labels[:k] != labels[k:], axis=1)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -179,6 +179,35 @@ class PPCASpec(ModelClassSpec):
         _, M_inv, _ = self._woodbury(Theta)
         return X @ Theta @ M_inv
 
+    def _loading_batch(self, Thetas: np.ndarray, n_features: int) -> np.ndarray:
+        """View a ``(k, d·q)`` parameter batch as ``(k, d, q)`` loadings."""
+        Thetas = self._as_parameter_batch(Thetas)
+        expected = n_features * self.n_factors
+        if Thetas.shape[1] != expected:
+            raise ModelSpecError(
+                f"parameter vectors have length {Thetas.shape[1]}, expected {expected}"
+            )
+        return Thetas.reshape(Thetas.shape[0], n_features, self.n_factors)
+
+    def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """Latent scores for each loading matrix, shape ``(k, n, q)``.
+
+        The expensive ``X Θ_i`` products for all k loadings collapse into a
+        single ``(n, d) × (d, k·q)`` GEMM; only the q-by-q capacitance
+        solves stay per-member (they are independent of n).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        q = self.n_factors
+        loadings = self._loading_batch(Thetas, X.shape[1])  # (k, d, q)
+        k, d, _ = loadings.shape
+        projected = X @ loadings.transpose(1, 0, 2).reshape(d, k * q)  # (n, k·q)
+        projected = projected.reshape(-1, k, q).transpose(1, 0, 2)  # (k, n, q)
+        M = self.sigma2 * np.eye(q)[None, :, :] + loadings.transpose(0, 2, 1) @ loadings
+        signs, _ = np.linalg.slogdet(M)
+        if np.any(signs <= 0):
+            raise ModelSpecError("capacitance matrix M is not positive definite")
+        return projected @ np.linalg.inv(M)
+
     def reconstruct(self, theta: np.ndarray, X: np.ndarray) -> np.ndarray:
         """Reconstruction ``Θ E[z | x]`` of each row from its latent scores."""
         X = np.asarray(X, dtype=np.float64)
@@ -215,6 +244,53 @@ class PPCASpec(ModelClassSpec):
         singular_values = np.linalg.svd(Theta_a.T @ Theta_b, compute_uv=False)
         cosine = float(singular_values.sum()) / (norm_a * norm_b)
         return 1.0 - min(cosine, 1.0)
+
+    def _batched_procrustes_differences(
+        self,
+        loadings_a: np.ndarray,
+        loadings_b: np.ndarray,
+        norms_a: np.ndarray,
+        norms_b: np.ndarray,
+    ) -> np.ndarray:
+        """Aligned ``1 − cosine`` for matched ``(k, d, q)`` loading stacks.
+
+        The k cross-products are one batched q×q GEMM stack and the nuclear
+        norms come from one batched SVD — no per-pair Python loop.
+        """
+        differences = np.ones(loadings_a.shape[0])
+        valid = (norms_a > 0) & (norms_b > 0)
+        if not np.any(valid):
+            return differences
+        cross = loadings_a[valid].transpose(0, 2, 1) @ loadings_b[valid]  # (v, q, q)
+        singular_values = np.linalg.svd(cross, compute_uv=False)  # (v, q)
+        cosines = singular_values.sum(axis=1) / (norms_a[valid] * norms_b[valid])
+        differences[valid] = 1.0 - np.minimum(cosines, 1.0)
+        return differences
+
+    def prediction_differences(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        theta_ref = np.asarray(theta_ref, dtype=np.float64)
+        loadings = self._loading_batch(Thetas, dataset.n_features)
+        norm_ref = float(np.linalg.norm(theta_ref))
+        if norm_ref == 0:
+            return np.ones(loadings.shape[0])
+        reference = self.reshape(theta_ref, dataset.n_features)
+        references = np.broadcast_to(reference, loadings.shape)
+        norms = np.linalg.norm(loadings.reshape(loadings.shape[0], -1), axis=1)
+        return self._batched_procrustes_differences(
+            references, loadings, np.full(loadings.shape[0], norm_ref), norms
+        )
+
+    def pairwise_prediction_differences(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> np.ndarray:
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        loadings_a = self._loading_batch(Thetas_a, dataset.n_features)
+        loadings_b = self._loading_batch(Thetas_b, dataset.n_features)
+        norms_a = np.linalg.norm(loadings_a.reshape(loadings_a.shape[0], -1), axis=1)
+        norms_b = np.linalg.norm(loadings_b.reshape(loadings_b.shape[0], -1), axis=1)
+        return self._batched_procrustes_differences(loadings_a, loadings_b, norms_a, norms_b)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -51,6 +51,33 @@ class TestBaseSamples:
         b = sampler.base_samples(32, tag="two")
         assert not np.allclose(a, b)
 
+    def test_smaller_request_is_prefix_of_larger(self, statistics_and_theta):
+        # Two callers sharing a tag but asking for different counts must
+        # share draws (Section 4.3 sampling-by-scaling reuse): a count-64
+        # request returns a prefix of a prior count-128 request.
+        stats, _ = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(7))
+        large = sampler.base_samples(128)
+        small = sampler.base_samples(64)
+        np.testing.assert_array_equal(small, large[:64])
+
+    def test_larger_request_extends_cached_prefix(self, statistics_and_theta):
+        # Growing the cache must keep earlier draws as a prefix rather than
+        # redrawing an independent block.
+        stats, _ = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(8))
+        small = sampler.base_samples(64).copy()
+        large = sampler.base_samples(128)
+        assert large.shape[0] == 128
+        np.testing.assert_array_equal(large[:64], small)
+
+    def test_prefix_reuse_is_per_tag(self, statistics_and_theta):
+        stats, _ = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(9))
+        a = sampler.base_samples(48, tag="one")
+        b = sampler.base_samples(24, tag="two")
+        assert not np.allclose(a[:24], b)
+
     def test_no_cache_mode(self, statistics_and_theta):
         stats, _ = statistics_and_theta
         sampler = ParameterSampler(stats, rng=np.random.default_rng(0), cache_base_samples=False)

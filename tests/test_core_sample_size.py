@@ -98,6 +98,46 @@ class TestBinarySearch:
         first_true = outcomes.index(True) if True in outcomes else len(outcomes)
         assert all(outcomes[first_true:])
 
+    def test_skip_lower_probe_saves_one_evaluation(self, initial_model_setup):
+        # The coordinator only reaches the search after the accuracy
+        # estimator rejected n0, so the lower-endpoint probe is redundant.
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        N = splits.train.n_rows
+        default = estimator.estimate(
+            model.theta, n0, N, contract, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(11)),
+        )
+        skipped = estimator.estimate(
+            model.theta, n0, N, contract, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(11)),
+            skip_lower_probe=True,
+        )
+        # n0 is never Monte-Carlo-evaluated: the first probe is the upper
+        # endpoint, and with identical base draws the search lands on the
+        # same answer with exactly one evaluation fewer.
+        assert n0 not in skipped.probed_sizes
+        assert skipped.probed_sizes[0] == N
+        assert skipped.n_probability_evaluations == default.n_probability_evaluations - 1
+        assert skipped.sample_size == default.sample_size
+        assert skipped.feasible == default.feasible
+
+    def test_skip_lower_probe_degenerate_n0_equals_N(self, initial_model_setup):
+        # With n0 = N the search window is a single point; skipping the
+        # lower probe must still terminate after the (free) upper probe.
+        spec, splits, model, stats, _ = initial_model_setup
+        estimator = make_estimator(spec, splits)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        N = splits.train.n_rows
+        estimate = estimator.estimate(
+            model.theta, N, N, contract, stats, skip_lower_probe=True
+        )
+        assert estimate.feasible
+        assert estimate.sample_size == N
+        assert estimate.n_probability_evaluations == 1
+        assert estimate.probed_sizes == (N,)
+
     def test_invalid_sizes(self, initial_model_setup):
         spec, splits, model, stats, n0 = initial_model_setup
         estimator = make_estimator(spec, splits)

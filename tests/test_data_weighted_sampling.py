@@ -91,33 +91,61 @@ class TestSampling:
         # the draws; uniform sampling would give only ~12.5%.
         assert heavy_hits / (5 * repetitions) > 0.5
 
-    def test_sample_returns_importance_weights(self):
+    def test_sample_returns_raw_horvitz_thompson_weights(self):
+        n_rows, n = 100, 25
+        weights = np.linspace(1, 5, n_rows)
+        sampler = WeightedSampler(
+            make_dataset(n_rows), weights, rng=np.random.default_rng(3)
+        )
+        subset, importance = sampler.sample(n)
+        assert subset.n_rows == n
+        assert importance.shape == (n,)
+        assert np.all(importance > 0)
+        # Raw HT weights are 1/(n·p_i) for the sampled rows — no silent
+        # renormalisation (the old mean-one rescaling destroyed the
+        # unbiasedness the weights exist for).
+        row_values = subset.X[:, 0]
+        expected = 1.0 / (n * sampler.probabilities[row_values.astype(int)])
+        np.testing.assert_allclose(importance, expected)
+
+    def test_mean_one_normalization_is_explicit_opt_in(self):
         sampler = WeightedSampler(
             make_dataset(100), np.linspace(1, 5, 100), rng=np.random.default_rng(3)
         )
-        subset, importance = sampler.sample(25)
-        assert subset.n_rows == 25
-        assert importance.shape == (25,)
-        assert np.all(importance > 0)
+        _, importance = sampler.sample(25, normalize=True)
         assert importance.mean() == pytest.approx(1.0)
 
+    def test_weighted_mean_of_constant_column_exactly_unbiased(self):
+        # Regression test for the HT-weight bug: under uniform weights every
+        # raw HT weight is exactly N/n, so the weighted estimator of the
+        # population mean, (1/N)·Σ w_i·y_i, recovers a constant column
+        # exactly — deterministically, not merely in expectation.  The old
+        # mean-one-normalised weights gave (n/N)·c instead.
+        n_rows, n, constant = 500, 40, 7.25
+        data = Dataset(np.full((n_rows, 1), constant), np.zeros(n_rows))
+        sampler = WeightedSampler(data, np.ones(n_rows), rng=np.random.default_rng(5))
+        subset, importance = sampler.sample(n)
+        np.testing.assert_allclose(importance, np.full(n, n_rows / n))
+        estimate = float(np.sum(importance * subset.X[:, 0]) / n_rows)
+        assert estimate == pytest.approx(constant, rel=1e-12)
+
     def test_importance_weighted_mean_tracks_population_mean(self):
-        # Weight rows by their value (size-biased sampling); the importance
-        # weights must undo the bias so the weighted mean stays close to the
+        # Weight rows by their value (size-biased sampling); the HT weights
+        # must undo the bias so (1/N)·Σ w_i·y_i stays close to the
         # population mean.
-        n = 2000
-        data = make_dataset(n)
+        n_rows, n = 2000, 200
+        data = make_dataset(n_rows)
         weights = data.X[:, 0] + 1.0
         rng = np.random.default_rng(4)
         sampler = WeightedSampler(data, weights, rng=rng)
         estimates = []
         for _ in range(200):
-            subset, importance = sampler.sample(200)
-            estimates.append(float(np.mean(importance * subset.X[:, 0])))
+            subset, importance = sampler.sample(n)
+            estimates.append(float(np.sum(importance * subset.X[:, 0]) / n_rows))
         population_mean = float(data.X[:, 0].mean())
         naive_means = []
         for _ in range(50):
-            subset, _ = sampler.sample(200)
+            subset, _ = sampler.sample(n)
             naive_means.append(float(subset.X[:, 0].mean()))
         # The importance-weighted estimate is closer to the truth than the
         # naive (biased) sample mean.

@@ -7,7 +7,10 @@ well-formed dataset, not just the hand-picked cases of the unit tests:
 * the averaged per-example gradients plus r(θ) reproduce the full gradient;
 * prediction differences are symmetric, bounded and zero on the diagonal;
 * classification losses decrease along the negative gradient (descent
-  direction sanity).
+  direction sanity);
+* the batched diff engine (``predict_many`` / ``prediction_differences`` /
+  ``pairwise_prediction_differences``) agrees with the per-pair loop path
+  to 1e-12 for every model family and random θ batch.
 """
 
 import numpy as np
@@ -16,9 +19,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.dataset import Dataset
+from repro.models.base import ModelClassSpec
 from repro.models.linear_regression import LinearRegressionSpec
 from repro.models.logistic_regression import LogisticRegressionSpec
 from repro.models.max_entropy import MaxEntropySpec
+from repro.models.poisson_regression import PoissonRegressionSpec
 from repro.models.ppca import PPCASpec
 
 
@@ -38,6 +43,8 @@ def dataset_strategy(task: str):
             y = rng.integers(0, 2, size=n)
         elif task == "multiclass":
             y = rng.integers(0, 3, size=n)
+        elif task == "counts":
+            y = rng.poisson(lam=2.0, size=n).astype(np.float64)
         else:
             y = None
         return Dataset(X, y)
@@ -170,3 +177,104 @@ class TestDifferenceProperties:
         assert spec.prediction_difference(theta, scale * theta, dummy) == pytest.approx(
             0.0, abs=1e-9
         )
+
+
+def _batched_case(task: str, n_params_fn, make_spec):
+    """Build one (spec, dataset, ref θ, θ batch pair) batched-diff test case."""
+
+    @st.composite
+    def build(draw):
+        data = draw(dataset_strategy(task))
+        spec = make_spec()
+        p = n_params_fn(spec, data)
+        k = draw(st.integers(min_value=1, max_value=6))
+        seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+        scale = draw(st.floats(min_value=0.01, max_value=2.0))
+        rng = np.random.default_rng(seed)
+        theta_ref = scale * rng.normal(size=p)
+        batch_a = scale * rng.normal(size=(k, p))
+        batch_b = scale * rng.normal(size=(k, p))
+        return spec, data, theta_ref, batch_a, batch_b
+
+    return build()
+
+
+BATCHED_FAMILIES = {
+    "lin": ("regression", lambda s, d: d.n_features,
+            lambda: LinearRegressionSpec(regularization=0.01)),
+    "lr": ("binary", lambda s, d: d.n_features,
+           lambda: LogisticRegressionSpec(regularization=0.01)),
+    "me": ("multiclass", lambda s, d: 3 * d.n_features,
+           lambda: MaxEntropySpec(n_classes=3, regularization=0.01)),
+    "poisson": ("counts", lambda s, d: d.n_features,
+                lambda: PoissonRegressionSpec(regularization=0.01)),
+    "ppca": ("unsupervised", lambda s, d: 2 * d.n_features,
+             lambda: PPCASpec(n_factors=2)),
+}
+
+
+def _assert_batched_matches_loop(spec, data, theta_ref, batch_a, batch_b):
+    """The vectorised overrides must agree with the base-class loop path."""
+    batched = spec.prediction_differences(theta_ref, batch_a, data)
+    loop = ModelClassSpec.prediction_differences(spec, theta_ref, batch_a, data)
+    np.testing.assert_allclose(batched, loop, atol=1e-12)
+
+    paired = spec.pairwise_prediction_differences(batch_a, batch_b, data)
+    paired_loop = ModelClassSpec.pairwise_prediction_differences(
+        spec, batch_a, batch_b, data
+    )
+    np.testing.assert_allclose(paired, paired_loop, atol=1e-12)
+
+    many = spec.predict_many(batch_a, data.X)
+    stacked = np.stack([spec.predict(theta, data.X) for theta in batch_a])
+    np.testing.assert_allclose(many, stacked, atol=1e-12)
+
+
+class TestBatchedDifferenceConsistency:
+    """Batched GEMM path ≡ per-pair loop path, per model family."""
+
+    @given(case=_batched_case(*BATCHED_FAMILIES["lin"]))
+    @settings(max_examples=25, deadline=None)
+    def test_linear_regression(self, case):
+        _assert_batched_matches_loop(*case)
+
+    @given(case=_batched_case(*BATCHED_FAMILIES["lr"]))
+    @settings(max_examples=25, deadline=None)
+    def test_logistic_regression(self, case):
+        _assert_batched_matches_loop(*case)
+
+    @given(case=_batched_case(*BATCHED_FAMILIES["me"]))
+    @settings(max_examples=20, deadline=None)
+    def test_max_entropy(self, case):
+        _assert_batched_matches_loop(*case)
+
+    @given(case=_batched_case(*BATCHED_FAMILIES["poisson"]))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_regression(self, case):
+        _assert_batched_matches_loop(*case)
+
+    @given(case=_batched_case(*BATCHED_FAMILIES["ppca"]))
+    @settings(max_examples=15, deadline=None)
+    def test_ppca(self, case):
+        _assert_batched_matches_loop(*case)
+
+    def test_zero_norm_ppca_batch_matches_loop(self):
+        # Degenerate loadings exercise the zero-norm guard of the batched
+        # Procrustes path.
+        spec = PPCASpec(n_factors=2)
+        data = Dataset(np.zeros((2, 3)))
+        ref = np.random.default_rng(0).normal(size=6)
+        batch = np.vstack([np.zeros(6), np.random.default_rng(1).normal(size=6)])
+        batched = spec.prediction_differences(ref, batch, data)
+        loop = ModelClassSpec.prediction_differences(spec, ref, batch, data)
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
+        zero_ref = spec.prediction_differences(np.zeros(6), batch, data)
+        np.testing.assert_allclose(zero_ref, np.ones(2))
+
+    def test_pairwise_shape_mismatch_rejected(self):
+        from repro.exceptions import ModelSpecError
+
+        spec = LinearRegressionSpec(normalize_difference=False)
+        data = Dataset(np.ones((4, 3)), np.zeros(4))
+        with pytest.raises(ModelSpecError):
+            spec.pairwise_prediction_differences(np.ones((2, 3)), np.ones((3, 3)), data)
