@@ -27,7 +27,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_figure_table
 from repro.core.coordinator import BlinkML

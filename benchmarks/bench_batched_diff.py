@@ -111,6 +111,11 @@ def run(n_rows: int, n_features: int, k: int, repeats: int) -> list[dict]:
         predict_many = ModelClassSpec.predict_many
         prediction_differences = ModelClassSpec.prediction_differences
         pairwise_prediction_differences = ModelClassSpec.pairwise_prediction_differences
+        # Pin the streaming factories to the generic fallbacks too, so the
+        # loop path keeps the per-pair scalar-diff semantics it is meant to
+        # represent (a custom spec with no vectorised overrides at all).
+        diff_accumulator = ModelClassSpec.diff_accumulator
+        pairwise_diff_accumulator = ModelClassSpec.pairwise_diff_accumulator
 
     loop_spec = LoopOnlySpec(regularization=1e-3)
     batched_estimator = ModelAccuracyEstimator(spec, holdout, n_parameter_samples=k)

@@ -18,7 +18,6 @@ below check; the wall-clock counts are reported for reference.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_figure_table
 from repro.core.contract import ApproximationContract

@@ -13,10 +13,8 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_figure_table
-from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.data.dataset import Dataset
 from repro.data.splits import SplitSpec, train_holdout_test_split

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import print_figure_table
 from repro.core.contract import ApproximationContract

@@ -16,11 +16,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_figure_table
 from repro.core.statistics import compute_statistics
-from repro.data.dataset import Dataset
 from repro.data.synthetic import higgs_like, mnist_like, power_like
 from repro.evaluation.reporting import format_table
 from repro.linalg.utils import frobenius_distance

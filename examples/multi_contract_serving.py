@@ -1,0 +1,78 @@
+"""Serving many approximation contracts from one estimation session.
+
+A serving deployment rarely trains for a single (ε, δ): different callers
+ask for different accuracy/confidence trade-offs against the *same* data
+and model family.  The `EstimationSession` computes everything
+contract-independent once — the initial model, the H/J statistics, the
+sampled model-difference distribution — and then answers each contract by a
+conservative-quantile lookup on a cached sorted difference vector: after
+the first contract, `session.answer()` performs zero new model evaluations.
+
+Run with::
+
+    python examples/multi_contract_serving.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
+from repro.data import higgs_like, train_holdout_test_split
+
+
+def main() -> None:
+    print("Generating a HIGGS-like workload (120k rows, 24 features)...")
+    data = higgs_like(n_rows=120_000, n_features=24, seed=11)
+    splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
+
+    trainer = BlinkML(
+        LogisticRegressionSpec(regularization=1e-3),
+        initial_sample_size=5_000,
+        n_parameter_samples=128,
+        seed=0,
+    )
+
+    # Open the session once: trains m_0 and computes the statistics.
+    start = time.perf_counter()
+    session = trainer.session(splits.train, splits.holdout)
+    print(f"session opened (m_0 + statistics) in {time.perf_counter() - start:.2f}s\n")
+
+    # A stream of contracts, as a serving endpoint would see them.
+    contracts = [
+        ApproximationContract.from_accuracy(0.80),
+        ApproximationContract.from_accuracy(0.90),
+        ApproximationContract.from_accuracy(0.95),
+        ApproximationContract.from_accuracy(0.90, delta=0.2),   # looser confidence
+        ApproximationContract.from_accuracy(0.95, delta=0.01),  # tighter confidence
+        ApproximationContract.from_accuracy(0.99),
+    ]
+
+    header = f"{'requested':>10}{'delta':>7}{'answered in':>13}{'cached':>8}{'m_0 ok?':>9}{'sample n':>10}"
+    print(header)
+    print("-" * len(header))
+    for contract in contracts:
+        start = time.perf_counter()
+        answer = session.answer(contract)
+        answer_ms = 1e3 * (time.perf_counter() - start)
+        if answer.satisfied:
+            sample_n = session.initial_sample_size
+        else:
+            sample_n = session.train_to(contract).sample_size
+        print(
+            f"{contract.requested_accuracy:>9.0%}{contract.delta:>7.2f}"
+            f"{answer_ms:>11.2f}ms{str(answer.from_cache):>8}"
+            f"{str(answer.satisfied):>9}{sample_n:>10}"
+        )
+
+    print(
+        f"\ndifference-vector cache: {session.diff_cache_misses} misses, "
+        f"{session.diff_cache_hits} hits — every contract after the first is "
+        "answered by quantile lookup, no new model evaluations."
+    )
+
+
+if __name__ == "__main__":
+    main()

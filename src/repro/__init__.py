@@ -18,6 +18,7 @@ paper-versus-measured comparison of every figure and table.
 
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
+from repro.core.session import EstimationSession, SessionAnswer
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
 from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
@@ -50,6 +51,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ApproximationContract",
     "BlinkML",
+    "EstimationSession",
+    "SessionAnswer",
     "ApproximateTrainingResult",
     "TimingBreakdown",
     "AccuracyEstimate",

@@ -16,6 +16,8 @@ system agrees on the same defaults without hidden magic numbers.
 
 from __future__ import annotations
 
+from repro.exceptions import ContractError
+
 DEFAULT_INITIAL_SAMPLE_SIZE = 10_000
 DEFAULT_NUM_PARAMETER_SAMPLES = 128
 DEFAULT_CONFIDENCE_SLACK = 0.95
@@ -23,6 +25,35 @@ DEFAULT_FINITE_DIFFERENCE_EPS = 1e-6
 DEFAULT_HOLDOUT_FRACTION = 0.1
 DEFAULT_TEST_FRACTION = 0.2
 DEFAULT_RANDOM_SEED = 0
+
+# The contract's default violation probability δ (the paper's experiments
+# use 0.05 throughout).  Every place a default δ appears — the contract
+# dataclass, ``BlinkML.train_with_accuracy``, the sklearn wrappers, the
+# experiment runners — reads this constant.
+DEFAULT_DELTA = 0.05
+
+# Streaming sharded holdout evaluation (repro.evaluation.streaming).  The
+# holdout is processed in row blocks of this size so the per-candidate
+# prediction block stays O(k · block) instead of O(k · n_holdout);
+# 8192 rows × 128 candidates × 8 bytes ≈ 8 MB per in-flight block.
+DEFAULT_HOLDOUT_BLOCK_ROWS = 8_192
+# 0 or 1 means serial block processing; larger values fan contiguous block
+# ranges out across that many threads (NumPy releases the GIL inside the
+# per-block GEMMs).
+DEFAULT_STREAMING_WORKERS = 0
+
+# How many candidate sample sizes the sample-size search evaluates per
+# stacked Monte-Carlo pass (ROADMAP "batched two-stage probes").  1 keeps
+# the classic bisection; the coordinator/session default trades a little
+# extra compute per pass for ~log_{b+1} instead of log_2 passes.
+DEFAULT_SIZE_SEARCH_PROBE_BATCH = 3
+
+
+def validate_delta(delta: float) -> float:
+    """Validate a contract violation probability ``0 < δ < 1``."""
+    if not 0.0 < delta < 1.0:
+        raise ContractError(f"delta must lie in (0, 1), got {delta}")
+    return float(delta)
 
 # Optimiser defaults.  The paper uses BFGS for d < 100 and L-BFGS otherwise
 # (Section 5.1); the coordinator applies the same switch.

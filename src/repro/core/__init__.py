@@ -13,8 +13,12 @@ The components mirror Figure 2 of the paper:
   an approximate model (Section 3);
 * :class:`repro.core.sample_size.SampleSizeEstimator` — the minimum sample
   size search (Section 4);
+* :class:`repro.core.session.EstimationSession` — the contract-serving
+  session: one initial model + statistics answering many (ε, δ) contracts
+  from cached sorted difference vectors;
 * :class:`repro.core.coordinator.BlinkML` — the coordinator workflow
-  (Section 2.3), which is the user-facing entry point;
+  (Section 2.3), a thin facade over one-shot sessions and the user-facing
+  entry point;
 * :mod:`repro.core.guarantees` — Lemma 1 (generalisation bound) and
   Lemma 2 (conservative quantile).
 """
@@ -25,6 +29,7 @@ from repro.core.statistics import ModelStatistics, compute_statistics, Statistic
 from repro.core.parameter_sampler import ParameterSampler
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
 from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.session import EstimationSession, SessionAnswer
 from repro.core.coordinator import BlinkML
 from repro.core.guarantees import (
     conservative_quantile_level,
@@ -45,6 +50,8 @@ __all__ = [
     "ModelAccuracyEstimator",
     "SampleSizeEstimate",
     "SampleSizeEstimator",
+    "EstimationSession",
+    "SessionAnswer",
     "BlinkML",
     "conservative_quantile_level",
     "conservative_upper_bound",

@@ -1,6 +1,6 @@
-"""The BlinkML coordinator (Section 2.3).
+"""The BlinkML coordinator (Section 2.3) — a facade over the session layer.
 
-The coordinator glues the components together:
+The coordinator workflow glues the components together:
 
 1. draw an initial sample D0 of size n0 (10 000 by default) from the
    training data and train the initial model m_0;
@@ -13,27 +13,34 @@ The coordinator glues the components together:
 
 At most two models are ever trained, which is where the training-time
 savings of Figure 5 come from.
+
+Since the session refactor the workflow itself lives in
+:class:`repro.core.session.EstimationSession`; :class:`BlinkML` only
+assembles a session per ``train()`` call.  ``train()`` stays deterministic
+per seed, and with ``probe_batch=1`` it reproduces the pre-refactor
+monolithic coordinator exactly (same seeds → same outputs).  The default
+``probe_batch`` > 1 changes only the sample-size-search probe schedule —
+under the Theorem 2 monotonicity the search relies on, both schedules land
+on the same minimum n.  Serving deployments hold a session open and answer
+many contracts from its caches (see :meth:`BlinkML.session`).
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from repro.config import (
+    DEFAULT_DELTA,
     DEFAULT_INITIAL_SAMPLE_SIZE,
     DEFAULT_NUM_PARAMETER_SAMPLES,
+    DEFAULT_SIZE_SEARCH_PROBE_BATCH,
 )
-from repro.core.accuracy import ModelAccuracyEstimator
+import numpy as np
+
 from repro.core.contract import ApproximationContract
-from repro.core.parameter_sampler import ParameterSampler
-from repro.core.result import ApproximateTrainingResult, TimingBreakdown
-from repro.core.sample_size import SampleSizeEstimator
-from repro.core.statistics import StatisticsMethod, compute_statistics
+from repro.core.result import ApproximateTrainingResult
+from repro.core.session import EstimationSession
+from repro.core.statistics import StatisticsMethod
 from repro.data.dataset import Dataset
-from repro.data.sampling import UniformSampler
-from repro.exceptions import DataError
+from repro.evaluation.streaming import StreamingConfig
 from repro.models.base import ModelClassSpec, TrainedModel
 
 
@@ -57,6 +64,12 @@ class BlinkML:
         (``None`` applies the paper's BFGS / L-BFGS dimension rule).
     seed:
         Seed for the sampling of D0/Dn and of the parameter draws.
+    streaming:
+        Holdout sharding configuration for the streamed diff evaluations
+        (``None`` uses the module default block size, serial).
+    probe_batch:
+        Candidate sample sizes evaluated per stacked sample-size-search
+        pass (1 restores the paper's plain bisection).
     """
 
     def __init__(
@@ -68,6 +81,8 @@ class BlinkML:
         optimizer: str | None = None,
         seed: int | None = None,
         optimizer_kwargs: dict | None = None,
+        streaming: StreamingConfig | None = None,
+        probe_batch: int = DEFAULT_SIZE_SEARCH_PROBE_BATCH,
     ):
         self.spec = spec
         self.initial_sample_size = int(initial_sample_size)
@@ -75,7 +90,35 @@ class BlinkML:
         self.statistics_method = StatisticsMethod(statistics_method)
         self.optimizer = optimizer
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
+        self.streaming = streaming
+        self.probe_batch = int(probe_batch)
         self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(self, train: Dataset, holdout: Dataset) -> EstimationSession:
+        """Open an estimation session: m_0 + statistics computed once.
+
+        The session answers any number of (ε, δ) contracts against the same
+        initial model from its caches; see
+        :class:`repro.core.session.EstimationSession`.  Successive sessions
+        from one ``BlinkML`` share its random stream (each consumes draws in
+        workflow order), so ``train()`` remains seed-reproducible.
+        """
+        return EstimationSession(
+            self.spec,
+            train,
+            holdout,
+            initial_sample_size=self.initial_sample_size,
+            n_parameter_samples=self.n_parameter_samples,
+            statistics_method=self.statistics_method,
+            optimizer=self.optimizer,
+            optimizer_kwargs=self.optimizer_kwargs,
+            streaming=self.streaming,
+            probe_batch=self.probe_batch,
+            rng=self._rng,
+        )
 
     # ------------------------------------------------------------------
     # Training entry points
@@ -88,6 +131,12 @@ class BlinkML:
     ) -> ApproximateTrainingResult:
         """Train an approximate model satisfying ``contract``.
 
+        Each call runs the full one-shot workflow in a fresh session:
+        deterministic per seed, and identical to the pre-session coordinator
+        when ``probe_batch=1`` (the default batched probes change only the
+        search schedule).  To amortise the initial model across contracts,
+        keep the :meth:`session` instead.
+
         Parameters
         ----------
         train:
@@ -97,120 +146,14 @@ class BlinkML:
         contract:
             The requested (ε, δ) approximation contract.
         """
-        if holdout.n_rows == 0:
-            raise DataError("holdout set must not be empty")
-        timings = TimingBreakdown()
-        N = train.n_rows
-        n0 = min(self.initial_sample_size, N)
-        sampler = UniformSampler(train, rng=self._rng)
-
-        # Step 1: initial model m_0 on D0.
-        start = time.perf_counter()
-        initial_data = sampler.nested_sample(n0)
-        initial_model = self.spec.fit(
-            initial_data, method=self.optimizer, **self.optimizer_kwargs
-        )
-        timings.initial_training_seconds = time.perf_counter() - start
-
-        # Step 2: statistics at θ_0 and accuracy of m_0.
-        statistics = compute_statistics(
-            self.spec, initial_model.theta, initial_data, method=self.statistics_method
-        )
-        timings.statistics_seconds = statistics.computation_seconds
-        parameter_sampler = ParameterSampler(statistics, rng=self._rng)
-        accuracy_estimator = ModelAccuracyEstimator(
-            self.spec, holdout, n_parameter_samples=self.n_parameter_samples
-        )
-        initial_estimate = accuracy_estimator.estimate(
-            initial_model.theta,
-            n=n0,
-            N=N,
-            delta=contract.delta,
-            statistics=statistics,
-            sampler=parameter_sampler,
-        )
-        timings.accuracy_estimation_seconds += initial_estimate.estimation_seconds
-
-        if initial_estimate.epsilon <= contract.epsilon or n0 >= N:
-            return ApproximateTrainingResult(
-                model=initial_model,
-                contract=contract,
-                estimated_epsilon=initial_estimate.epsilon,
-                sample_size=n0,
-                initial_sample_size=n0,
-                full_size=N,
-                used_initial_model=True,
-                estimated_minimum_sample_size=n0,
-                timings=timings,
-                metadata={"statistics_method": self.statistics_method.value},
-            )
-
-        # Step 3: estimate the minimum sample size n for the final model.
-        size_estimator = SampleSizeEstimator(
-            self.spec, holdout, n_parameter_samples=self.n_parameter_samples
-        )
-        size_estimate = size_estimator.estimate(
-            initial_model.theta,
-            n0=n0,
-            N=N,
-            contract=contract,
-            statistics=statistics,
-            sampler=parameter_sampler,
-            # The accuracy estimator just rejected n0, so re-probing the
-            # lower endpoint would waste a k-sample Monte-Carlo evaluation.
-            skip_lower_probe=True,
-        )
-        timings.sample_size_search_seconds = size_estimate.estimation_seconds
-        final_n = size_estimate.sample_size
-
-        # Step 4: train the final model m_n on a size-n sample (superset of D0).
-        start = time.perf_counter()
-        final_data = sampler.nested_sample(final_n)
-        final_model = self.spec.fit(
-            final_data,
-            method=self.optimizer,
-            theta0=initial_model.theta,  # warm start from m_0
-            **self.optimizer_kwargs,
-        )
-        timings.final_training_seconds = time.perf_counter() - start
-
-        # Accuracy estimate of the final model (statistics recomputed at θ_n
-        # would be more faithful but the paper reuses the initial-model
-        # statistics for efficiency; we follow the cheaper route and expose
-        # the re-estimated bound).
-        final_estimate = accuracy_estimator.estimate(
-            final_model.theta,
-            n=final_n,
-            N=N,
-            delta=contract.delta,
-            statistics=statistics,
-            sampler=parameter_sampler,
-        )
-        timings.accuracy_estimation_seconds += final_estimate.estimation_seconds
-
-        return ApproximateTrainingResult(
-            model=final_model,
-            contract=contract,
-            estimated_epsilon=final_estimate.epsilon,
-            sample_size=final_n,
-            initial_sample_size=n0,
-            full_size=N,
-            used_initial_model=False,
-            estimated_minimum_sample_size=final_n,
-            timings=timings,
-            metadata={
-                "statistics_method": self.statistics_method.value,
-                "size_search_feasible": size_estimate.feasible,
-                "size_search_probes": size_estimate.probed_sizes,
-            },
-        )
+        return self.session(train, holdout).train_to(contract)
 
     def train_with_accuracy(
         self,
         train: Dataset,
         holdout: Dataset,
         requested_accuracy: float,
-        delta: float = 0.05,
+        delta: float = DEFAULT_DELTA,
     ) -> ApproximateTrainingResult:
         """Convenience wrapper taking a requested accuracy instead of ε."""
         contract = ApproximationContract.from_accuracy(requested_accuracy, delta=delta)

@@ -62,6 +62,7 @@ def conservative_upper_bound(
     values: np.ndarray,
     delta: float,
     slack: float = DEFAULT_CONFIDENCE_SLACK,
+    assume_sorted: bool = False,
 ) -> float:
     """Return the conservative ε for observed model differences ``values``.
 
@@ -69,14 +70,18 @@ def conservative_upper_bound(
     the smallest ε such that the required fraction of sampled differences
     falls below it.  With the level capped at 1 this is the maximum of the
     sampled values.
+
+    ``assume_sorted`` skips the internal sort; the estimation session caches
+    ascending difference vectors per (θ, n, N) and answers every (ε, δ)
+    contract against them by pure quantile lookup.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1 or values.size == 0:
         raise ContractError("values must be a non-empty 1-D array")
     level = conservative_quantile_level(delta, values.size, slack)
     if level >= 1.0:
-        return float(values.max())
-    sorted_values = np.sort(values)
+        return float(values[-1] if assume_sorted else values.max())
+    sorted_values = values if assume_sorted else np.sort(values)
     # Smallest value whose empirical CDF reaches the level ("higher"
     # interpolation keeps the bound conservative).
     index = int(math.ceil(level * values.size)) - 1

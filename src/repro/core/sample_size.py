@@ -7,13 +7,26 @@ the approximation contract — without training any additional model.
 For a candidate n the probability ``Pr[v(m_n, m_N) ≤ ε]`` is estimated via
 the two-stage sampling of Section 4.1 (θ_n | θ_0, then θ_N | θ_n) and the
 conservative correction of Lemma 2.  Theorem 2 shows this probability is
-increasing in n, which justifies the binary search of Section 4.2.
+increasing in n, which justifies the bracketing search of Section 4.2.
+
+Two implementation-level optimisations sit on top of the paper's search:
+
+* the per-candidate pairwise diffs run through the streaming sharded
+  holdout engine (:mod:`repro.evaluation.streaming`), so memory stays
+  O(k · block) regardless of holdout size;
+* with ``probe_batch > 1`` each search round evaluates several candidate
+  sizes in a *single stacked pass* — the two-stage draws of all candidates
+  share the same cached base samples (sampling-by-scaling), so stacking
+  them into one ``(batch · k)``-candidate diff evaluation amortises the
+  per-pass overhead and cuts the number of passes from log₂ to
+  log_{batch+1} of the search range.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,6 +36,10 @@ from repro.core.guarantees import satisfies_probability_threshold
 from repro.core.parameter_sampler import ParameterSampler
 from repro.core.statistics import ModelStatistics
 from repro.data.dataset import Dataset
+from repro.evaluation.streaming import (
+    StreamingConfig,
+    streaming_pairwise_prediction_differences,
+)
 from repro.exceptions import SampleSizeError
 from repro.models.base import ModelClassSpec
 
@@ -39,7 +56,8 @@ class SampleSizeEstimate:
         False when even n = N did not certify the contract through the
         Monte-Carlo check (the coordinator then trains on the full data).
     n_probability_evaluations:
-        How many candidate sizes the binary search probed.
+        How many candidate sizes were Monte-Carlo-evaluated in total (with
+        ``probe_batch > 1`` several of these happen per stacked pass).
     probed_sizes:
         The candidate n values actually Monte-Carlo-evaluated, in order
         (diagnostics).  With ``skip_lower_probe`` the lower endpoint ``n0``
@@ -56,22 +74,28 @@ class SampleSizeEstimate:
 
 
 class SampleSizeEstimator:
-    """Finds the smallest n satisfying the contract using only the initial model."""
+    """Finds the smallest n satisfying the contract using only the initial model.
+
+    ``streaming`` configures the sharded holdout evaluation of the pairwise
+    diffs (``None`` uses the module default).
+    """
 
     def __init__(
         self,
         spec: ModelClassSpec,
         holdout: Dataset,
         n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,
+        streaming: StreamingConfig | None = None,
     ):
         if n_parameter_samples < 2:
             raise SampleSizeError("need at least two parameter samples")
         self._spec = spec
         self._holdout = holdout
         self._n_parameter_samples = n_parameter_samples
+        self._streaming = streaming
 
     # ------------------------------------------------------------------
-    # Probability of contract satisfaction for one candidate n
+    # Probability of contract satisfaction for candidate sizes
     # ------------------------------------------------------------------
     def contract_satisfied(
         self,
@@ -83,22 +107,53 @@ class SampleSizeEstimator:
         sampler: ParameterSampler,
     ) -> bool:
         """Monte-Carlo check of ``Pr[v(m_n, m_N) ≤ ε] ≥ 1 − δ`` for one n."""
-        theta_n_samples, theta_N_samples = sampler.two_stage_samples(
-            theta0, n0=n0, n=candidate_n, N=N, count=self._n_parameter_samples
-        )
-        # Batched pairwise MCS diff: the k two-stage pairs (θ_n,i, θ_N,i)
-        # are compared in one BLAS-level call per probe (specs without a
-        # vectorised override fall back to the per-pair loop).
+        return self.contract_satisfied_batch(
+            theta0, n0, (candidate_n,), N, contract, sampler
+        )[0]
+
+    def contract_satisfied_batch(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        candidate_ns: Sequence[int],
+        N: int,
+        contract: ApproximationContract,
+        sampler: ParameterSampler,
+    ) -> list[bool]:
+        """Monte-Carlo check of several candidate sizes in one stacked pass.
+
+        The two-stage draws (Section 4.1) for every candidate reuse the same
+        cached base samples, so the only per-candidate cost is the rescale;
+        the k pairs of all candidates are then stacked into a single
+        ``(len(candidates) · k)``-pair streamed diff evaluation (the ROADMAP
+        "batched two-stage probes").
+        """
+        if not candidate_ns:
+            return []
+        pairs = [
+            sampler.two_stage_samples(
+                theta0, n0=n0, n=int(candidate), N=N, count=self._n_parameter_samples
+            )
+            for candidate in candidate_ns
+        ]
+        stacked_n = np.concatenate([theta_n for theta_n, _ in pairs], axis=0)
+        stacked_N = np.concatenate([theta_N for _, theta_N in pairs], axis=0)
         differences = np.asarray(
-            self._spec.pairwise_prediction_differences(
-                theta_n_samples, theta_N_samples, self._holdout
+            streaming_pairwise_prediction_differences(
+                self._spec, stacked_n, stacked_N, self._holdout, config=self._streaming
             ),
             dtype=np.float64,
         )
-        return satisfies_probability_threshold(differences, contract.epsilon, contract.delta)
+        k = self._n_parameter_samples
+        return [
+            satisfies_probability_threshold(
+                differences[i * k : (i + 1) * k], contract.epsilon, contract.delta
+            )
+            for i in range(len(pairs))
+        ]
 
     # ------------------------------------------------------------------
-    # Binary search (Section 4.2)
+    # Bracketing search (Section 4.2, batched probes)
     # ------------------------------------------------------------------
     def estimate(
         self,
@@ -109,8 +164,9 @@ class SampleSizeEstimator:
         statistics: ModelStatistics,
         sampler: ParameterSampler | None = None,
         skip_lower_probe: bool = False,
+        probe_batch: int = 1,
     ) -> SampleSizeEstimate:
-        """Binary-search the smallest n in [n0, N] satisfying the contract.
+        """Search the smallest n in [n0, N] satisfying the contract.
 
         Parameters
         ----------
@@ -137,11 +193,19 @@ class SampleSizeEstimator:
             upper endpoint ``N`` and never contains ``n0``; if ``n0``
             actually satisfies the contract the search conservatively
             returns a size in ``(n0, N]`` instead of ``n0``.
+        probe_batch:
+            Candidate sizes evaluated per stacked Monte-Carlo pass.  1 is
+            the classic bisection (one midpoint per round); larger values
+            place that many evenly spaced candidates inside the bracket and
+            evaluate them in one pass, narrowing the bracket by a factor of
+            ``probe_batch + 1`` per round under the Theorem 2 monotonicity.
         """
         if n0 <= 0 or N <= 0:
             raise SampleSizeError("sample sizes must be positive")
         if n0 > N:
             raise SampleSizeError(f"initial sample size {n0} exceeds N={N}")
+        if probe_batch < 1:
+            raise SampleSizeError("probe_batch must be at least 1")
 
         start = time.perf_counter()
         sampler = sampler or ParameterSampler(statistics)
@@ -151,44 +215,46 @@ class SampleSizeEstimator:
             probed.append(candidate)
             return self.contract_satisfied(theta0, n0, candidate, N, contract, sampler)
 
+        def finish(sample_size: int, feasible: bool) -> SampleSizeEstimate:
+            return SampleSizeEstimate(
+                sample_size=sample_size,
+                feasible=feasible,
+                n_probability_evaluations=len(probed),
+                probed_sizes=tuple(probed),
+                estimation_seconds=time.perf_counter() - start,
+            )
+
         # Quick exits: if n0 already satisfies, the coordinator will have
         # caught it via the accuracy estimator, but the search still handles
         # it gracefully; if even N fails the Monte-Carlo check, fall back to
         # the full data.
         low, high = n0, N
         if not skip_lower_probe and satisfied(low):
-            elapsed = time.perf_counter() - start
-            return SampleSizeEstimate(
-                sample_size=low,
-                feasible=True,
-                n_probability_evaluations=len(probed),
-                probed_sizes=tuple(probed),
-                estimation_seconds=elapsed,
-            )
+            return finish(low, True)
         if not satisfied(high):
-            elapsed = time.perf_counter() - start
-            return SampleSizeEstimate(
-                sample_size=N,
-                feasible=False,
-                n_probability_evaluations=len(probed),
-                probed_sizes=tuple(probed),
-                estimation_seconds=elapsed,
-            )
+            return finish(N, False)
 
         # Invariant: low fails, high satisfies.  Theorem 2 (monotonicity)
-        # makes the bisection valid.
+        # makes the bracket narrowing valid; with probe_batch == 1 the loop
+        # is exactly the paper's bisection.
         while high - low > 1:
-            mid = (low + high) // 2
-            if satisfied(mid):
-                high = mid
+            span = high - low
+            count = min(probe_batch, span - 1)
+            candidates = sorted(
+                {low + (span * (j + 1)) // (count + 1) for j in range(count)}
+            )
+            probed.extend(candidates)
+            outcomes = self.contract_satisfied_batch(
+                theta0, n0, candidates, N, contract, sampler
+            )
+            first_true = next(
+                (i for i, outcome in enumerate(outcomes) if outcome), None
+            )
+            if first_true is None:
+                low = candidates[-1]
             else:
-                low = mid
+                high = candidates[first_true]
+                if first_true > 0:
+                    low = candidates[first_true - 1]
 
-        elapsed = time.perf_counter() - start
-        return SampleSizeEstimate(
-            sample_size=high,
-            feasible=True,
-            n_probability_evaluations=len(probed),
-            probed_sizes=tuple(probed),
-            estimation_seconds=elapsed,
-        )
+        return finish(high, True)

@@ -20,6 +20,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.baselines.base import SampleSizeBaseline
+from repro.config import DEFAULT_DELTA
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.data.splits import DataSplits
@@ -86,7 +87,7 @@ def run_accuracy_sweep(
     spec_factory: Callable[[], ModelClassSpec],
     splits: DataSplits,
     requested_accuracies: Sequence[float],
-    delta: float = 0.05,
+    delta: float = DEFAULT_DELTA,
     repetitions: int = 1,
     initial_sample_size: int = 2_000,
     n_parameter_samples: int = 64,
@@ -144,7 +145,7 @@ def run_baseline_comparison(
     splits: DataSplits,
     requested_accuracies: Sequence[float],
     full_model: TrainedModel,
-    delta: float = 0.05,
+    delta: float = DEFAULT_DELTA,
 ) -> list[dict]:
     """Run every baseline policy at every requested accuracy (Figure 7 shape)."""
     rows: list[dict] = []

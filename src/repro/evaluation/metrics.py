@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.evaluation.streaming import StreamingConfig, streaming_prediction_differences
 from repro.exceptions import DataError
 from repro.models.base import ModelClassSpec, TrainedModel
 
@@ -48,14 +49,17 @@ def model_agreement(
     theta_approx: np.ndarray,
     theta_full: np.ndarray,
     dataset: Dataset,
+    streaming: StreamingConfig | None = None,
 ) -> float:
     """The *actual accuracy* ``1 − v`` between an approximate and a full model.
 
-    Routed through the batched diff path so that repeated comparisons
-    against the same full model (the common benchmark-harness pattern) reuse
-    the cached full-model predictions.
+    By default this is routed through the batched diff path so that
+    repeated comparisons against the same full model (the common
+    benchmark-harness pattern) reuse the cached full-model predictions;
+    pass a ``streaming`` config for O(k · block) memory on holdouts too
+    large to materialise.
     """
-    return float(model_agreements(spec, [theta_approx], theta_full, dataset)[0])
+    return float(model_agreements(spec, [theta_approx], theta_full, dataset, streaming)[0])
 
 
 def model_agreements(
@@ -63,16 +67,28 @@ def model_agreements(
     Thetas_approx: np.ndarray,
     theta_full: np.ndarray,
     dataset: Dataset,
+    streaming: StreamingConfig | None = None,
 ) -> np.ndarray:
     """Batched *actual accuracy*: ``1 − v`` for a stack of approximate models.
 
     All model-difference metrics in the library are symmetric, so the full
-    model serves as the reference θ of the batched diff; every approximate
-    model is evaluated in one BLAS-level call.
+    model serves as the reference θ of the batched diff.  Without a
+    ``streaming`` config the materialised batched path is used — its
+    reference-prediction memo makes repeated sweeps against one full model
+    cheap; with one, the evaluation is sharded through the streaming engine
+    (O(k · block) memory, no cross-call memo).
     """
     Thetas_approx = np.asarray(Thetas_approx, dtype=np.float64)
-    differences = np.asarray(
-        spec.prediction_differences(theta_full, Thetas_approx, dataset),
-        dtype=np.float64,
-    )
+    if streaming is None:
+        differences = np.asarray(
+            spec.prediction_differences(theta_full, Thetas_approx, dataset),
+            dtype=np.float64,
+        )
+    else:
+        differences = np.asarray(
+            streaming_prediction_differences(
+                spec, theta_full, Thetas_approx, dataset, config=streaming
+            ),
+            dtype=np.float64,
+        )
     return 1.0 - differences

@@ -1,0 +1,160 @@
+"""Streaming sharded holdout evaluation.
+
+The PR 1 batched diff engine evaluates all k candidate parameters against
+the holdout in one GEMM but materialises the full ``(k, n_holdout)``
+prediction block, which caps holdout size well below the million-user
+target.  This module is the driver half of the streaming replacement:
+
+* the holdout is sharded into contiguous row blocks (zero-copy views);
+* each block is fed to a :class:`~repro.models.base.DiffAccumulator`
+  obtained from the model spec, which folds the block into per-candidate
+  disagreement counts / squared-error sums;
+* memory therefore stays O(k · block) no matter how large the holdout is;
+* optionally, contiguous block ranges fan out across a thread pool (NumPy
+  releases the GIL inside the per-block GEMMs) and the per-worker partials
+  are merged in holdout order.
+
+Layering (see ``docs/architecture.md``): the estimation session and the
+accuracy / sample-size estimators call the two ``streaming_*`` functions
+below; the functions drive the spec's accumulators; only the model families
+know how to decompose their metric over blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_HOLDOUT_BLOCK_ROWS, DEFAULT_STREAMING_WORKERS
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+from repro.models.base import DiffAccumulator, ModelClassSpec
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """How the holdout is sharded.
+
+    Parameters
+    ----------
+    block_rows:
+        Rows per holdout block; peak memory of a streamed diff is
+        O(k · block_rows).
+    n_workers:
+        0 or 1 processes blocks serially on the calling thread; larger
+        values split the block sequence into that many contiguous ranges
+        and run them on a thread pool, merging partials in holdout order.
+    """
+
+    block_rows: int = DEFAULT_HOLDOUT_BLOCK_ROWS
+    n_workers: int = DEFAULT_STREAMING_WORKERS
+
+    def __post_init__(self) -> None:
+        if self.block_rows < 1:
+            raise DataError("block_rows must be at least 1")
+        if self.n_workers < 0:
+            raise DataError("n_workers must be non-negative")
+
+
+#: module default used whenever a caller passes ``config=None``.
+DEFAULT_STREAMING_CONFIG = StreamingConfig()
+
+
+def _block_view(dataset: Dataset, start: int, stop: int) -> Dataset:
+    """A zero-copy row-slice view of ``dataset`` (contiguous slices only).
+
+    The X/y buffers are views; metadata is propagated like every other
+    Dataset transformation so metadata-aware custom accumulators see the
+    same context on the streaming path as on the materialised one.
+    """
+    y = None if dataset.y is None else dataset.y[start:stop]
+    return Dataset(
+        dataset.X[start:stop], y, name=dataset.name, metadata=dict(dataset.metadata)
+    )
+
+
+def iter_holdout_blocks(dataset: Dataset, block_rows: int) -> Iterator[Dataset]:
+    """Yield the holdout as contiguous zero-copy blocks of ``block_rows`` rows."""
+    if block_rows < 1:
+        raise DataError("block_rows must be at least 1")
+    for start in range(0, dataset.n_rows, block_rows):
+        yield _block_view(dataset, start, min(start + block_rows, dataset.n_rows))
+
+
+def _drive(
+    make_accumulator,
+    dataset: Dataset,
+    config: StreamingConfig,
+) -> np.ndarray:
+    """Run one accumulator (or one per worker) over the sharded holdout."""
+    first = make_accumulator()
+    if not first.needs_holdout_blocks:
+        # Parameter-space metrics (PPCA) and the generic materialised
+        # fallback: nothing to shard.
+        return first.finalize()
+
+    starts = list(range(0, dataset.n_rows, config.block_rows))
+    if config.n_workers <= 1 or len(starts) <= 1:
+        for block in iter_holdout_blocks(dataset, config.block_rows):
+            first.update(block)
+        return first.finalize()
+
+    # Contiguous block ranges per worker so merge order equals holdout order.
+    # Each range is itself a contiguous row-slice view, so the workers share
+    # the single block-iteration implementation.
+    n_workers = min(config.n_workers, len(starts))
+    ranges = np.array_split(np.asarray(starts), n_workers)
+
+    def run_range(accumulator: DiffAccumulator, range_starts: np.ndarray) -> DiffAccumulator:
+        first_row = int(range_starts[0])
+        stop_row = min(int(range_starts[-1]) + config.block_rows, dataset.n_rows)
+        for block in iter_holdout_blocks(
+            _block_view(dataset, first_row, stop_row), config.block_rows
+        ):
+            accumulator.update(block)
+        return accumulator
+
+    accumulators = [first] + [make_accumulator() for _ in range(n_workers - 1)]
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        done = list(pool.map(run_range, accumulators, ranges))
+    for partial in done[1:]:
+        done[0].merge(partial)
+    return done[0].finalize()
+
+
+def streaming_prediction_differences(
+    spec: ModelClassSpec,
+    theta_ref: np.ndarray,
+    Thetas: np.ndarray,
+    dataset: Dataset,
+    config: StreamingConfig | None = None,
+) -> np.ndarray:
+    """Sharded equivalent of :meth:`ModelClassSpec.prediction_differences`.
+
+    Agrees with the materialised batched path to floating-point accuracy
+    (bitwise for the classification families, whose block statistics are
+    integer counts) while keeping memory at O(k · block_rows).
+    """
+    config = config or DEFAULT_STREAMING_CONFIG
+    return _drive(
+        lambda: spec.diff_accumulator(theta_ref, Thetas, dataset), dataset, config
+    )
+
+
+def streaming_pairwise_prediction_differences(
+    spec: ModelClassSpec,
+    Thetas_a: np.ndarray,
+    Thetas_b: np.ndarray,
+    dataset: Dataset,
+    config: StreamingConfig | None = None,
+) -> np.ndarray:
+    """Sharded equivalent of :meth:`ModelClassSpec.pairwise_prediction_differences`."""
+    config = config or DEFAULT_STREAMING_CONFIG
+    return _drive(
+        lambda: spec.pairwise_diff_accumulator(Thetas_a, Thetas_b, dataset),
+        dataset,
+        config,
+    )

@@ -35,6 +35,108 @@ from repro.optim.driver import minimize
 from repro.optim.result import OptimizationResult
 
 
+class DiffAccumulator(ABC):
+    """Streaming accumulator for a batched model-difference metric.
+
+    The streaming sharded holdout engine
+    (:mod:`repro.evaluation.streaming`) shards the holdout into row blocks
+    and feeds them to an accumulator one at a time, so the full
+    ``(k, n_holdout)`` prediction block of the batched diff path never
+    exists in memory — only O(k · block) lives at once.  An accumulator is
+    created by :meth:`ModelClassSpec.diff_accumulator` /
+    :meth:`ModelClassSpec.pairwise_diff_accumulator` with the parameter
+    batch(es) bound in; the driver then calls :meth:`update` once per block
+    (in holdout order) and :meth:`finalize` exactly once at the end.
+
+    For parallel sharding the driver creates one accumulator per worker,
+    gives each a contiguous range of blocks, and folds the partials together
+    with :meth:`merge` in block order before finalizing.
+    """
+
+    #: set to False by accumulators whose metric does not depend on the
+    #: holdout rows at all (e.g. PPCA's parameter-space cosine); the driver
+    #: then skips the block loop entirely.
+    needs_holdout_blocks: bool = True
+
+    @abstractmethod
+    def update(self, block: Dataset) -> None:
+        """Fold one holdout row block into the running statistics."""
+
+    @abstractmethod
+    def merge(self, other: "DiffAccumulator") -> None:
+        """Fold another accumulator's partial statistics into this one.
+
+        ``other`` must come from the same factory call and have consumed a
+        disjoint, later range of holdout blocks.
+        """
+
+    @abstractmethod
+    def finalize(self) -> np.ndarray:
+        """Return the per-candidate differences, shape ``(k,)``."""
+
+
+class BlockSumDiffAccumulator(DiffAccumulator):
+    """Accumulator for metrics that are a function of per-candidate row sums.
+
+    Covers every mean-reduced metric in the library: classification
+    disagreement (sum of mismatch indicators) and (normalised) RMS
+    differences (sum of squared prediction gaps).  A family binds
+    ``block_sums`` — a callable mapping a holdout block to the ``(k,)``
+    per-candidate sums over that block — and ``reduce`` — a callable mapping
+    the grand totals ``(sums, n_rows)`` to the final differences.
+    """
+
+    def __init__(self, n_candidates: int, block_sums, reduce):
+        if n_candidates < 1:
+            raise ModelSpecError("need at least one candidate parameter vector")
+        self._sums = np.zeros(int(n_candidates), dtype=np.float64)
+        self._rows = 0
+        self._block_sums = block_sums
+        self._reduce = reduce
+
+    def update(self, block: Dataset) -> None:
+        self._sums += np.asarray(self._block_sums(block), dtype=np.float64)
+        self._rows += block.n_rows
+
+    def merge(self, other: DiffAccumulator) -> None:
+        if not isinstance(other, BlockSumDiffAccumulator):
+            raise ModelSpecError("cannot merge accumulators of different kinds")
+        self._sums += other._sums
+        self._rows += other._rows
+
+    def finalize(self) -> np.ndarray:
+        if self._rows == 0:
+            raise ModelSpecError("accumulator finalized before seeing any holdout rows")
+        return np.asarray(self._reduce(self._sums, self._rows), dtype=np.float64)
+
+
+class PrecomputedDiffAccumulator(DiffAccumulator):
+    """Accumulator whose differences do not depend on the holdout rows.
+
+    Two uses: parameter-space metrics (PPCA's aligned cosine) that are fully
+    determined by the parameter batches, and the generic fallback for custom
+    :class:`ModelClassSpec` subclasses without a streaming decomposition —
+    the fallback evaluates the materialised batched diff on the full holdout
+    up front, which preserves correctness but not the O(k · block) memory
+    bound (documented in ``docs/architecture.md``).
+    """
+
+    needs_holdout_blocks = False
+
+    def __init__(self, values: np.ndarray):
+        self._values = np.asarray(values, dtype=np.float64)
+
+    def update(self, block: Dataset) -> None:
+        del block  # the metric is block-independent
+
+    def merge(self, other: DiffAccumulator) -> None:
+        if not isinstance(other, PrecomputedDiffAccumulator):
+            raise ModelSpecError("cannot merge accumulators of different kinds")
+
+    def finalize(self) -> np.ndarray:
+        return self._values
+
+
 class ModelClassSpec(ABC):
     """Abstract base class for every supported model family."""
 
@@ -232,6 +334,124 @@ class ModelClassSpec(ABC):
                 for theta_a, theta_b in zip(Thetas_a, Thetas_b)
             ],
             dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming sharded holdout evaluation
+    #
+    # The batched methods above still materialise the full (k, n_holdout)
+    # prediction block.  The factories below instead hand back a
+    # DiffAccumulator that the streaming engine
+    # (repro.evaluation.streaming) drives block by block, keeping memory
+    # at O(k · block).  The five built-in families override them with
+    # disagreement-count / squared-error-sum accumulators; the generic
+    # fallbacks evaluate the materialised batched diff once so any custom
+    # spec keeps working (correct, but without the memory bound).
+    # ------------------------------------------------------------------
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Accumulator computing ``prediction_differences`` block by block.
+
+        ``dataset`` is the *full* holdout: factories may read global context
+        from it (e.g. the label scale of normalised regression metrics) but
+        must not evaluate predictions on it — rows arrive via ``update``.
+        """
+        return PrecomputedDiffAccumulator(
+            self.prediction_differences(theta_ref, Thetas, dataset)
+        )
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Accumulator computing ``pairwise_prediction_differences`` blockwise."""
+        return PrecomputedDiffAccumulator(
+            self.pairwise_prediction_differences(Thetas_a, Thetas_b, dataset)
+        )
+
+    # ------------------------------------------------------------------
+    # Shared accumulator builders for the two metric shapes every built-in
+    # family reduces to: mean prediction disagreement (classification) and
+    # (normalised) RMS prediction gap (regression).  Families call these
+    # from their diff_accumulator overrides so the blockwise decomposition
+    # lives in exactly one place.
+    # ------------------------------------------------------------------
+    def _disagreement_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray
+    ) -> DiffAccumulator:
+        """Blockwise mean-disagreement vs one reference θ (exact counts)."""
+        Thetas = self._as_parameter_batch(Thetas)
+        theta_ref = np.asarray(theta_ref, dtype=np.float64)
+
+        def block_sums(block: Dataset) -> np.ndarray:
+            reference = self.predict(theta_ref, block.X)
+            return np.count_nonzero(
+                self.predict_many(Thetas, block.X) != reference[None, :], axis=1
+            )
+
+        return BlockSumDiffAccumulator(
+            Thetas.shape[0], block_sums, lambda sums, rows: sums / rows
+        )
+
+    def _pairwise_disagreement_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray
+    ) -> DiffAccumulator:
+        """Blockwise mean-disagreement between matched parameter pairs."""
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        stacked = np.concatenate([Thetas_a, Thetas_b], axis=0)
+        k = Thetas_a.shape[0]
+
+        def block_sums(block: Dataset) -> np.ndarray:
+            labels = self.predict_many(stacked, block.X)
+            return np.count_nonzero(labels[:k] != labels[k:], axis=1)
+
+        return BlockSumDiffAccumulator(k, block_sums, lambda sums, rows: sums / rows)
+
+    def _rms_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, scale: float
+    ) -> DiffAccumulator:
+        """Blockwise ``sqrt(mean((pred − ref)²)) / scale`` vs one reference θ."""
+        Thetas = self._as_parameter_batch(Thetas)
+        theta_ref = np.asarray(theta_ref, dtype=np.float64)
+
+        def block_sums(block: Dataset) -> np.ndarray:
+            gaps = self.predict_many(Thetas, block.X) - self.predict(theta_ref, block.X)[None, :]
+            return np.einsum("kn,kn->k", gaps, gaps)
+
+        return BlockSumDiffAccumulator(
+            Thetas.shape[0], block_sums, lambda sums, rows: np.sqrt(sums / rows) / scale
+        )
+
+    def _pairwise_rms_accumulator(
+        self,
+        Thetas_a: np.ndarray,
+        Thetas_b: np.ndarray,
+        scale: float,
+        linear_predictions: bool = False,
+    ) -> DiffAccumulator:
+        """Blockwise normalised RMS gap between matched parameter pairs.
+
+        ``linear_predictions=True`` exploits prediction linearity in θ: the
+        per-pair gaps collapse to one GEMM over the parameter deltas.
+        """
+        Thetas_a, Thetas_b = self._as_paired_batches(Thetas_a, Thetas_b)
+        k = Thetas_a.shape[0]
+        if linear_predictions:
+            deltas = Thetas_a - Thetas_b
+
+            def block_sums(block: Dataset) -> np.ndarray:
+                gaps = self.predict_many(deltas, block.X)
+                return np.einsum("kn,kn->k", gaps, gaps)
+        else:
+            stacked = np.concatenate([Thetas_a, Thetas_b], axis=0)
+
+            def block_sums(block: Dataset) -> np.ndarray:
+                predictions = self.predict_many(stacked, block.X)
+                gaps = predictions[:k] - predictions[k:]
+                return np.einsum("kn,kn->k", gaps, gaps)
+
+        return BlockSumDiffAccumulator(
+            k, block_sums, lambda sums, rows: np.sqrt(sums / rows) / scale
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import ModelClassSpec
+from repro.models.base import DiffAccumulator, ModelClassSpec
 
 
 class LinearRegressionSpec(ModelClassSpec):
@@ -172,6 +172,21 @@ class LinearRegressionSpec(ModelClassSpec):
         deltas = self.predict_many(Thetas_a - Thetas_b, dataset.X)
         rms = np.sqrt(np.mean(deltas**2, axis=1))
         return rms / self._difference_scale(dataset)
+
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Streaming RMS gap: per-block squared-error sums, one final sqrt."""
+        return self._rms_accumulator(theta_ref, Thetas, self._difference_scale(dataset))
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        # Linearity: the k prediction gaps per block are one GEMM over the
+        # parameter deltas, exactly as in the materialised pairwise path.
+        return self._pairwise_rms_accumulator(
+            Thetas_a, Thetas_b, self._difference_scale(dataset), linear_predictions=True
+        )
 
     def describe(self) -> dict:
         description = super().describe()

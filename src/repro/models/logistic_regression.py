@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import ModelClassSpec
+from repro.models.base import DiffAccumulator, ModelClassSpec
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
@@ -131,3 +131,20 @@ class LogisticRegressionSpec(ModelClassSpec):
         labels = self.predict_many(stacked, dataset.X)
         k = Thetas_a.shape[0]
         return np.mean(labels[:k] != labels[k:], axis=1)
+
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Streaming disagreement: integer mismatch counts per holdout block.
+
+        Counts are exact, so the sharded result is bitwise identical to the
+        materialised path regardless of block size.
+        """
+        del dataset  # disagreement needs no global holdout context
+        return self._disagreement_accumulator(theta_ref, Thetas)
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        del dataset
+        return self._pairwise_disagreement_accumulator(Thetas_a, Thetas_b)

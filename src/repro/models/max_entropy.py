@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import ModelClassSpec
+from repro.models.base import DiffAccumulator, ModelClassSpec
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -189,6 +189,19 @@ class MaxEntropySpec(ModelClassSpec):
         )
         k = Thetas_a.shape[0]
         return np.mean(labels[:k] != labels[k:], axis=1)
+
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Streaming multiclass disagreement: exact argmax-mismatch counts."""
+        del dataset
+        return self._disagreement_accumulator(theta_ref, Thetas)
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        del dataset
+        return self._pairwise_disagreement_accumulator(Thetas_a, Thetas_b)
 
     def describe(self) -> dict:
         description = super().describe()

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import ModelClassSpec
+from repro.models.base import DiffAccumulator, ModelClassSpec
 
 #: linear predictors are clipped to this magnitude before exponentiation so a
 #: wild parameter probe cannot overflow ``exp``.
@@ -130,6 +130,21 @@ class PoissonRegressionSpec(ModelClassSpec):
         k = Thetas_a.shape[0]
         rms = np.sqrt(np.mean((rates[:k] - rates[k:]) ** 2, axis=1))
         return rms / self._difference_scale(dataset)
+
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        """Streaming RMS rate gap: per-block squared-error sums."""
+        return self._rms_accumulator(theta_ref, Thetas, self._difference_scale(dataset))
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        # The rate map is nonlinear, so both sides of every pair are
+        # evaluated per block — still one stacked GEMM per block.
+        return self._pairwise_rms_accumulator(
+            Thetas_a, Thetas_b, self._difference_scale(dataset)
+        )
 
     def describe(self) -> dict:
         description = super().describe()

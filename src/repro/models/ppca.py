@@ -292,6 +292,15 @@ class PPCASpec(ModelClassSpec):
         norms_b = np.linalg.norm(loadings_b.reshape(loadings_b.shape[0], -1), axis=1)
         return self._batched_procrustes_differences(loadings_a, loadings_b, norms_a, norms_b)
 
+    # Streaming note: PPCA's diff lives in parameter space — the aligned
+    # ``1 − cosine`` metric depends only on the loading matrices
+    # (Appendix C), already O(k · d · q) in time and memory with no
+    # ``(k, n_holdout)`` block to shard.  The inherited
+    # ModelClassSpec.diff_accumulator / pairwise_diff_accumulator fallbacks
+    # (PrecomputedDiffAccumulator, ``needs_holdout_blocks = False``) are
+    # therefore exactly right here: the streaming driver skips the holdout
+    # loop and the metric is computed once per call.
+
     def describe(self) -> dict:
         description = super().describe()
         description.update({"n_factors": self.n_factors, "sigma2": self.sigma2})

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DEFAULT_GRADIENT_TOLERANCE, DEFAULT_MAX_ITERATIONS
+from repro.config import DEFAULT_GRADIENT_TOLERANCE
 from repro.optim.base import Objective, check_finite
 from repro.optim.line_search import backtracking_line_search
 from repro.optim.result import OptimizationResult

@@ -14,7 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DEFAULT_INITIAL_SAMPLE_SIZE, DEFAULT_NUM_PARAMETER_SAMPLES
+from repro.config import (
+    DEFAULT_DELTA,
+    DEFAULT_INITIAL_SAMPLE_SIZE,
+    DEFAULT_NUM_PARAMETER_SAMPLES,
+)
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.core.result import ApproximateTrainingResult
@@ -49,7 +53,7 @@ class BlinkMLEstimator:
         self,
         model: str,
         accuracy: float = 0.95,
-        delta: float = 0.05,
+        delta: float = DEFAULT_DELTA,
         holdout_fraction: float = 0.1,
         initial_sample_size: int = DEFAULT_INITIAL_SAMPLE_SIZE,
         n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,

@@ -1,0 +1,325 @@
+"""Tests for the contract-serving EstimationSession and the BlinkML facade."""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_DELTA, validate_delta
+from repro.core.contract import ApproximationContract
+from repro.core.coordinator import BlinkML
+from repro.core.parameter_sampler import ParameterSampler
+from repro.core.sample_size import SampleSizeEstimator
+from repro.core.session import EstimationSession, SessionAnswer
+from repro.core.statistics import compute_statistics
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import gas_like, higgs_like
+from repro.exceptions import ContractError, SampleSizeError
+from repro.models.base import PrecomputedDiffAccumulator
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+class SpyLogisticSpec(LogisticRegressionSpec):
+    """Counts every model-difference evaluation routed through the spec."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.diff_evaluations = 0
+
+    def diff_accumulator(self, theta_ref, Thetas, dataset):
+        self.diff_evaluations += 1
+        return super().diff_accumulator(theta_ref, Thetas, dataset)
+
+    def pairwise_diff_accumulator(self, Thetas_a, Thetas_b, dataset):
+        self.diff_evaluations += 1
+        return super().pairwise_diff_accumulator(Thetas_a, Thetas_b, dataset)
+
+    def prediction_differences(self, theta_ref, Thetas, dataset):
+        self.diff_evaluations += 1
+        return super().prediction_differences(theta_ref, Thetas, dataset)
+
+    def pairwise_prediction_differences(self, Thetas_a, Thetas_b, dataset):
+        self.diff_evaluations += 1
+        return super().pairwise_prediction_differences(Thetas_a, Thetas_b, dataset)
+
+
+class InfeasibleSpec(LinearRegressionSpec):
+    """A spec whose model difference never certifies any contract."""
+
+    def diff_accumulator(self, theta_ref, Thetas, dataset):
+        return PrecomputedDiffAccumulator(np.ones(np.asarray(Thetas).shape[0]))
+
+    def pairwise_diff_accumulator(self, Thetas_a, Thetas_b, dataset):
+        return PrecomputedDiffAccumulator(np.ones(np.asarray(Thetas_a).shape[0]))
+
+
+@pytest.fixture(scope="module")
+def binary_splits():
+    data = higgs_like(n_rows=12_000, n_features=10, seed=60)
+    return train_holdout_test_split(data, SplitSpec(0.1, 0.1), rng=np.random.default_rng(6))
+
+
+def make_session(spec, splits, **kwargs):
+    kwargs.setdefault("initial_sample_size", 500)
+    kwargs.setdefault("n_parameter_samples", 32)
+    kwargs.setdefault("rng", 0)
+    return EstimationSession(spec, splits.train, splits.holdout, **kwargs)
+
+
+class TestSessionCache:
+    def test_second_contract_is_answered_from_cache(self, binary_splits):
+        spec = SpyLogisticSpec(regularization=1e-3)
+        session = make_session(spec, binary_splits)
+        first = session.answer(ApproximationContract(epsilon=0.3, delta=0.05))
+        evaluations_after_first = spec.diff_evaluations
+        assert evaluations_after_first > 0
+        assert not first.from_cache
+
+        # Different ε AND different δ: still served by quantile lookup on
+        # the cached sorted vector — zero new model-difference evaluations.
+        second = session.answer(ApproximationContract(epsilon=0.05, delta=0.2))
+        assert isinstance(second, SessionAnswer)
+        assert second.from_cache
+        assert spec.diff_evaluations == evaluations_after_first
+
+    def test_cached_vector_is_shared_and_sorted(self, binary_splits):
+        spec = SpyLogisticSpec(regularization=1e-3)
+        session = make_session(spec, binary_splits)
+        theta0 = session.initial_model.theta
+        first = session.sorted_differences(theta0, session.initial_sample_size)
+        second = session.sorted_differences(theta0, session.initial_sample_size)
+        assert first is second  # the literal cached array, not a copy
+        assert np.all(np.diff(first) >= 0)
+        assert session.diff_cache_hits == 1
+        assert session.diff_cache_misses == 1
+
+    def test_cache_misses_on_different_theta_and_n(self, binary_splits):
+        spec = SpyLogisticSpec(regularization=1e-3)
+        session = make_session(spec, binary_splits)
+        theta0 = session.initial_model.theta
+        session.sorted_differences(theta0, session.initial_sample_size)
+        evaluations = spec.diff_evaluations
+
+        # Different n: miss.
+        session.sorted_differences(theta0, 2 * session.initial_sample_size)
+        assert session.diff_cache_misses == 2
+        assert spec.diff_evaluations > evaluations
+
+        # Different θ: miss.
+        evaluations = spec.diff_evaluations
+        session.sorted_differences(theta0 + 0.01, session.initial_sample_size)
+        assert session.diff_cache_misses == 3
+        assert spec.diff_evaluations > evaluations
+
+    def test_repeated_train_to_same_contract_is_free(self, binary_splits):
+        spec = SpyLogisticSpec(regularization=1e-3)
+        session = make_session(spec, binary_splits)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        first = session.train_to(contract)
+        assert not first.used_initial_model  # the search actually ran
+        evaluations = spec.diff_evaluations
+
+        second = session.train_to(contract)
+        # Accuracy estimates, size search and the final model all come from
+        # session caches: no new diff evaluations, no retraining.
+        assert spec.diff_evaluations == evaluations
+        assert second.metadata["model_cache_hit"]
+        assert second.sample_size == first.sample_size
+        assert second.estimated_epsilon == first.estimated_epsilon
+        np.testing.assert_array_equal(second.model.theta, first.model.theta)
+
+    def test_loose_contract_returns_initial_model(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        result = session.train_to(ApproximationContract(epsilon=0.5, delta=0.05))
+        assert result.used_initial_model
+        assert result.model is session.initial_model
+
+
+class TestInfeasiblePath:
+    def test_infeasible_search_trains_on_full_data(self):
+        data = gas_like(n_rows=2_000, n_features=5, seed=61)
+        splits = train_holdout_test_split(data, SplitSpec(0.2, 0.2), rng=np.random.default_rng(7))
+        session = EstimationSession(
+            InfeasibleSpec(),
+            splits.train,
+            splits.holdout,
+            initial_sample_size=200,
+            n_parameter_samples=16,
+            rng=0,
+        )
+        result = session.train_to(ApproximationContract(epsilon=0.1, delta=0.05))
+        assert result.metadata["size_search_feasible"] is False
+        assert result.metadata["trained_on_full_data"] is True
+        assert result.sample_size == splits.train.n_rows
+        assert result.model.n_train == splits.train.n_rows
+        assert not result.used_initial_model
+
+    def test_infeasible_search_through_facade(self):
+        data = gas_like(n_rows=2_000, n_features=5, seed=62)
+        splits = train_holdout_test_split(data, SplitSpec(0.2, 0.2), rng=np.random.default_rng(8))
+        trainer = BlinkML(InfeasibleSpec(), initial_sample_size=200, n_parameter_samples=16, seed=0)
+        result = trainer.train(splits.train, splits.holdout, ApproximationContract(epsilon=0.1))
+        assert result.metadata["size_search_feasible"] is False
+        assert result.metadata["trained_on_full_data"] is True
+        assert result.sample_size == splits.train.n_rows
+
+
+class TestFacade:
+    def test_train_matches_explicit_session(self, binary_splits):
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        contract = ApproximationContract(epsilon=0.04, delta=0.05)
+        via_facade = BlinkML(
+            spec, initial_sample_size=500, n_parameter_samples=32, seed=42
+        ).train(binary_splits.train, binary_splits.holdout, contract)
+        via_session = BlinkML(
+            spec, initial_sample_size=500, n_parameter_samples=32, seed=42
+        ).session(binary_splits.train, binary_splits.holdout).train_to(contract)
+        assert via_facade.sample_size == via_session.sample_size
+        assert via_facade.estimated_epsilon == via_session.estimated_epsilon
+        np.testing.assert_array_equal(via_facade.model.theta, via_session.model.theta)
+
+    def test_same_seed_same_outputs(self, binary_splits):
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        contract = ApproximationContract(epsilon=0.04, delta=0.05)
+        results = [
+            BlinkML(spec, initial_sample_size=500, n_parameter_samples=32, seed=7).train(
+                binary_splits.train, binary_splits.holdout, contract
+            )
+            for _ in range(2)
+        ]
+        assert results[0].sample_size == results[1].sample_size
+        assert results[0].estimated_epsilon == results[1].estimated_epsilon
+        np.testing.assert_array_equal(results[0].model.theta, results[1].model.theta)
+
+
+class TestReadOnlyDifferences:
+    def test_sampled_differences_are_read_only(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        answer = session.answer(ApproximationContract(epsilon=0.1, delta=0.05))
+        differences = answer.estimate.sampled_differences
+        assert differences.flags.writeable is False
+        with pytest.raises(ValueError):
+            differences[0] = 123.0
+
+    def test_construction_does_not_freeze_callers_array(self):
+        from repro.core.accuracy import AccuracyEstimate
+
+        mine = np.array([0.3, 0.1, 0.2])
+        estimate = AccuracyEstimate(epsilon=0.3, delta=0.05, sampled_differences=mine)
+        assert estimate.sampled_differences.flags.writeable is False
+        mine[0] = 0.9  # the caller's own array stays writable
+        assert estimate.sampled_differences[0] == 0.9  # documented aliasing
+
+
+class TestDefaultDelta:
+    def test_contract_default_is_config_constant(self):
+        assert ApproximationContract(epsilon=0.1).delta == DEFAULT_DELTA
+        assert (
+            inspect.signature(BlinkML.train_with_accuracy).parameters["delta"].default
+            == DEFAULT_DELTA
+        )
+        assert (
+            inspect.signature(ApproximationContract.from_accuracy)
+            .parameters["delta"]
+            .default
+            == DEFAULT_DELTA
+        )
+
+    def test_validate_delta(self):
+        assert validate_delta(0.2) == 0.2
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ContractError):
+                validate_delta(bad)
+
+    def test_session_rejects_invalid_delta(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        with pytest.raises(ContractError):
+            session.accuracy_estimate(session.initial_model.theta, 500, delta=1.5)
+
+
+class TestBatchedProbes:
+    @pytest.fixture(scope="class")
+    def search_setup(self, binary_splits):
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        n0 = 500
+        sample = binary_splits.train.take(np.arange(n0))
+        model = spec.fit(sample)
+        statistics = compute_statistics(spec, model.theta, sample)
+        return spec, binary_splits, model, statistics, n0
+
+    def test_batch_outcomes_match_single_probes(self, search_setup):
+        spec, splits, model, stats, n0 = search_setup
+        estimator = SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=32)
+        contract = ApproximationContract(epsilon=0.05, delta=0.05)
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(5))
+        N = splits.train.n_rows
+        candidates = [n0, N // 4, N // 2, N]
+        batched = estimator.contract_satisfied_batch(
+            model.theta, n0, candidates, N, contract, sampler
+        )
+        singles = [
+            estimator.contract_satisfied(model.theta, n0, candidate, N, contract, sampler)
+            for candidate in candidates
+        ]
+        # The cached base draws make both paths deterministic and identical.
+        assert batched == singles
+
+    def test_batched_search_needs_fewer_rounds(self, search_setup):
+        spec, splits, model, stats, n0 = search_setup
+        estimator = SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=32)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        N = splits.train.n_rows
+        bisect = estimator.estimate(
+            model.theta, n0, N, contract, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(5)),
+            probe_batch=1,
+        )
+        batched = estimator.estimate(
+            model.theta, n0, N, contract, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(5)),
+            probe_batch=3,
+        )
+        assert batched.feasible and bisect.feasible
+        assert n0 <= batched.sample_size <= N
+        # 3 candidates per pass narrow the bracket 4x per round instead of
+        # 2x, so the number of stacked passes drops from ~log2 to ~log4.
+        bisect_rounds = len(bisect.probed_sizes) - 2  # minus the endpoints
+        batched_rounds = (len(batched.probed_sizes) - 2 + 2) // 3
+        assert batched_rounds < bisect_rounds
+        # Both land on a size certified by the same shared-draw check.
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(5))
+        assert estimator.contract_satisfied(
+            model.theta, n0, batched.sample_size, N, contract, sampler
+        )
+
+    def test_batched_schedule_lands_on_bisection_answer(self, search_setup):
+        # Under the (empirical, shared-draw) monotonicity of the satisfied(n)
+        # predicate, the batched bracketing converges to the same minimum n
+        # as the paper's plain bisection — this pins the default facade
+        # schedule (probe_batch=3) against the pre-refactor behaviour
+        # (probe_batch=1) across several contracts.
+        spec, splits, model, stats, n0 = search_setup
+        estimator = SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=32)
+        N = splits.train.n_rows
+        for epsilon in (0.02, 0.03, 0.05):
+            contract = ApproximationContract(epsilon=epsilon, delta=0.05)
+            results = [
+                estimator.estimate(
+                    model.theta, n0, N, contract, stats,
+                    sampler=ParameterSampler(stats, rng=np.random.default_rng(5)),
+                    probe_batch=probe_batch,
+                )
+                for probe_batch in (1, 3)
+            ]
+            assert results[0].sample_size == results[1].sample_size
+            assert results[0].feasible == results[1].feasible
+
+    def test_probe_batch_validated(self, search_setup):
+        spec, splits, model, stats, n0 = search_setup
+        estimator = SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=16)
+        with pytest.raises(SampleSizeError):
+            estimator.estimate(
+                model.theta, n0, splits.train.n_rows,
+                ApproximationContract(epsilon=0.05), stats, probe_batch=0,
+            )

@@ -1,0 +1,226 @@
+"""Property tests for the streaming sharded holdout engine.
+
+The acceptance bar for the streaming refactor: sharded accumulation must
+agree with the materialised batched diff path within 1e-12 for all five
+model families and arbitrary block sizes, serial or thread-fanned.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import gas_like, higgs_like, mnist_like
+from repro.evaluation.streaming import (
+    StreamingConfig,
+    iter_holdout_blocks,
+    streaming_pairwise_prediction_differences,
+    streaming_prediction_differences,
+)
+from repro.exceptions import DataError, ModelSpecError
+from repro.models.base import (
+    BlockSumDiffAccumulator,
+    ModelClassSpec,
+    PrecomputedDiffAccumulator,
+)
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.models.max_entropy import MaxEntropySpec
+from repro.models.poisson_regression import PoissonRegressionSpec
+from repro.models.ppca import PPCASpec
+
+N_ROWS = 700
+K = 6
+
+
+def _family(name):
+    """(spec, holdout, n_parameters) for one of the five model families."""
+    if name == "lin":
+        data = gas_like(n_rows=N_ROWS, n_features=8, seed=21)
+        return LinearRegressionSpec(), data, 8
+    if name == "lr":
+        data = higgs_like(n_rows=N_ROWS, n_features=8, seed=22)
+        return LogisticRegressionSpec(), data, 8
+    if name == "me":
+        data = mnist_like(n_rows=N_ROWS, n_features=6, n_classes=3, seed=23)
+        spec = MaxEntropySpec(n_classes=3)
+        spec.n_parameters(data)
+        return spec, data, 18
+    if name == "poisson":
+        base = gas_like(n_rows=N_ROWS, n_features=8, seed=24)
+        counts = np.abs(np.round(base.y - base.y.min())).astype(np.float64)
+        return PoissonRegressionSpec(), Dataset(base.X, counts), 8
+    if name == "ppca":
+        base = mnist_like(n_rows=N_ROWS, n_features=10, n_classes=3, seed=25)
+        return PPCASpec(n_factors=2), Dataset(base.X - base.X.mean(axis=0), None), 20
+    raise KeyError(name)
+
+
+FAMILIES = ("lin", "lr", "me", "poisson", "ppca")
+_CACHE = {name: _family(name) for name in FAMILIES}
+
+
+def _parameter_batches(p, seed):
+    rng = np.random.default_rng(seed)
+    theta_ref = 0.1 * rng.normal(size=p)
+    Thetas = theta_ref[None, :] + 0.05 * rng.normal(size=(K, p))
+    Thetas_b = theta_ref[None, :] + 0.05 * rng.normal(size=(K, p))
+    return theta_ref, Thetas, Thetas_b
+
+
+class TestStreamingMatchesMaterialised:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @settings(max_examples=12, deadline=None)
+    @given(
+        block_rows=st.integers(min_value=1, max_value=2 * N_ROWS),
+        n_workers=st.sampled_from([0, 2, 5]),
+    )
+    def test_reference_diffs_agree(self, family, block_rows, n_workers):
+        spec, holdout, p = _CACHE[family]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=31)
+        expected = spec.prediction_differences(theta_ref, Thetas, holdout)
+        streamed = streaming_prediction_differences(
+            spec, theta_ref, Thetas, holdout,
+            config=StreamingConfig(block_rows=block_rows, n_workers=n_workers),
+        )
+        np.testing.assert_allclose(streamed, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @settings(max_examples=12, deadline=None)
+    @given(
+        block_rows=st.integers(min_value=1, max_value=2 * N_ROWS),
+        n_workers=st.sampled_from([0, 3]),
+    )
+    def test_pairwise_diffs_agree(self, family, block_rows, n_workers):
+        spec, holdout, p = _CACHE[family]
+        _, Thetas, Thetas_b = _parameter_batches(p, seed=32)
+        expected = spec.pairwise_prediction_differences(Thetas, Thetas_b, holdout)
+        streamed = streaming_pairwise_prediction_differences(
+            spec, Thetas, Thetas_b, holdout,
+            config=StreamingConfig(block_rows=block_rows, n_workers=n_workers),
+        )
+        np.testing.assert_allclose(streamed, expected, atol=1e-12)
+
+    def test_classification_counts_are_bitwise_exact(self):
+        # Disagreement metrics accumulate integer counts, so sharding cannot
+        # change the result at all, not just within tolerance.
+        spec, holdout, p = _CACHE["lr"]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=33)
+        expected = spec.prediction_differences(theta_ref, Thetas, holdout)
+        for block_rows in (1, 7, 64, 1000):
+            streamed = streaming_prediction_differences(
+                spec, theta_ref, Thetas, holdout,
+                config=StreamingConfig(block_rows=block_rows),
+            )
+            assert np.array_equal(streamed, expected)
+
+
+class TestGenericFallback:
+    def test_custom_spec_without_overrides_still_works(self):
+        # A custom ModelClassSpec that only implements the scalar interface
+        # gets the materialised fallback accumulator: correct results, no
+        # memory bound.
+        class LoopOnlySpec(LinearRegressionSpec):
+            diff_accumulator = ModelClassSpec.diff_accumulator
+            pairwise_diff_accumulator = ModelClassSpec.pairwise_diff_accumulator
+
+        spec, holdout, p = _CACHE["lin"]
+        loop_spec = LoopOnlySpec()
+        theta_ref, Thetas, Thetas_b = _parameter_batches(p, seed=34)
+        np.testing.assert_allclose(
+            streaming_prediction_differences(
+                loop_spec, theta_ref, Thetas, holdout,
+                config=StreamingConfig(block_rows=13, n_workers=2),
+            ),
+            spec.prediction_differences(theta_ref, Thetas, holdout),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            streaming_pairwise_prediction_differences(
+                loop_spec, Thetas, Thetas_b, holdout,
+                config=StreamingConfig(block_rows=13),
+            ),
+            spec.pairwise_prediction_differences(Thetas, Thetas_b, holdout),
+            atol=1e-12,
+        )
+
+
+class TestMetricsRouting:
+    def test_model_agreements_streaming_option_matches_default(self):
+        from repro.evaluation.metrics import model_agreements
+
+        spec, holdout, p = _CACHE["lr"]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=38)
+        default = model_agreements(spec, Thetas, theta_ref, holdout)
+        streamed = model_agreements(
+            spec, Thetas, theta_ref, holdout,
+            streaming=StreamingConfig(block_rows=50),
+        )
+        np.testing.assert_allclose(streamed, default, atol=1e-12)
+
+
+class TestBlocks:
+    def test_blocks_cover_the_holdout_in_order(self):
+        _, holdout, _ = _CACHE["lr"]
+        blocks = list(iter_holdout_blocks(holdout, 64))
+        assert sum(block.n_rows for block in blocks) == holdout.n_rows
+        np.testing.assert_array_equal(
+            np.vstack([block.X for block in blocks]), holdout.X
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([block.y for block in blocks]), holdout.y
+        )
+
+    def test_blocks_are_zero_copy_views(self):
+        _, holdout, _ = _CACHE["lr"]
+        block = next(iter_holdout_blocks(holdout, 64))
+        assert np.shares_memory(block.X, holdout.X)
+        assert np.shares_memory(block.y, holdout.y)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DataError):
+            StreamingConfig(block_rows=0)
+        with pytest.raises(DataError):
+            StreamingConfig(n_workers=-1)
+
+
+class TestAccumulatorProtocol:
+    def test_block_sum_merge_equals_single_pass(self):
+        spec, holdout, p = _CACHE["lin"]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=35)
+        blocks = list(iter_holdout_blocks(holdout, 100))
+        single = spec.diff_accumulator(theta_ref, Thetas, holdout)
+        for block in blocks:
+            single.update(block)
+        left = spec.diff_accumulator(theta_ref, Thetas, holdout)
+        right = spec.diff_accumulator(theta_ref, Thetas, holdout)
+        for block in blocks[:3]:
+            left.update(block)
+        for block in blocks[3:]:
+            right.update(block)
+        left.merge(right)
+        np.testing.assert_allclose(left.finalize(), single.finalize(), atol=1e-15)
+
+    def test_block_sum_rejects_foreign_merge_and_empty_finalize(self):
+        spec, holdout, p = _CACHE["lin"]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=36)
+        accumulator = spec.diff_accumulator(theta_ref, Thetas, holdout)
+        with pytest.raises(ModelSpecError):
+            accumulator.merge(PrecomputedDiffAccumulator(np.zeros(K)))
+        with pytest.raises(ModelSpecError):
+            accumulator.finalize()
+
+    def test_ppca_accumulator_skips_blocks(self):
+        spec, holdout, p = _CACHE["ppca"]
+        theta_ref, Thetas, _ = _parameter_batches(p, seed=37)
+        accumulator = spec.diff_accumulator(theta_ref, Thetas, holdout)
+        assert accumulator.needs_holdout_blocks is False
+        np.testing.assert_allclose(
+            accumulator.finalize(),
+            spec.prediction_differences(theta_ref, Thetas, holdout),
+            atol=1e-15,
+        )
+
+    def test_block_sum_requires_candidates(self):
+        with pytest.raises(ModelSpecError):
+            BlockSumDiffAccumulator(0, lambda block: 0, lambda sums, rows: sums)

@@ -13,7 +13,6 @@ These are the unit-scale versions of the paper's headline claims:
 import numpy as np
 import pytest
 
-from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.core.guarantees import generalization_error_bound
 from repro.data.splits import SplitSpec, train_holdout_test_split

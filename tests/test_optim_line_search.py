@@ -1,7 +1,6 @@
 """Tests for the Armijo and strong-Wolfe line searches."""
 
 import numpy as np
-import pytest
 
 from repro.optim.base import FunctionObjective
 from repro.optim.line_search import backtracking_line_search, wolfe_line_search

@@ -6,7 +6,6 @@ invariants cover scale equivariance and the L-BFGS memory parameter.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
