@@ -1,0 +1,239 @@
+"""Benchmark: concurrent contract serving against one bounded session.
+
+A serving deployment answers a shuffled stream of accuracy requests —
+different sample sizes n, different confidences δ — against one
+:class:`~repro.core.session.EstimationSession`.  This benchmark measures the
+three things the bounded caching subsystem (``repro.core.caching``) is
+responsible for:
+
+* **throughput** — requests/second served by T threads vs. the serial loop
+  (after the first miss per key everything is a lock + quantile lookup, so
+  threads should scale until the locks saturate);
+* **hit rate** — reported by ``session.cache_stats()``; single-flight means
+  concurrent requests for the same missing vector run the k streamed GEMMs
+  once, so on an *unbounded* cache the concurrent run misses exactly once
+  per distinct key — its hit rate must be >= the serial hit rate on the
+  same workload.  (The gate compares the unbounded runs deliberately: once
+  eviction is in play, miss counts become request-order-dependent, and a
+  thread schedule can legitimately evict differently than the serial
+  order — that is churn, not a single-flight regression.);
+* **cache memory** — the LRU bound caps the bytes held in the diff cache
+  regardless of how many distinct (θ, n) keys the workload touches, where
+  the unbounded baseline grows linearly.  (Cache-held bytes are compared
+  directly via ``CacheStats.bytes`` — the vectors are small relative to the
+  GEMM temporaries, so process-level RSS would mostly measure BLAS noise.)
+
+Correctness is asserted along the way: every concurrent estimate must be
+bitwise identical to the serial baseline (the cached base draws make the
+computation deterministic regardless of request order).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent_serving.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.session import EstimationSession
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+def build_splits(n_rows: int, n_features: int):
+    data = higgs_like(n_rows=n_rows, n_features=n_features, seed=301)
+    return train_holdout_test_split(
+        data, SplitSpec(holdout_fraction=0.15, test_fraction=0.05),
+        rng=np.random.default_rng(302),
+    )
+
+
+def make_session(splits, args, *, bounded: bool) -> EstimationSession:
+    return EstimationSession(
+        LogisticRegressionSpec(regularization=1e-3),
+        splits.train,
+        splits.holdout,
+        initial_sample_size=args.initial,
+        n_parameter_samples=args.k,
+        rng=0,
+        diff_cache_entries=args.cache_entries if bounded else None,
+        diff_cache_bytes=None,
+    )
+
+
+def build_workload(session: EstimationSession, n_contracts: int, repeats: int):
+    """A shuffled mix of (n, δ) accuracy requests against the session.
+
+    ``n_contracts`` distinct sample sizes spread over (n0, N) crossed with a
+    couple of confidence levels; each request repeated ``repeats`` times and
+    shuffled with a fixed seed so serial and concurrent runs see the same
+    stream.
+    """
+    sizes = np.unique(
+        np.geomspace(
+            session.initial_sample_size, session.full_size - 1, n_contracts
+        ).astype(int)
+    )
+    deltas = (0.05, 0.01)
+    workload = [(int(n), delta) for n in sizes for delta in deltas] * repeats
+    random.Random(0).shuffle(workload)
+    return workload
+
+
+def run_workload(session: EstimationSession, workload, n_threads: int):
+    """Serve the workload; returns ({(n, δ): ε}, seconds, diff CacheStats)."""
+    theta0 = session.initial_model.theta
+
+    def serve(request):
+        n, delta = request
+        return request, session.accuracy_estimate(theta0, n, delta).epsilon
+
+    start = time.perf_counter()
+    if n_threads <= 1:
+        served = [serve(request) for request in workload]
+    else:
+        with ThreadPoolExecutor(n_threads) as pool:
+            served = list(pool.map(serve, workload))
+    elapsed = time.perf_counter() - start
+
+    results: dict[tuple[int, float], float] = {}
+    for request, epsilon in served:
+        previous = results.setdefault(request, epsilon)
+        if previous != epsilon:
+            raise AssertionError(
+                f"non-deterministic epsilon for {request}: {previous} vs {epsilon}"
+            )
+    return results, elapsed, session.cache_stats()["diff"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=60_000)
+    parser.add_argument("--features", type=int, default=20)
+    parser.add_argument("--initial", type=int, default=2_000, help="initial sample n0")
+    parser.add_argument("--k", type=int, default=64, help="parameter samples")
+    parser.add_argument("--contracts", type=int, default=24, help="distinct sample sizes")
+    parser.add_argument("--repeats", type=int, default=6, help="repeats per request")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--cache-entries", type=int, default=16, help="bounded diff-cache size")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration for CI (20k rows, 12 contracts, k=32)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless concurrent results are bitwise-identical "
+            "to serial, the concurrent hit rate >= the serial hit rate, and "
+            "the bounded cache stays below the unbounded baseline"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows, args.features = 20_000, 12
+        args.initial, args.k = 1_000, 32
+        args.contracts, args.repeats, args.threads = 12, 4, 4
+        args.cache_entries = 8
+
+    splits = build_splits(args.rows, args.features)
+
+    # Serial baseline on a bounded session.
+    serial_session = make_session(splits, args, bounded=True)
+    workload = build_workload(serial_session, args.contracts, args.repeats)
+    serial_results, serial_seconds, serial_stats = run_workload(
+        serial_session, workload, n_threads=1
+    )
+
+    # Concurrent run on a fresh bounded session, same workload.
+    concurrent_session = make_session(splits, args, bounded=True)
+    concurrent_results, concurrent_seconds, concurrent_stats = run_workload(
+        concurrent_session, workload, n_threads=args.threads
+    )
+
+    # Unbounded baselines: how much cache memory the old dict-based session
+    # would have accumulated on the same workload, and the eviction-free
+    # hit-rate comparison (with no eviction, misses == distinct keys no
+    # matter how requests are ordered, so the serial-vs-concurrent hit
+    # rates are comparable without scheduling luck).
+    unbounded_session = make_session(splits, args, bounded=False)
+    _, _, unbounded_stats = run_workload(unbounded_session, workload, n_threads=1)
+    unbounded_concurrent_session = make_session(splits, args, bounded=False)
+    _, _, unbounded_concurrent_stats = run_workload(
+        unbounded_concurrent_session, workload, n_threads=args.threads
+    )
+
+    mismatches = sum(
+        1
+        for request, epsilon in serial_results.items()
+        if concurrent_results.get(request) != epsilon
+    )
+
+    header = f"{'run':<26}{'req/s':>10}{'hit rate':>10}{'entries':>9}{'bytes':>10}"
+    print(
+        f"{len(workload)} requests, {args.contracts} sizes x 2 deltas, "
+        f"{args.threads} threads, diff cache <= {args.cache_entries} entries"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, seconds, stats in (
+        ("serial (bounded)", serial_seconds, serial_stats),
+        (f"{args.threads} threads (bounded)", concurrent_seconds, concurrent_stats),
+        ("serial (unbounded)", None, unbounded_stats),
+        (f"{args.threads} threads (unbounded)", None, unbounded_concurrent_stats),
+    ):
+        rate = f"{len(workload) / seconds:>10.0f}" if seconds else f"{'-':>10}"
+        print(
+            f"{label:<26}{rate}{stats.hit_rate:>10.1%}"
+            f"{stats.entries:>9}{stats.bytes:>10}"
+        )
+    print(
+        f"concurrent vs serial: {mismatches} mismatching estimates, "
+        f"evictions serial={serial_stats.evictions} "
+        f"concurrent={concurrent_stats.evictions}"
+    )
+
+    if args.check:
+        failures = []
+        if mismatches:
+            failures.append(f"{mismatches} concurrent estimates differ from serial")
+        if unbounded_concurrent_stats.hit_rate < unbounded_stats.hit_rate:
+            failures.append(
+                f"concurrent hit rate {unbounded_concurrent_stats.hit_rate:.1%} "
+                f"fell below serial {unbounded_stats.hit_rate:.1%} on the "
+                "unbounded cache (single-flight regression: the threaded run "
+                "performed duplicate computes for some key)"
+            )
+        if concurrent_stats.entries > args.cache_entries:
+            failures.append(
+                f"bounded cache holds {concurrent_stats.entries} entries "
+                f"(cap {args.cache_entries})"
+            )
+        if unbounded_stats.bytes <= concurrent_stats.bytes:
+            failures.append(
+                f"bounded cache bytes {concurrent_stats.bytes} not below "
+                f"unbounded baseline {unbounded_stats.bytes}"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: bitwise-identical estimates, hit rate "
+            f"{unbounded_concurrent_stats.hit_rate:.1%} >= "
+            f"{unbounded_stats.hit_rate:.1%} (unbounded pair), "
+            f"cache {concurrent_stats.bytes} bytes vs unbounded "
+            f"{unbounded_stats.bytes} bytes"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

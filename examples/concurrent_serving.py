@@ -1,0 +1,101 @@
+"""Serving approximation contracts from a thread pool.
+
+PR 2's `multi_contract_serving` example answers contracts one at a time; a
+real deployment serves them concurrently.  The session's caches are
+thread-safe bounded LRUs with single-flight computation, so a pool of
+worker threads can hammer `answer()` / `accuracy_estimate()` on one shared
+session: the first request for each (θ, n) pair runs the k streamed model
+diffs exactly once — even when several threads ask simultaneously — and
+every other request is a lock plus a conservative-quantile lookup.
+
+The example serves a shuffled stream of requests from 8 threads, verifies
+the answers are identical to a serial run, and prints the per-cache
+hit/miss/eviction statistics that `session.cache_stats()` exposes.
+
+Run with::
+
+    python examples/concurrent_serving.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
+from repro.data import higgs_like, train_holdout_test_split
+
+N_THREADS = 8
+
+
+def main() -> None:
+    print("Generating a HIGGS-like workload (80k rows, 16 features)...")
+    data = higgs_like(n_rows=80_000, n_features=16, seed=21)
+    splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
+
+    def make_trainer() -> BlinkML:
+        # One trainer per session: a BlinkML instance advances its own RNG
+        # as it opens sessions, so seed-identical sessions need fresh
+        # trainers built from the same seed.
+        return BlinkML(
+            LogisticRegressionSpec(regularization=1e-3),
+            initial_sample_size=4_000,
+            n_parameter_samples=128,
+            seed=0,
+        )
+
+    start = time.perf_counter()
+    session = make_trainer().session(splits.train, splits.holdout)
+    print(f"session opened (m_0 + statistics) in {time.perf_counter() - start:.2f}s")
+
+    # A shuffled stream of contracts, repeated as real traffic repeats them.
+    contracts = [
+        ApproximationContract.from_accuracy(0.85),
+        ApproximationContract.from_accuracy(0.90),
+        ApproximationContract.from_accuracy(0.95, delta=0.01),
+        ApproximationContract.from_accuracy(0.99, delta=0.2),
+    ]
+    workload = contracts * 25
+    random.Random(0).shuffle(workload)
+
+    # Serial reference on a seed-identical session.
+    serial_session = make_trainer().session(splits.train, splits.holdout)
+    serial = {contract: serial_session.answer(contract) for contract in contracts}
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(N_THREADS) as pool:
+        answers = list(pool.map(session.answer, workload))
+    elapsed = time.perf_counter() - start
+
+    mismatches = sum(
+        1
+        for contract, answer in zip(workload, answers)
+        if answer.estimate.epsilon != serial[contract].estimate.epsilon
+    )
+    computed = sum(1 for answer in answers if not answer.from_cache)
+    print(
+        f"\n{len(workload)} requests from {N_THREADS} threads in {elapsed:.3f}s "
+        f"({len(workload) / elapsed:,.0f} req/s)"
+    )
+    print(
+        f"identical to serial: {mismatches == 0} — "
+        f"{computed} request(s) computed the difference vector, "
+        f"{len(workload) - computed} served from cache"
+    )
+
+    print("\ncache statistics:")
+    header = f"{'cache':<8}{'hits':>7}{'misses':>8}{'evictions':>11}{'entries':>9}{'hit rate':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, stats in session.cache_stats().items():
+        print(
+            f"{name:<8}{stats.hits:>7}{stats.misses:>8}{stats.evictions:>11}"
+            f"{stats.entries:>9}{stats.hit_rate:>10.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

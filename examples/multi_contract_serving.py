@@ -67,10 +67,13 @@ def main() -> None:
             f"{str(answer.satisfied):>9}{sample_n:>10}"
         )
 
+    stats = session.cache_stats()["diff"]
     print(
-        f"\ndifference-vector cache: {session.diff_cache_misses} misses, "
-        f"{session.diff_cache_hits} hits — every contract after the first is "
-        "answered by quantile lookup, no new model evaluations."
+        f"\ndifference-vector cache: {stats.misses} misses, {stats.hits} hits "
+        f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries, "
+        f"{stats.bytes} bytes) — every contract after the first is answered "
+        "by quantile lookup, no new model evaluations.  See "
+        "examples/concurrent_serving.py for the threaded version."
     )
 
 

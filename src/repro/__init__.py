@@ -16,6 +16,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every figure and table.
 """
 
+from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.core.session import EstimationSession, SessionAnswer
@@ -51,6 +52,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ApproximationContract",
     "BlinkML",
+    "CacheStats",
+    "LRUCache",
     "EstimationSession",
     "SessionAnswer",
     "ApproximateTrainingResult",

@@ -16,7 +16,29 @@ system agrees on the same defaults without hidden magic numbers.
 
 from __future__ import annotations
 
+import os
+
 from repro.exceptions import ContractError
+
+
+def _env_int(name: str, default: int, minimum: int = 0) -> int:
+    """Integer default overridable via an environment variable.
+
+    Lets CI and deployments retune concurrency/cache knobs (e.g.
+    ``DEFAULT_STREAMING_WORKERS=4`` for the threaded-stress job) without
+    code changes.  Invalid values — non-integers or anything below
+    ``minimum`` — fall back to the built-in default rather than failing
+    import.  (Unbounded caches are spelled ``None`` and only per-session
+    constructor arguments can express that, not an env var.)
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
 
 DEFAULT_INITIAL_SAMPLE_SIZE = 10_000
 DEFAULT_NUM_PARAMETER_SAMPLES = 128
@@ -39,8 +61,30 @@ DEFAULT_DELTA = 0.05
 DEFAULT_HOLDOUT_BLOCK_ROWS = 8_192
 # 0 or 1 means serial block processing; larger values fan contiguous block
 # ranges out across that many threads (NumPy releases the GIL inside the
-# per-block GEMMs).
-DEFAULT_STREAMING_WORKERS = 0
+# per-block GEMMs).  Overridable via the DEFAULT_STREAMING_WORKERS
+# environment variable (the CI threaded-stress job sets 4).
+DEFAULT_STREAMING_WORKERS = _env_int("DEFAULT_STREAMING_WORKERS", 0)
+
+# Bounds for the EstimationSession caches (repro.core.caching.LRUCache).
+# A serving deployment answering contracts for many (θ, n) pairs must not
+# grow without bound: each sorted-difference vector holds k float64s
+# (k = DEFAULT_NUM_PARAMETER_SAMPLES, so ~1 KB at the default k=128), and
+# cached models hold a d-dimensional θ.  Entry bounds are the primary knob;
+# the byte bound is a belt-and-braces cap for unusually large k or d.
+# All overridable via same-named environment variables; session constructors
+# accept per-instance overrides (None = unbounded).
+DEFAULT_SESSION_DIFF_CACHE_ENTRIES = _env_int(
+    "DEFAULT_SESSION_DIFF_CACHE_ENTRIES", 512, minimum=1
+)
+DEFAULT_SESSION_DIFF_CACHE_BYTES = _env_int(
+    "DEFAULT_SESSION_DIFF_CACHE_BYTES", 32 * 1024 * 1024, minimum=1
+)
+DEFAULT_SESSION_MODEL_CACHE_ENTRIES = _env_int(
+    "DEFAULT_SESSION_MODEL_CACHE_ENTRIES", 64, minimum=1
+)
+DEFAULT_SESSION_SIZE_CACHE_ENTRIES = _env_int(
+    "DEFAULT_SESSION_SIZE_CACHE_ENTRIES", 1024, minimum=1
+)
 
 # How many candidate sample sizes the sample-size search evaluates per
 # stacked Monte-Carlo pass (ROADMAP "batched two-stage probes").  1 keeps

@@ -23,6 +23,7 @@ The components mirror Figure 2 of the paper:
   Lemma 2 (conservative quantile).
 """
 
+from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.statistics import ModelStatistics, compute_statistics, StatisticsMethod
@@ -41,6 +42,8 @@ from repro.core.guarantees import (
 __all__ = [
     "ApproximationContract",
     "ApproximateTrainingResult",
+    "CacheStats",
+    "LRUCache",
     "TimingBreakdown",
     "ModelStatistics",
     "compute_statistics",

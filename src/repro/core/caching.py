@@ -1,0 +1,289 @@
+"""Thread-safe bounded caches for the contract-serving layer.
+
+PR 2's :class:`~repro.core.session.EstimationSession` made multi-contract
+serving cheap by caching sorted difference vectors, trained models and
+sample-size searches — but the caches were plain dicts: unbounded, unsafe
+under concurrent ``answer()`` calls, and unable to report hit rates.  This
+module is the shared substrate every session cache now sits on:
+
+* :class:`LRUCache` — least-recently-used eviction bounded by **entries**
+  and/or **approximate bytes**, an ``RLock`` around every mutation, and
+  per-cache :class:`CacheStats` hit/miss/eviction counters;
+* :meth:`LRUCache.get_or_compute` — the serving primitive: returns
+  ``(value, hit)`` so callers learn the hit/miss fact *directly* (never by
+  diffing shared counters, which misreports under interleaving), and
+  guarantees **single-flight** computation — when two threads ask for the
+  same missing key, exactly one runs the compute function and the other
+  blocks on the result, so the k streamed GEMMs behind a sorted-difference
+  vector can never run twice for one key.
+
+Locking discipline (see ``docs/architecture.md``): the cache lock is never
+held while a compute function runs.  A miss registers an in-flight marker
+under the lock, releases it, computes, then re-acquires the lock to publish
+the value.  Compute functions may therefore take other locks (the parameter
+sampler's, another cache's) without deadlock risk, as long as no cycle of
+``get_or_compute`` calls exists between caches — the session's three caches
+never compute through one another.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import BlinkMLError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's counters and occupancy.
+
+    ``hits`` counts every request served without running a compute
+    function, including single-flight followers that waited on another
+    thread's in-progress computation (they performed zero work themselves).
+    ``bytes`` is the approximate sum of the stored values' sizes as
+    reported by the cache's ``sizeof`` function.
+    """
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes: int
+    max_entries: int | None
+    max_bytes: int | None
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0.0 when never used)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+def default_sizeof(value: Any) -> int:
+    """Approximate in-memory size of a cached value in bytes.
+
+    NumPy arrays report their buffer size; objects exposing ``nbytes``
+    (e.g. array wrappers) are trusted; everything else falls back to
+    ``sys.getsizeof`` with a small constant when even that is unavailable.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    try:
+        return int(sys.getsizeof(value))
+    except TypeError:
+        return 64
+
+
+class _InFlight:
+    """Marker for a key whose value is being computed by some thread."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class LRUCache:
+    """A thread-safe LRU cache bounded by entry count and approximate bytes.
+
+    Parameters
+    ----------
+    name:
+        Label used in stats snapshots and error messages.
+    max_entries:
+        Maximum number of stored entries; ``None`` means unbounded.
+    max_bytes:
+        Approximate byte budget across stored values; ``None`` means
+        unbounded.  A single value larger than the whole budget is still
+        stored (evicting everything else) so a hot oversized entry is not
+        recomputed forever; the budget is honoured whenever at least two
+        entries are present.
+    sizeof:
+        Maps a value to its approximate size in bytes
+        (:func:`default_sizeof` when omitted).
+
+    Both bounds are enforced on every insert by evicting least-recently-used
+    entries; ``get``/``get_or_compute`` refresh recency.  All operations are
+    serialised by an internal ``RLock``, but compute functions passed to
+    :meth:`get_or_compute` run *outside* the lock (see the module docstring
+    for the single-flight protocol).
+    """
+
+    def __init__(
+        self,
+        name: str = "cache",
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise BlinkMLError(f"{name}: max_entries must be at least 1 or None")
+        if max_bytes is not None and max_bytes < 1:
+            raise BlinkMLError(f"{name}: max_bytes must be at least 1 or None")
+        self.name = name
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._sizeof = sizeof or default_sizeof
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._inflight: dict[Hashable, _InFlight] = {}
+
+    # ------------------------------------------------------------------
+    # Plain mapping operations
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or replace) ``key`` and evict until within bounds."""
+        with self._lock:
+            self._store(key, value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test; does **not** count as a hit/miss or touch recency."""
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[Hashable]:
+        """The cached keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved; not counted as evictions)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Single-flight compute
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> tuple[Any, bool]:
+        """Return ``(value, hit)``; run ``compute`` at most once per miss.
+
+        ``hit`` is True when this call did not itself run ``compute`` — a
+        cached entry or a wait on another thread's in-progress computation.
+        Callers needing the hit/miss fact (e.g. ``SessionAnswer.from_cache``)
+        must use this flag rather than diffing the public counters, which
+        other threads advance concurrently.
+
+        If ``compute`` raises, the error propagates to the computing thread
+        *and* to every thread waiting on the same key; nothing is cached, so
+        a later request retries the computation.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    return entry[0], True
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self._hits += 1
+            return flight.value, True
+
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                del self._inflight[key]
+            flight.event.set()
+            raise
+        flight.value = value
+        try:
+            with self._lock:
+                del self._inflight[key]
+                self._misses += 1
+                self._store(key, value)
+        finally:
+            # Set the event even if the publish fails (e.g. a user-supplied
+            # sizeof raising in _store): followers already hold
+            # flight.value, and leaving the event unset would block them
+            # forever.  The value simply is not cached; the leader re-raises.
+            flight.event.set()
+        return value, False
+
+    # ------------------------------------------------------------------
+    # Internals (lock held)
+    # ------------------------------------------------------------------
+    def _store(self, key: Hashable, value: Any) -> None:
+        nbytes = max(0, int(self._sizeof(value)))
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        while len(self._entries) > 1 and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
+            self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of counters and occupancy."""
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_entries=self.max_entries,
+                max_bytes=self.max_bytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats()
+        return (
+            f"LRUCache({self.name!r}, entries={snapshot.entries}/{self.max_entries}, "
+            f"bytes={snapshot.bytes}/{self.max_bytes}, hits={snapshot.hits}, "
+            f"misses={snapshot.misses}, evictions={snapshot.evictions})"
+        )

@@ -16,6 +16,8 @@ here:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.statistics import ModelStatistics
@@ -50,7 +52,12 @@ class ParameterSampler:
         self._statistics = statistics
         self._rng = rng or np.random.default_rng()
         self._cache_base_samples = cache_base_samples
+        # Cached blocks are stored read-only (callers receive views of
+        # them); the lock serialises cache growth and RNG consumption so
+        # concurrent callers cannot tear the grow-in-place update or
+        # interleave draws from the shared generator.
         self._base_cache: dict[str, np.ndarray] = {}
+        self._lock = threading.RLock()
 
     @property
     def statistics(self) -> ModelStatistics:
@@ -78,26 +85,35 @@ class ParameterSampler:
         request extends it with fresh rows, so two callers sharing a tag but
         requesting different counts still share a common prefix of draws —
         the Section 4.3 sampling-by-scaling reuse.
+
+        The returned array is **read-only**: the cached block is shared by
+        every caller (and by every rescaled draw derived from it), so an
+        in-place mutation would silently corrupt all later samples for the
+        tag.  Copy it if you need a writable version.  Thread-safe: cache
+        growth is serialised, so concurrent callers see consistent prefixes.
         """
         if count <= 0:
             raise StatisticsError("sample count must be positive")
         covariance = self._statistics.covariance
         if not self._cache_base_samples:
-            z = self._rng.standard_normal(size=(count, covariance.rank))
+            with self._lock:
+                z = self._rng.standard_normal(size=(count, covariance.rank))
             return covariance.apply(z)
-        cached = self._base_cache.get(tag)
-        have = 0 if cached is None else cached.shape[0]
-        if have < count:
-            z = self._rng.standard_normal(size=(count - have, covariance.rank))
-            fresh = covariance.apply(z)
-            cached = fresh if cached is None else np.concatenate([cached, fresh], axis=0)
-            self._base_cache[tag] = cached
-        if cached.shape[0] == count:
-            # Return the block itself (not a view of it) so repeated
-            # same-count requests keep array identity, which callers use as
-            # the "draws were reused" signal.
-            return cached
-        return cached[:count]
+        with self._lock:
+            cached = self._base_cache.get(tag)
+            have = 0 if cached is None else cached.shape[0]
+            if have < count:
+                z = self._rng.standard_normal(size=(count - have, covariance.rank))
+                fresh = covariance.apply(z)
+                cached = fresh if cached is None else np.concatenate([cached, fresh], axis=0)
+                cached.flags.writeable = False
+                self._base_cache[tag] = cached
+            if cached.shape[0] == count:
+                # Return the block itself (not a view of it) so repeated
+                # same-count requests keep array identity, which callers use
+                # as the "draws were reused" signal.
+                return cached
+            return cached[:count]
 
     # ------------------------------------------------------------------
     # Scaled draws

@@ -17,6 +17,14 @@ contracts from them:
 * all holdout evaluations stream through the sharded diff engine
   (:mod:`repro.evaluation.streaming`), so memory stays O(k · block).
 
+The caches are thread-safe bounded LRUs (:mod:`repro.core.caching`):
+``answer()`` / ``train_to()`` / ``sorted_differences()`` may be called from
+a thread pool, concurrent misses for the same key run the computation once
+(single-flight), and :meth:`EstimationSession.cache_stats` exposes
+hit/miss/eviction counters per cache.  Capacity defaults come from
+``repro.config`` (``DEFAULT_SESSION_DIFF_CACHE_ENTRIES`` etc.) and can be
+overridden per session; ``None`` means unbounded.
+
 Layer boundaries (see ``docs/architecture.md``)::
 
     BlinkML (facade) → EstimationSession → estimators → streaming engine → model specs
@@ -31,6 +39,7 @@ session directly and call :meth:`EstimationSession.answer` /
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
 
@@ -40,10 +49,15 @@ from repro.config import (
     DEFAULT_DELTA,
     DEFAULT_INITIAL_SAMPLE_SIZE,
     DEFAULT_NUM_PARAMETER_SAMPLES,
+    DEFAULT_SESSION_DIFF_CACHE_BYTES,
+    DEFAULT_SESSION_DIFF_CACHE_ENTRIES,
+    DEFAULT_SESSION_MODEL_CACHE_ENTRIES,
+    DEFAULT_SESSION_SIZE_CACHE_ENTRIES,
     DEFAULT_SIZE_SEARCH_PROBE_BATCH,
     validate_delta,
 )
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
+from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.guarantees import conservative_upper_bound
 from repro.core.parameter_sampler import ParameterSampler
@@ -73,8 +87,12 @@ class SessionAnswer:
         The initial model's accuracy estimate at the contract's δ, computed
         by quantile lookup on the session's cached difference vector.
     from_cache:
-        True when the difference vector was already cached — i.e. this
-        answer performed zero model-difference evaluations.
+        True when this call performed zero model-difference evaluations:
+        the difference vector was already cached, was being computed by a
+        concurrent caller (single-flight wait), or was the degenerate
+        all-zeros vector of the n ≥ N case.  Reported directly by the
+        cache's ``get_or_compute``, so it stays accurate no matter how
+        other threads interleave.
     """
 
     contract: ApproximationContract
@@ -109,6 +127,11 @@ class EstimationSession:
         Seed or ``numpy.random.Generator``.  The facade passes its own
         generator so ``BlinkML.train()`` consumes randomness in exactly the
         order the monolithic coordinator did.
+    diff_cache_entries / diff_cache_bytes / model_cache_entries /
+    size_cache_entries:
+        LRU bounds for the three session caches (``None`` = unbounded);
+        defaults come from :mod:`repro.config`.  The initial model m_0 is
+        pinned outside the model cache and can never be evicted.
     """
 
     def __init__(
@@ -125,6 +148,10 @@ class EstimationSession:
         streaming: StreamingConfig | None = None,
         probe_batch: int = DEFAULT_SIZE_SEARCH_PROBE_BATCH,
         rng: np.random.Generator | int | None = None,
+        diff_cache_entries: int | None = DEFAULT_SESSION_DIFF_CACHE_ENTRIES,
+        diff_cache_bytes: int | None = DEFAULT_SESSION_DIFF_CACHE_BYTES,
+        model_cache_entries: int | None = DEFAULT_SESSION_MODEL_CACHE_ENTRIES,
+        size_cache_entries: int | None = DEFAULT_SESSION_SIZE_CACHE_ENTRIES,
     ):
         if holdout.n_rows == 0:
             raise DataError("holdout set must not be empty")
@@ -135,6 +162,7 @@ class EstimationSession:
         self._optimizer = optimizer
         self._optimizer_kwargs = dict(optimizer_kwargs or {})
         self._probe_batch = int(probe_batch)
+        self._n_parameter_samples = int(n_parameter_samples)
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
         self._N = train.n_rows
@@ -162,26 +190,45 @@ class EstimationSession:
         )
 
         # Caches: sorted difference vectors per (θ-digest, n, N), trained
-        # models per sample size (m_0 seeds the model cache), and sample-size
-        # search outcomes per (ε, δ) so a repeated contract is served without
-        # re-running the search.
-        self._diff_cache: dict[tuple[bytes, int, int], np.ndarray] = {}
-        self._model_cache: dict[int, TrainedModel] = {self._n0: initial_model}
-        self._size_cache: dict[tuple[float, float], SampleSizeEstimate] = {}
-        self.diff_cache_hits = 0
-        self.diff_cache_misses = 0
+        # models per sample size, and sample-size search outcomes per (ε, δ)
+        # so a repeated contract is served without re-running the search.
+        # All three are thread-safe bounded LRUs with single-flight computes
+        # (repro.core.caching); m_0 lives only in its pinned attribute —
+        # never in the model cache — so eviction can never lose it
+        # (_train_cached short-circuits n == n0 before consulting the cache).
+        self._initial_model = initial_model
+        self._diff_cache = LRUCache(
+            "diff",
+            max_entries=diff_cache_entries,
+            max_bytes=diff_cache_bytes,
+            sizeof=lambda vector: int(vector.nbytes),
+        )
+        self._model_cache = LRUCache(
+            "model",
+            max_entries=model_cache_entries,
+            sizeof=lambda model: int(model.theta.nbytes),
+        )
+        self._size_cache = LRUCache("size", max_entries=size_cache_entries)
+        # Shared read-only zeros vector for the degenerate n >= N estimate:
+        # the full model differs from itself by exactly zero, so there is
+        # nothing to sample and nothing worth a per-n cache entry.
+        zeros = np.zeros(self._n_parameter_samples, dtype=np.float64)
+        zeros.flags.writeable = False
+        self._full_data_differences = zeros
         # The session-construction costs (initial training, statistics) are
         # reported in the first train_to() result only; later results from
         # the same session report them as zero so aggregating timings across
-        # contracts does not double-count the amortised one-time work.
+        # contracts does not double-count the amortised one-time work.  The
+        # lock makes the claim-once race-free under concurrent train_to().
         self._construction_costs_reported = False
+        self._construction_costs_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Session-owned state
     # ------------------------------------------------------------------
     @property
     def initial_model(self) -> TrainedModel:
-        return self._model_cache[self._n0]
+        return self._initial_model
 
     @property
     def initial_sample_size(self) -> int:
@@ -200,6 +247,27 @@ class EstimationSession:
         return self._parameter_sampler
 
     # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction snapshots of the three session caches."""
+        return {
+            "diff": self._diff_cache.stats(),
+            "model": self._model_cache.stats(),
+            "size": self._size_cache.stats(),
+        }
+
+    @property
+    def diff_cache_hits(self) -> int:
+        """Total difference-vector cache hits (see :meth:`cache_stats`)."""
+        return self._diff_cache.stats().hits
+
+    @property
+    def diff_cache_misses(self) -> int:
+        """Total difference-vector cache misses (see :meth:`cache_stats`)."""
+        return self._diff_cache.stats().misses
+
+    # ------------------------------------------------------------------
     # Cached difference vectors and contract answers
     # ------------------------------------------------------------------
     @staticmethod
@@ -207,51 +275,73 @@ class EstimationSession:
         payload = np.ascontiguousarray(theta, dtype=np.float64).tobytes()
         return hashlib.blake2b(payload, digest_size=16).digest()
 
+    def _sorted_differences(self, theta: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+        """The cached ascending difference vector plus the hit/miss fact.
+
+        The boolean is the *per-call* answer from the cache's single-flight
+        compute (True = this call ran zero streamed GEMMs), never inferred
+        from the shared counters, which other threads advance concurrently.
+        """
+        n = int(n)
+        if n >= self._N:
+            # The "approximate" model is the full model: the difference
+            # vector is identically zero for every such n, so short-circuit
+            # with one shared read-only vector instead of polluting the
+            # cache with an entry per distinct n.
+            return self._full_data_differences, True
+        key = (self._theta_digest(theta), n, self._N)
+        return self._diff_cache.get_or_compute(
+            key,
+            lambda: self._accuracy_estimator.sorted_differences(
+                theta, n, self._N, self._parameter_sampler
+            ),
+        )
+
     def sorted_differences(self, theta: np.ndarray, n: int) -> np.ndarray:
         """The ascending sampled-difference vector for (θ, n, N), cached.
 
-        First call per key evaluates the k streamed model diffs; every later
-        call — any δ, any ε — is a dictionary lookup returning the same
+        First call per key evaluates the k streamed model diffs (exactly
+        once, even under concurrent requests for the same key); every later
+        call — any δ, any ε — is a cache lookup returning the same
         read-only array.
         """
-        key = (self._theta_digest(theta), int(n), self._N)
-        cached = self._diff_cache.get(key)
-        if cached is not None:
-            self.diff_cache_hits += 1
-            return cached
-        self.diff_cache_misses += 1
-        differences = self._accuracy_estimator.sorted_differences(
-            theta, int(n), self._N, self._parameter_sampler
-        )
-        self._diff_cache[key] = differences
-        return differences
+        return self._sorted_differences(theta, n)[0]
 
-    def accuracy_estimate(
-        self, theta: np.ndarray, n: int, delta: float = DEFAULT_DELTA
-    ) -> AccuracyEstimate:
-        """Accuracy estimate for any (θ, n) — quantile lookup when cached."""
+    def _accuracy_estimate(
+        self, theta: np.ndarray, n: int, delta: float
+    ) -> tuple[AccuracyEstimate, bool]:
         validate_delta(delta)
         start = time.perf_counter()
-        differences = self.sorted_differences(theta, n)
+        n = int(n)
+        differences, from_cache = self._sorted_differences(theta, n)
         if n >= self._N:
             epsilon = 0.0
         else:
             epsilon = conservative_upper_bound(differences, delta, assume_sorted=True)
-        return AccuracyEstimate(
+        estimate = AccuracyEstimate(
             epsilon=float(epsilon),
             delta=delta,
             sampled_differences=differences,
             estimation_seconds=time.perf_counter() - start,
         )
+        return estimate, from_cache
+
+    def accuracy_estimate(
+        self, theta: np.ndarray, n: int, delta: float = DEFAULT_DELTA
+    ) -> AccuracyEstimate:
+        """Accuracy estimate for any (θ, n) — quantile lookup when cached."""
+        return self._accuracy_estimate(theta, n, delta)[0]
 
     def answer(self, contract: ApproximationContract) -> SessionAnswer:
         """Does the session's initial model satisfy ``contract``?
 
         After the first contract (any ε, δ) the answer involves zero model
         evaluations: the cached sorted vector plus one quantile lookup.
+        Safe to call from a thread pool; concurrent first requests for the
+        same vector trigger exactly one computation (single-flight) and the
+        waiting callers report ``from_cache=True``.
         """
-        misses_before = self.diff_cache_misses
-        estimate = self.accuracy_estimate(
+        estimate, from_cache = self._accuracy_estimate(
             self.initial_model.theta, self._n0, contract.delta
         )
         satisfied = estimate.epsilon <= contract.epsilon or self._n0 >= self._N
@@ -259,25 +349,35 @@ class EstimationSession:
             contract=contract,
             satisfied=satisfied,
             estimate=estimate,
-            from_cache=self.diff_cache_misses == misses_before,
+            from_cache=from_cache,
         )
 
     # ------------------------------------------------------------------
     # Full workflow per contract
     # ------------------------------------------------------------------
     def _train_cached(self, n: int, theta0: np.ndarray | None) -> tuple[TrainedModel, float, bool]:
-        """Train (or reuse) the model for sample size n; returns seconds + hit flag."""
-        cached = self._model_cache.get(n)
-        if cached is not None:
-            return cached, 0.0, True
-        start = time.perf_counter()
-        data = self._data_sampler.nested_sample(n)
-        model = self.spec.fit(
-            data, method=self._optimizer, theta0=theta0, **self._optimizer_kwargs
-        )
-        elapsed = time.perf_counter() - start
-        self._model_cache[n] = model
-        return model, elapsed, False
+        """Train (or reuse) the model for sample size n; returns seconds + hit flag.
+
+        Single-flight: two contracts landing concurrently on the same n
+        train one model between them.  n0 is pinned to the initial model so
+        an eviction can never force a retrain that would drift from m_0.
+        """
+        n = int(n)
+        if n == self._n0:
+            return self._initial_model, 0.0, True
+        elapsed_holder: list[float] = []
+
+        def train() -> TrainedModel:
+            start = time.perf_counter()
+            data = self._data_sampler.nested_sample(n)
+            model = self.spec.fit(
+                data, method=self._optimizer, theta0=theta0, **self._optimizer_kwargs
+            )
+            elapsed_holder.append(time.perf_counter() - start)
+            return model
+
+        model, hit = self._model_cache.get_or_compute(n, train)
+        return model, (elapsed_holder[0] if elapsed_holder else 0.0), hit
 
     def train_to(self, contract: ApproximationContract) -> ApproximateTrainingResult:
         """Train an approximate model satisfying ``contract`` (Section 2.3).
@@ -288,10 +388,12 @@ class EstimationSession:
         cached per (θ, n, N), and final models are cached per sample size.
         """
         timings = TimingBreakdown()
-        if not self._construction_costs_reported:
+        with self._construction_costs_lock:
+            report_construction = not self._construction_costs_reported
+            self._construction_costs_reported = True
+        if report_construction:
             timings.initial_training_seconds = self._initial_training_seconds
             timings.statistics_seconds = self._statistics.computation_seconds
-            self._construction_costs_reported = True
         answer = self.answer(contract)
         timings.accuracy_estimation_seconds += answer.estimate.estimation_seconds
         metadata = {"statistics_method": self.statistics_method.value}
@@ -311,11 +413,13 @@ class EstimationSession:
 
         # Step 3: smallest n satisfying the contract (batched probes; the
         # accuracy estimate above already rejected n0, so skip re-probing it).
-        # The search depends only on (ε, δ), so repeats are served cached.
+        # The search depends only on (ε, δ), so repeats are served cached;
+        # single-flight ensures concurrent requests for the same contract
+        # run one search between them.
         size_key = (contract.epsilon, contract.delta)
-        size_estimate = self._size_cache.get(size_key)
-        if size_estimate is None:
-            size_estimate = self._size_estimator.estimate(
+
+        def run_search() -> SampleSizeEstimate:
+            return self._size_estimator.estimate(
                 self.initial_model.theta,
                 n0=self._n0,
                 N=self._N,
@@ -325,7 +429,11 @@ class EstimationSession:
                 skip_lower_probe=True,
                 probe_batch=self._probe_batch,
             )
-            self._size_cache[size_key] = size_estimate
+
+        size_estimate, size_cache_hit = self._size_cache.get_or_compute(
+            size_key, run_search
+        )
+        if not size_cache_hit:
             timings.sample_size_search_seconds = size_estimate.estimation_seconds
         final_n = size_estimate.sample_size
 

@@ -18,6 +18,7 @@ This module provides:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -44,7 +45,15 @@ class UniformSampler:
         # prefix of a fixed permutation yields uniform samples with the
         # useful property that samples of increasing size are nested, which
         # mirrors how a database cursor over a shuffled table behaves.
+        # Built under a lock with a double-checked read: if two concurrent
+        # nested_sample calls could each build their own permutation, the
+        # nesting invariant (D0 ⊂ Dn) would silently break for whichever
+        # caller's permutation lost the publication race.  The same lock
+        # serialises every other consumption of the shared generator
+        # (sample / sample_indices), so concurrent callers cannot interleave
+        # its bit-stream mid-draw.
         self._permutation: np.ndarray | None = None
+        self._rng_lock = threading.Lock()
 
     @property
     def dataset(self) -> Dataset:
@@ -55,9 +64,15 @@ class UniformSampler:
         return self._dataset.n_rows
 
     def _ensure_permutation(self) -> np.ndarray:
-        if self._permutation is None:
-            self._permutation = self._rng.permutation(self._dataset.n_rows)
-        return self._permutation
+        permutation = self._permutation
+        if permutation is None:
+            with self._rng_lock:
+                permutation = self._permutation
+                if permutation is None:
+                    permutation = self._rng.permutation(self._dataset.n_rows)
+                    permutation.flags.writeable = False
+                    self._permutation = permutation
+        return permutation
 
     def sample(self, n: int) -> Dataset:
         """Return an independent size-``n`` uniform sample without replacement."""
@@ -67,7 +82,8 @@ class UniformSampler:
             raise DataError(
                 f"sample size {n} exceeds population size {self._dataset.n_rows}"
             )
-        indices = self._rng.choice(self._dataset.n_rows, size=n, replace=False)
+        with self._rng_lock:
+            indices = self._rng.choice(self._dataset.n_rows, size=n, replace=False)
         return self._dataset.take(indices).with_name(f"{self._dataset.name}/sample[{n}]")
 
     def nested_sample(self, n: int) -> Dataset:
@@ -93,7 +109,8 @@ class UniformSampler:
         """Return ``n`` uniformly sampled row indices without replacement."""
         if n <= 0 or n > self._dataset.n_rows:
             raise DataError("sample size out of range")
-        return self._rng.choice(self._dataset.n_rows, size=n, replace=False)
+        with self._rng_lock:
+            return self._rng.choice(self._dataset.n_rows, size=n, replace=False)
 
 
 class WeightedSampler:

@@ -23,6 +23,7 @@ exactly as the paper describes in Appendix A.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -137,6 +138,21 @@ class PrecomputedDiffAccumulator(DiffAccumulator):
         return self._values
 
 
+class _ReferenceMemo(threading.local):
+    """Per-thread one-slot memo for :meth:`ModelClassSpec._reference_predictions`.
+
+    Spec objects are shared by estimators, sessions and streaming worker
+    threads; a single shared slot would let two threads working on
+    different (θ, X) pairs evict each other's entry on every call (and,
+    without the GIL, publish a torn entry).  ``threading.local`` gives each
+    thread its own slot: no synchronisation on the hot path, no cross-thread
+    interference, and each streaming worker keeps its memo effective.
+    """
+
+    def __init__(self) -> None:
+        self.entry: tuple[bytes, np.ndarray, np.ndarray] | None = None
+
+
 class ModelClassSpec(ABC):
     """Abstract base class for every supported model family."""
 
@@ -149,11 +165,11 @@ class ModelClassSpec(ABC):
         if regularization < 0:
             raise ModelSpecError("regularization coefficient must be non-negative")
         self.regularization = float(regularization)
-        # One-slot memo for the reference predictions of the batched diff
-        # path: (theta bytes, feature-matrix identity) -> predictions.  The
-        # feature matrix is kept alive by the cache entry itself, so the
-        # identity check cannot alias a recycled object.
-        self._reference_cache: tuple[bytes, np.ndarray, np.ndarray] | None = None
+        # Per-thread one-slot memo for the reference predictions of the
+        # batched diff path: (theta bytes, feature-matrix identity) ->
+        # predictions.  The feature matrix is kept alive by the memo entry
+        # itself, so the identity check cannot alias a recycled object.
+        self._reference_cache = _ReferenceMemo()
 
     # ------------------------------------------------------------------
     # Parameter bookkeeping
@@ -282,15 +298,26 @@ class ModelClassSpec(ABC):
         immutability: mutating a feature matrix in place and re-passing the
         same array object would return stale predictions.  Build a new
         Dataset (the library-wide convention) instead of mutating buffers.
+
+        The memo is **per thread** (:class:`_ReferenceMemo`): spec objects
+        are shared across estimator, session and streaming worker threads,
+        and a shared slot would thrash (or tear, on free-threaded builds)
+        under concurrent use with different (θ, X) pairs.
         """
         theta_ref = np.asarray(theta_ref, dtype=np.float64)
         key = theta_ref.tobytes()
-        # getattr guards custom specs whose __init__ skips super().__init__.
-        cached = getattr(self, "_reference_cache", None)
-        if cached is not None and cached[0] == key and cached[1] is X:
-            return cached[2]
+        # getattr guards custom specs whose __init__ skips super().__init__
+        # (installing lazily is a benign race: a lost slot only costs one
+        # memoised prediction, never correctness).
+        memo = getattr(self, "_reference_cache", None)
+        if not isinstance(memo, _ReferenceMemo):
+            memo = _ReferenceMemo()
+            self._reference_cache = memo
+        entry = memo.entry
+        if entry is not None and entry[0] == key and entry[1] is X:
+            return entry[2]
         predictions = self.predict(theta_ref, X)
-        self._reference_cache = (key, X, predictions)
+        memo.entry = (key, X, predictions)
         return predictions
 
     def predict_many(self, Thetas: np.ndarray, X: np.ndarray) -> np.ndarray:

@@ -1,5 +1,7 @@
 """Tests for the fast parameter sampler (Section 4.3 optimisations)."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -100,6 +102,44 @@ class TestBaseSamples:
         sampler = ParameterSampler(stats)
         with pytest.raises(StatisticsError):
             sampler.base_samples(0)
+
+    def test_base_samples_are_read_only(self, statistics_and_theta):
+        # Regression: the cached block used to be handed out writable, so a
+        # caller mutating its draws silently corrupted every later rescaled
+        # sample for the tag.
+        stats, _ = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(10))
+        block = sampler.base_samples(32)
+        assert block.flags.writeable is False
+        with pytest.raises(ValueError):
+            block[0, 0] = 123.0
+        # Prefix views and grown blocks inherit the protection.
+        assert sampler.base_samples(16).flags.writeable is False
+        assert sampler.base_samples(64).flags.writeable is False
+
+    def test_mutation_attempt_cannot_corrupt_later_draws(self, statistics_and_theta):
+        stats, theta = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(11))
+        before = sampler.sample_around(theta, n=100, N=10_000, count=16).copy()
+        with pytest.raises(ValueError):
+            sampler.base_samples(16)[:] = 0.0
+        after = sampler.sample_around(theta, n=100, N=10_000, count=16)
+        np.testing.assert_array_equal(before, after)
+
+    def test_concurrent_requests_share_one_block(self, statistics_and_theta):
+        # Concurrent growth requests must serialise: every returned array is
+        # a prefix of the final cached block, never an independent redraw.
+        stats, _ = statistics_and_theta
+        sampler = ParameterSampler(stats, rng=np.random.default_rng(12))
+        counts = [16, 32, 48, 64, 96, 128] * 4
+
+        with ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(sampler.base_samples, counts))
+
+        final = sampler.base_samples(max(counts))
+        for count, block in zip(counts, results):
+            assert block.shape[0] == count
+            np.testing.assert_array_equal(block, final[:count])
 
 
 class TestScaledSampling:

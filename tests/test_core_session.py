@@ -1,6 +1,8 @@
 """Tests for the contract-serving EstimationSession and the BlinkML facade."""
 
 import inspect
+import random
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -134,6 +136,204 @@ class TestSessionCache:
         result = session.train_to(ApproximationContract(epsilon=0.5, delta=0.05))
         assert result.used_initial_model
         assert result.model is session.initial_model
+
+
+class TestBoundedCaches:
+    def test_diff_cache_capacity_never_exceeded(self, binary_splits):
+        capacity = 4
+        session = make_session(
+            LogisticRegressionSpec(regularization=1e-3),
+            binary_splits,
+            diff_cache_entries=capacity,
+        )
+        theta0 = session.initial_model.theta
+        sizes = np.linspace(500, session.full_size - 1, 12).astype(int)
+        for n in sizes:
+            session.sorted_differences(theta0, int(n))
+            assert session.cache_stats()["diff"].entries <= capacity
+        stats = session.cache_stats()["diff"]
+        assert stats.entries == capacity
+        assert stats.evictions == len(set(sizes.tolist())) - capacity
+        assert stats.misses == len(set(sizes.tolist()))
+
+    def test_evicted_vector_recomputes_identically(self, binary_splits):
+        session = make_session(
+            LogisticRegressionSpec(regularization=1e-3),
+            binary_splits,
+            diff_cache_entries=2,
+        )
+        theta0 = session.initial_model.theta
+        original = session.sorted_differences(theta0, 500).copy()
+        for n in (600, 700, 800):  # push the n=500 vector out of the LRU
+            session.sorted_differences(theta0, n)
+        recomputed = session.sorted_differences(theta0, 500)
+        # The recompute rescales the same cached base draws, so the result
+        # is bitwise identical to the evicted vector.
+        np.testing.assert_array_equal(recomputed, original)
+        assert session.cache_stats()["diff"].evictions > 0
+
+    def test_diff_cache_byte_bound(self, binary_splits):
+        # k=32 float64 differences -> 256 bytes per vector; a 700-byte
+        # budget holds at most two vectors.
+        session = make_session(
+            LogisticRegressionSpec(regularization=1e-3),
+            binary_splits,
+            diff_cache_entries=None,
+            diff_cache_bytes=700,
+        )
+        theta0 = session.initial_model.theta
+        for n in (500, 600, 700, 800):
+            session.sorted_differences(theta0, n)
+        stats = session.cache_stats()["diff"]
+        assert stats.bytes <= 700
+        assert stats.entries == 2
+        assert stats.evictions == 2
+
+    def test_cache_stats_snapshot(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        stats = session.cache_stats()
+        assert set(stats) == {"diff", "model", "size"}
+        assert stats["diff"].requests == 0
+        session.answer(ApproximationContract(epsilon=0.3, delta=0.05))
+        session.answer(ApproximationContract(epsilon=0.3, delta=0.10))
+        stats = session.cache_stats()
+        assert stats["diff"].hits == 1
+        assert stats["diff"].misses == 1
+        assert stats["diff"].hit_rate == pytest.approx(0.5)
+
+    def test_model_cache_eviction_cannot_lose_initial_model(self, binary_splits):
+        session = make_session(
+            LogisticRegressionSpec(regularization=1e-3),
+            binary_splits,
+            model_cache_entries=1,
+        )
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        result = session.train_to(contract)  # trains m_n, evicting the n0 entry
+        assert not result.used_initial_model
+        # m_0 is pinned outside the cache: still reachable and identical.
+        assert session.initial_model.n_train == session.initial_sample_size
+        second = session.train_to(ApproximationContract(epsilon=0.5, delta=0.05))
+        assert second.model is session.initial_model
+
+
+class TestFullDataShortCircuit:
+    def test_full_data_estimate_skips_diff_cache(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        theta0 = session.initial_model.theta
+        N = session.full_size
+        for n in (N, N + 1, N + 500):  # distinct n >= N used to each cache a zeros vector
+            estimate = session.accuracy_estimate(theta0, n)
+            assert estimate.epsilon == 0.0
+            assert not estimate.sampled_differences.any()
+        stats = session.cache_stats()["diff"]
+        assert stats.entries == 0
+        assert stats.requests == 0  # never touched the cache
+
+    def test_full_data_vector_is_shared_and_read_only(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        theta0 = session.initial_model.theta
+        first = session.sorted_differences(theta0, session.full_size)
+        second = session.sorted_differences(theta0, session.full_size + 7)
+        assert first is second  # one shared zeros vector, not one per n
+        assert first.flags.writeable is False
+
+
+class TestConcurrentServing:
+    N_THREADS = 8
+
+    def test_concurrent_answers_bitwise_match_serial(self, binary_splits):
+        """Acceptance: 8 threads x shuffled mix of 4 contracts == serial run."""
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        contracts = [
+            ApproximationContract(epsilon=0.05, delta=0.05),
+            ApproximationContract(epsilon=0.10, delta=0.01),
+            ApproximationContract(epsilon=0.20, delta=0.10),
+            ApproximationContract(epsilon=0.30, delta=0.20),
+        ]
+        serial_session = make_session(spec, binary_splits)
+        serial = {
+            contract: serial_session.answer(contract) for contract in contracts
+        }
+
+        threaded_session = make_session(spec, binary_splits)
+        workload = contracts * self.N_THREADS
+        random.Random(0).shuffle(workload)
+        with ThreadPoolExecutor(self.N_THREADS) as pool:
+            answers = list(pool.map(threaded_session.answer, workload))
+
+        for contract, answer in zip(workload, answers):
+            baseline = serial[contract]
+            assert answer.satisfied == baseline.satisfied
+            assert answer.estimate.epsilon == baseline.estimate.epsilon  # bitwise
+            np.testing.assert_array_equal(
+                answer.estimate.sampled_differences,
+                baseline.estimate.sampled_differences,
+            )
+        # Single-flight: the k streamed GEMMs ran exactly once; every other
+        # request (including waiters on the in-flight compute) was a hit.
+        stats = threaded_session.cache_stats()["diff"]
+        assert stats.misses == 1
+        assert stats.hits == len(workload) - 1
+        assert sum(1 for answer in answers if not answer.from_cache) == 1
+
+    def test_concurrent_accuracy_estimates_match_serial(self, binary_splits):
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        sizes = [500, 900, 1700, 2600, 4000, 6000]
+
+        serial_session = make_session(spec, binary_splits)
+        theta0 = serial_session.initial_model.theta
+        serial = {
+            n: serial_session.accuracy_estimate(theta0, n).epsilon for n in sizes
+        }
+
+        threaded_session = make_session(spec, binary_splits)
+        theta0 = threaded_session.initial_model.theta
+        workload = sizes * 4
+        random.Random(1).shuffle(workload)
+        with ThreadPoolExecutor(self.N_THREADS) as pool:
+            epsilons = list(
+                pool.map(lambda n: threaded_session.accuracy_estimate(theta0, n).epsilon, workload)
+            )
+        for n, epsilon in zip(workload, epsilons):
+            assert epsilon == serial[n]  # bitwise: same cached base draws
+        stats = threaded_session.cache_stats()["diff"]
+        assert stats.misses == len(sizes)
+        assert stats.hits == len(workload) - len(sizes)
+
+    def test_concurrent_train_to_matches_serial(self, binary_splits):
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        contracts = [
+            ApproximationContract(epsilon=0.03, delta=0.05),
+            ApproximationContract(epsilon=0.04, delta=0.05),
+        ]
+        serial_session = make_session(spec, binary_splits)
+        serial = {contract: serial_session.train_to(contract) for contract in contracts}
+
+        threaded_session = make_session(spec, binary_splits)
+        workload = contracts * 4
+        random.Random(2).shuffle(workload)
+        with ThreadPoolExecutor(self.N_THREADS) as pool:
+            results = list(pool.map(threaded_session.train_to, workload))
+
+        for contract, result in zip(workload, results):
+            baseline = serial[contract]
+            assert result.sample_size == baseline.sample_size
+            assert result.estimated_epsilon == baseline.estimated_epsilon
+            np.testing.assert_array_equal(result.model.theta, baseline.model.theta)
+        # Each distinct contract ran its size search exactly once.
+        assert threaded_session.cache_stats()["size"].misses == len(contracts)
+
+    def test_concurrent_identical_contracts_single_flight(self, binary_splits):
+        spec = SpyLogisticSpec(regularization=1e-3)
+        session = make_session(spec, binary_splits)
+        contract = ApproximationContract(epsilon=0.3, delta=0.05)
+        with ThreadPoolExecutor(self.N_THREADS) as pool:
+            answers = list(
+                pool.map(session.answer, [contract] * (self.N_THREADS * 4))
+            )
+        assert sum(1 for answer in answers if not answer.from_cache) == 1
+        epsilons = {answer.estimate.epsilon for answer in answers}
+        assert len(epsilons) == 1
 
 
 class TestInfeasiblePath:

@@ -58,6 +58,30 @@ class TestUniformSampler:
         assert indices.min() >= 0 and indices.max() < 20
         assert len(np.unique(indices)) == 5
 
+    def test_concurrent_nested_samples_share_one_permutation(self):
+        # Regression: the permutation is built lazily; two concurrent first
+        # calls to nested_sample could each build their own permutation and
+        # break the nesting invariant (D0 ⊂ Dn) for one of the callers.
+        # Double-checked init must leave every caller on a single
+        # permutation, so any smaller sample is a prefix of any larger one.
+        from concurrent.futures import ThreadPoolExecutor
+
+        for attempt in range(5):  # several fresh samplers widen the race window
+            sampler = UniformSampler(
+                make_dataset(400), rng=np.random.default_rng(attempt)
+            )
+            sizes = [10, 50, 100, 200, 400] * 4
+            with ThreadPoolExecutor(8) as pool:
+                samples = list(pool.map(sampler.nested_sample, sizes))
+            reference = sampler.nested_sample(400)
+            for size, sample in zip(sizes, samples):
+                np.testing.assert_array_equal(sample.X, reference.X[:size])
+
+    def test_permutation_is_read_only(self):
+        sampler = UniformSampler(make_dataset(20), rng=np.random.default_rng(0))
+        sampler.nested_sample(5)
+        assert sampler._permutation.flags.writeable is False
+
 
 class TestReservoirSample:
     def test_exact_size(self):
