@@ -1,6 +1,7 @@
 """Ablation — sensitivity of BlinkML to its two main design knobs.
 
-DESIGN.md calls out two defaults inherited from the paper:
+Two defaults are inherited from the paper (see docs/serving.md's knob
+table):
 
 * the initial sample size ``n0`` (10 000 rows by default, Section 2.3);
 * the number of Monte-Carlo parameter samples ``k`` used by the accuracy

@@ -1,0 +1,323 @@
+"""Benchmark: a fleet of (model, dataset) pairs under one SessionRegistry.
+
+The cross-session registry (``repro.core.registry``) is responsible for
+three fleet-level behaviours that no per-session bound can provide:
+
+* **a global byte budget** — N live (model, dataset) pairs share one byte
+  pool; each member's cache caps are rebalanced to ``pool / N``, so the sum
+  of cache bytes across the fleet stays within the pool no matter how many
+  distinct (θ, n) keys the workload touches.  The unbounded baseline grows
+  with the workload instead;
+* **cache-served repeats** — a repeated (model, dataset, ε, δ) contract is
+  answered from the member session's caches with **zero new model
+  evaluations**: a second pass over the whole workload adds no diff-cache
+  misses and every answer reports ``from_cache=True``;
+* **fingerprint invalidation** — perturbing one dataset and re-offering it
+  under the same key constructs a fresh session; the stale one can never
+  serve again (its first answer recomputes).
+
+The benchmark serves ``pairs`` sessions × a shuffled stream of contracts
+and sample-size estimates, twice (the second pass measures repeat serving),
+against a *bounded* and an *unbounded* registry, asserting along the way
+that both fleets return bitwise-identical estimates (eviction changes
+costs, never values).  A final section turns the fleet over through a
+registry one slot too small to demonstrate whole-session LRU eviction.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_session_registry.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+import numpy as np
+
+from repro.core.contract import ApproximationContract
+from repro.core.registry import SessionRegistry
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import gas_like, higgs_like
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+def build_pairs(n_pairs: int, n_rows: int, n_features: int):
+    """``n_pairs`` (key, spec, splits, seed) serving pairs, LR/linear mixed."""
+    pairs = []
+    for index in range(n_pairs):
+        seed = 400 + index
+        if index % 2 == 0:
+            spec = LogisticRegressionSpec(regularization=1e-3)
+            data = higgs_like(n_rows=n_rows, n_features=n_features, seed=seed)
+            family = "lr"
+        else:
+            spec = LinearRegressionSpec(regularization=1e-3)
+            data = gas_like(n_rows=n_rows, n_features=n_features, seed=seed)
+            family = "lin"
+        splits = train_holdout_test_split(
+            data, SplitSpec(holdout_fraction=0.15, test_fraction=0.05),
+            rng=np.random.default_rng(seed),
+        )
+        pairs.append((f"{family}-{index}", spec, splits, seed))
+    return pairs
+
+
+def build_workload(pairs, n_sizes: int, repeats: int, initial: int, n_rows_min: int):
+    """A shuffled stream of ('answer', key, contract) / ('estimate', key, n, δ).
+
+    Contracts exercise the repeated-(ε, δ) path; spread-out sample sizes
+    exercise the byte budget (each distinct n caches one difference
+    vector per pair).
+    """
+    contracts = [
+        ApproximationContract.from_accuracy(0.85),
+        ApproximationContract.from_accuracy(0.90, delta=0.2),
+        ApproximationContract.from_accuracy(0.95, delta=0.01),
+    ]
+    sizes = np.unique(
+        np.geomspace(initial + 1, max(initial + 2, n_rows_min - 1), n_sizes).astype(int)
+    )
+    workload = []
+    for key, _, _, _ in pairs:
+        workload += [("answer", key, contract) for contract in contracts]
+        workload += [
+            ("estimate", key, int(n), delta) for n in sizes for delta in (0.05, 0.2)
+        ]
+    workload *= repeats
+    random.Random(0).shuffle(workload)
+    return workload
+
+
+class Fleet:
+    """One registry + the request-serving loop with byte-budget sampling."""
+
+    def __init__(self, registry: SessionRegistry, pairs, initial: int, k: int):
+        self.registry = registry
+        self.pairs = {key: (spec, splits, seed) for key, spec, splits, seed in pairs}
+        self.initial = initial
+        self.k = k
+        self.peak_bytes = 0
+        self.budget_violations = 0
+
+    def session(self, key):
+        spec, splits, seed = self.pairs[key]
+        return self.registry.get_or_create(
+            key, spec, splits.train, splits.holdout,
+            initial_sample_size=self.initial, n_parameter_samples=self.k, rng=seed,
+        )
+
+    def serve(self, request):
+        session = self.session(request[1])
+        if request[0] == "answer":
+            answer = session.answer(request[2])
+            result = (answer.estimate.epsilon, answer.from_cache)
+        else:
+            _, _, n, delta = request
+            estimate = session.accuracy_estimate(session.initial_model.theta, n, delta)
+            result = (estimate.epsilon, None)
+        current = self.registry.stats().bytes
+        self.peak_bytes = max(self.peak_bytes, current)
+        budget = self.registry.max_total_bytes
+        if budget is not None and current > budget:
+            self.budget_violations += 1
+        return result
+
+    def run(self, workload):
+        start = time.perf_counter()
+        results = [self.serve(request) for request in workload]
+        return results, time.perf_counter() - start
+
+    def diff_misses(self) -> int:
+        totals = self.registry.stats().cache_totals()
+        return totals["diff"].misses if "diff" in totals else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=6, help="(model, dataset) pairs")
+    parser.add_argument("--rows", type=int, default=30_000)
+    parser.add_argument("--features", type=int, default=16)
+    parser.add_argument("--initial", type=int, default=1_500, help="initial sample n0")
+    parser.add_argument("--k", type=int, default=64, help="parameter samples")
+    parser.add_argument("--sizes", type=int, default=8, help="distinct sample sizes per pair")
+    parser.add_argument("--repeats", type=int, default=3, help="workload repeats")
+    parser.add_argument(
+        "--budget-kib", type=int, default=24,
+        help="global registry byte budget in KiB (sized to force eviction)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration for CI (3 pairs, 8k rows, k=32)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless the fleet stays within the byte budget, "
+            "repeats are served with zero new model evaluations, bounded == "
+            "unbounded estimates bitwise, and a changed dataset always misses"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.pairs, args.rows, args.features = 3, 8_000, 10
+        args.initial, args.k = 500, 32
+        args.sizes, args.repeats, args.budget_kib = 6, 2, 6
+
+    budget = args.budget_kib * 1024
+    min_session_bytes = max(1, budget // (2 * args.pairs))
+    pairs = build_pairs(args.pairs, args.rows, args.features)
+    workload = build_workload(pairs, args.sizes, args.repeats, args.initial, args.rows)
+
+    bounded = Fleet(
+        SessionRegistry(
+            max_sessions=args.pairs,
+            max_total_bytes=budget,
+            min_session_bytes=min_session_bytes,
+        ),
+        pairs, args.initial, args.k,
+    )
+    unbounded = Fleet(
+        SessionRegistry(max_sessions=None, max_total_bytes=None),
+        pairs, args.initial, args.k,
+    )
+
+    # Pass 1 populates; pass 2 must be pure cache serving (measured on the
+    # unbounded fleet, where no eviction can force recomputes).
+    bounded_results, bounded_seconds = bounded.run(workload)
+    unbounded_results, _ = unbounded.run(workload)
+    misses_before_repeat = unbounded.diff_misses()
+    repeat_results, repeat_seconds = unbounded.run(workload)
+    new_misses = unbounded.diff_misses() - misses_before_repeat
+    uncached_answers = sum(
+        1 for result in repeat_results if result[1] is False
+    )
+    bounded_repeat, _ = bounded.run(workload)
+
+    mismatches = sum(
+        1
+        for (eps_a, _), (eps_b, _) in zip(bounded_results, unbounded_results)
+        if eps_a != eps_b
+    )
+    repeat_mismatches = sum(
+        1
+        for (eps_a, _), (eps_b, _) in zip(bounded_repeat, repeat_results)
+        if eps_a != eps_b
+    )
+
+    bounded_stats = bounded.registry.stats()
+    unbounded_stats = unbounded.registry.stats()
+    diff_evictions = bounded_stats.cache_totals()["diff"].evictions
+
+    print(
+        f"{len(workload)} requests x 2 passes over {args.pairs} (model, dataset) "
+        f"pairs, k={args.k}, global budget {budget} bytes "
+        f"(per-session share {bounded.registry.session_budget_bytes()} bytes)"
+    )
+    header = (
+        f"{'fleet':<22}{'req/s':>9}{'sessions':>10}{'hit rate':>10}"
+        f"{'peak bytes':>12}{'evictions':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, fleet, stats, seconds in (
+        ("bounded", bounded, bounded_stats, bounded_seconds),
+        ("unbounded baseline", unbounded, unbounded_stats, repeat_seconds),
+    ):
+        print(
+            f"{label:<22}{len(workload) / seconds:>9.0f}{stats.sessions:>10}"
+            f"{stats.hit_rate:>10.1%}{fleet.peak_bytes:>12}"
+            f"{diff_evictions if fleet is bounded else 0:>11}"
+        )
+    print(
+        f"repeat pass: {new_misses} new difference-vector computations, "
+        f"{uncached_answers} uncached contract answers "
+        f"({len(workload)} requests in {repeat_seconds:.2f}s)"
+    )
+    print(
+        f"bounded vs unbounded: {mismatches + repeat_mismatches} mismatching "
+        f"estimates, peak {bounded.peak_bytes} vs {unbounded.peak_bytes} bytes"
+    )
+
+    # Fingerprint invalidation: perturb one dataset and re-offer its key.
+    key, spec, splits, seed = pairs[0]
+    stale = bounded.registry.get(key)
+    changed_X = splits.train.X.copy()
+    changed_X[0, 0] += 1.0
+    changed_train = type(splits.train)(changed_X, splits.train.y)
+    fresh = bounded.registry.get_or_create(
+        key, spec, changed_train, splits.holdout,
+        initial_sample_size=args.initial, n_parameter_samples=args.k, rng=seed,
+    )
+    fresh_answer = fresh.answer(ApproximationContract.from_accuracy(0.85))
+    fingerprint_ok = (
+        fresh is not stale
+        and bounded.registry.stats().fingerprint_invalidations == 1
+        and not fresh_answer.from_cache
+    )
+    print(f"fingerprint change served a fresh session: {fingerprint_ok}")
+
+    # Whole-session LRU eviction: one slot fewer than pairs forces turnover.
+    turnover = Fleet(
+        SessionRegistry(max_sessions=max(1, args.pairs - 1), max_total_bytes=None),
+        pairs, args.initial, args.k,
+    )
+    for pair_key, _, _, _ in pairs:
+        turnover.session(pair_key)
+    turnover_evictions = turnover.registry.stats().evictions
+    print(
+        f"fleet turnover through {max(1, args.pairs - 1)} slots: "
+        f"{turnover_evictions} whole-session eviction(s)"
+    )
+
+    if args.check:
+        failures = []
+        if bounded.budget_violations:
+            failures.append(
+                f"fleet exceeded the global byte budget on "
+                f"{bounded.budget_violations} request(s)"
+            )
+        if bounded_stats.bytes > budget:
+            failures.append(
+                f"final fleet bytes {bounded_stats.bytes} exceed budget {budget}"
+            )
+        if new_misses or uncached_answers:
+            failures.append(
+                f"repeat pass recomputed: {new_misses} new diff misses, "
+                f"{uncached_answers} uncached answers (expected zero)"
+            )
+        if mismatches or repeat_mismatches:
+            failures.append(
+                f"{mismatches + repeat_mismatches} bounded estimates differ "
+                "from the unbounded baseline"
+            )
+        if bounded.peak_bytes >= unbounded.peak_bytes:
+            failures.append(
+                f"bounded peak {bounded.peak_bytes} not below unbounded "
+                f"peak {unbounded.peak_bytes}"
+            )
+        if not diff_evictions:
+            failures.append("budget pressure caused no evictions (budget too large?)")
+        if not fingerprint_ok:
+            failures.append("changed dataset did not miss (stale session served)")
+        if turnover_evictions != 1:
+            failures.append(
+                f"fleet turnover evicted {turnover_evictions} sessions (expected 1)"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: fleet held <= {budget} bytes (peak {bounded.peak_bytes}, "
+            f"unbounded {unbounded.peak_bytes}), repeats served with zero new "
+            "evaluations, fingerprint change always missed"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Shared workload definitions for the benchmark harness.
 
 Each benchmark module regenerates one figure/table of the paper's
-evaluation (see DESIGN.md, "Per-experiment index").  The workloads below
+evaluation (see the benchmark index in README.md).  The workloads below
 are the scaled-down counterparts of the paper's eight (model, dataset)
 combinations; row counts and dimensions are laptop-sized but every code
 path exercised by the original experiments is exercised here too.
@@ -116,7 +116,7 @@ def build_workload(key: str, n_rows: int = BENCH_ROWS) -> Workload:
         # metric becomes meaningless.  The sensor-array workload (gas_like
         # features, 12 latent factors) plays the same role — an
         # unsupervised, dense, moderate-dimensional factor extraction — with
-        # an identifiable 10-factor structure.  See DESIGN.md.
+        # an identifiable 10-factor structure.
         base = gas_like(n_rows=n_rows // 2, n_features=96, seed=108)
         centered = Dataset(base.X - base.X.mean(axis=0), None, name="gas_like")
         splits = _split(centered, 8)

@@ -1,55 +1,61 @@
-"""Serving approximation contracts from a thread pool.
+"""Serving approximation contracts from a thread pool, via the registry.
 
-PR 2's `multi_contract_serving` example answers contracts one at a time; a
-real deployment serves them concurrently.  The session's caches are
-thread-safe bounded LRUs with single-flight computation, so a pool of
-worker threads can hammer `answer()` / `accuracy_estimate()` on one shared
-session: the first request for each (θ, n) pair runs the k streamed model
-diffs exactly once — even when several threads ask simultaneously — and
-every other request is a lock plus a conservative-quantile lookup.
+A real deployment serves contracts concurrently.  Both tiers of the
+serving stack are thread-safe: the `SessionRegistry` resolves keys to live
+sessions with single-flight construction (concurrent first requests for a
+missing key train m_0 exactly once between them), and the session's caches
+are bounded LRUs with single-flight computes, so a pool of worker threads
+can hammer `get_or_create()` + `answer()` freely: the first request for
+each (θ, n) pair runs the k streamed model diffs once and every other
+request is a lock plus a conservative-quantile lookup.
 
-The example serves a shuffled stream of requests from 8 threads, verifies
-the answers are identical to a serial run, and prints the per-cache
-hit/miss/eviction statistics that `session.cache_stats()` exposes.
+The example serves a shuffled stream of requests from 8 threads — every
+request resolving its session through the registry, as a stateless handler
+would — verifies the answers are identical to a serial run, and prints the
+per-cache statistics plus the `registry.stats()` fleet roll-up.
 
 Run with::
 
     python examples/concurrent_serving.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
+from repro import ApproximationContract, LogisticRegressionSpec, SessionRegistry
 from repro.data import higgs_like, train_holdout_test_split
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 N_THREADS = 8
 
 
 def main() -> None:
-    print("Generating a HIGGS-like workload (80k rows, 16 features)...")
-    data = higgs_like(n_rows=80_000, n_features=16, seed=21)
+    rows = 8_000 if SMOKE else 80_000
+    print(f"Generating a HIGGS-like workload ({rows} rows, 16 features)...")
+    data = higgs_like(n_rows=rows, n_features=16, seed=21)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    session_kwargs = dict(
+        initial_sample_size=800 if SMOKE else 4_000,
+        n_parameter_samples=64 if SMOKE else 128,
+        rng=0,  # same seed => bitwise-identical sessions across registries
+    )
 
-    def make_trainer() -> BlinkML:
-        # One trainer per session: a BlinkML instance advances its own RNG
-        # as it opens sessions, so seed-identical sessions need fresh
-        # trainers built from the same seed.
-        return BlinkML(
-            LogisticRegressionSpec(regularization=1e-3),
-            initial_sample_size=4_000,
-            n_parameter_samples=128,
-            seed=0,
+    registry = SessionRegistry()
+
+    def serve(contract: ApproximationContract):
+        session = registry.get_or_create(
+            "higgs-ctr", spec, splits.train, splits.holdout, **session_kwargs
         )
-
-    start = time.perf_counter()
-    session = make_trainer().session(splits.train, splits.holdout)
-    print(f"session opened (m_0 + statistics) in {time.perf_counter() - start:.2f}s")
+        return session.answer(contract)
 
     # A shuffled stream of contracts, repeated as real traffic repeats them.
     contracts = [
@@ -61,13 +67,16 @@ def main() -> None:
     workload = contracts * 25
     random.Random(0).shuffle(workload)
 
-    # Serial reference on a seed-identical session.
-    serial_session = make_trainer().session(splits.train, splits.holdout)
+    # Serial reference on a seed-identical session in its own registry.
+    serial_registry = SessionRegistry()
+    serial_session = serial_registry.get_or_create(
+        "higgs-ctr", spec, splits.train, splits.holdout, **session_kwargs
+    )
     serial = {contract: serial_session.answer(contract) for contract in contracts}
 
     start = time.perf_counter()
     with ThreadPoolExecutor(N_THREADS) as pool:
-        answers = list(pool.map(session.answer, workload))
+        answers = list(pool.map(serve, workload))
     elapsed = time.perf_counter() - start
 
     mismatches = sum(
@@ -86,6 +95,7 @@ def main() -> None:
         f"{len(workload) - computed} served from cache"
     )
 
+    session = registry.get("higgs-ctr")
     print("\ncache statistics:")
     header = f"{'cache':<8}{'hits':>7}{'misses':>8}{'evictions':>11}{'entries':>9}{'hit rate':>10}"
     print(header)
@@ -95,6 +105,15 @@ def main() -> None:
             f"{name:<8}{stats.hits:>7}{stats.misses:>8}{stats.evictions:>11}"
             f"{stats.entries:>9}{stats.hit_rate:>10.1%}"
         )
+
+    fleet = registry.stats()
+    print(
+        f"\nregistry: {fleet.sessions} session(s) constructed {fleet.misses} "
+        f"time(s) for {fleet.requests} lookups — single-flight means the "
+        f"{N_THREADS} threads' first requests trained m_0 once between them "
+        f"(registry hit rate {fleet.hit_rate:.0%}, "
+        f"{fleet.bytes}/{fleet.max_total_bytes} budget bytes)"
+    )
 
 
 if __name__ == "__main__":

@@ -11,14 +11,20 @@ internals.
 Run with::
 
     python examples/custom_model.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import BlinkML, ModelClassSpec
 from repro.data import Dataset, train_holdout_test_split
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 
 
 class ExponentialRegressionSpec(ModelClassSpec):
@@ -66,12 +72,18 @@ def make_waiting_time_data(n_rows: int, n_features: int, seed: int = 61) -> Data
 
 
 def main() -> None:
-    print("Generating waiting-time data (60k rows, 10 features)...")
-    data = make_waiting_time_data(60_000, 10)
+    n_rows = 8_000 if SMOKE else 60_000
+    print(f"Generating waiting-time data ({n_rows} rows, 10 features)...")
+    data = make_waiting_time_data(n_rows, 10)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(6))
 
     spec = ExponentialRegressionSpec(regularization=1e-3)
-    trainer = BlinkML(spec, initial_sample_size=4_000, n_parameter_samples=96, seed=0)
+    trainer = BlinkML(
+        spec,
+        initial_sample_size=800 if SMOKE else 4_000,
+        n_parameter_samples=32 if SMOKE else 96,
+        seed=0,
+    )
     result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.95)
     print("\nBlinkML result for the custom model")
     print("  " + result.summary())

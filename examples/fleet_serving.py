@@ -1,0 +1,160 @@
+"""Serving a fleet of (model, dataset) pairs from one SessionRegistry.
+
+One `EstimationSession` answers any number of (ε, δ) contracts against a
+single (model, dataset) pair; a deployment keeps many pairs live at once.
+The `SessionRegistry` owns that fleet: `get_or_create(key, ...)` maps an
+application key to a live session (training m_0 exactly once per key, even
+under concurrent requests), every member's cache caps are rebalanced from
+one **global byte budget**, the longest-idle session is evicted whole when
+the fleet outgrows its bounds, and a changed training set is detected by
+content fingerprint so stale cached answers can never be served.
+
+The example serves a shuffled stream of contracts for several pairs, prints
+the fleet statistics from `registry.stats()`, then demonstrates the two
+invalidation paths: an explicit `invalidate(key)` and a dataset edit caught
+by the fingerprint.
+
+Run with::
+
+    python examples/fleet_serving.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` to run a scaled-down configuration (used by
+the CI example-smoke job).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro import (
+    ApproximationContract,
+    Dataset,
+    LinearRegressionSpec,
+    LogisticRegressionSpec,
+    SessionRegistry,
+)
+from repro.data import gas_like, higgs_like, train_holdout_test_split
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
+
+def build_fleet_pairs():
+    """Four (key, spec, splits) serving pairs over two model families."""
+    rows = 6_000 if SMOKE else 50_000
+    pairs = []
+    for index, (key, family, seed) in enumerate(
+        [
+            ("ctr-model/eu", "lr", 71),
+            ("ctr-model/us", "lr", 72),
+            ("sensor-drift/plant-a", "lin", 73),
+            ("sensor-drift/plant-b", "lin", 74),
+        ]
+    ):
+        if family == "lr":
+            spec = LogisticRegressionSpec(regularization=1e-3)
+            data = higgs_like(n_rows=rows, n_features=12, seed=seed)
+        else:
+            spec = LinearRegressionSpec(regularization=1e-3)
+            data = gas_like(n_rows=rows, n_features=12, seed=seed)
+        splits = train_holdout_test_split(data, rng=np.random.default_rng(index))
+        pairs.append((key, spec, splits, seed))
+    return pairs
+
+
+def main() -> None:
+    pairs = build_fleet_pairs()
+    initial = 400 if SMOKE else 3_000
+    k = 32 if SMOKE else 96
+
+    # The global budget is deliberately tight so the rebalancing and
+    # per-session eviction are visible in the printed statistics.
+    registry = SessionRegistry(
+        max_sessions=len(pairs),
+        max_total_bytes=16 * 1024,
+        min_session_bytes=1 * 1024,
+    )
+    lookup = {key: (spec, splits, seed) for key, spec, splits, seed in pairs}
+
+    def serve(key, contract):
+        spec, splits, seed = lookup[key]
+        session = registry.get_or_create(
+            key, spec, splits.train, splits.holdout,
+            initial_sample_size=initial, n_parameter_samples=k, rng=seed,
+        )
+        return session.answer(contract)
+
+    contracts = [
+        ApproximationContract.from_accuracy(0.85),
+        ApproximationContract.from_accuracy(0.90),
+        ApproximationContract.from_accuracy(0.95, delta=0.01),
+    ]
+    workload = [(key, contract) for key, _, _, _ in pairs for contract in contracts]
+    workload *= 3 if SMOKE else 10
+    random.Random(0).shuffle(workload)
+
+    print(f"Serving {len(workload)} contract requests across {len(pairs)} pairs...")
+    start = time.perf_counter()
+    served_from_cache = sum(1 for key, contract in workload if serve(key, contract).from_cache)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(workload)} requests in {elapsed:.2f}s — "
+        f"{served_from_cache} answered from cache with zero new model evaluations\n"
+    )
+
+    stats = registry.stats()
+    print(
+        f"fleet: {stats.sessions} sessions, {stats.bytes} cache bytes of a "
+        f"{stats.max_total_bytes}-byte global budget "
+        f"({stats.session_budget_bytes} bytes per member), "
+        f"registry hit rate {stats.hit_rate:.0%}"
+    )
+    header = f"{'key':<24}{'bytes':>8}{'idle s':>8}{'diff hits':>11}{'diff misses':>13}"
+    print(header)
+    print("-" * len(header))
+    for info in stats.per_session:
+        diff = info.cache_stats["diff"]
+        print(
+            f"{str(info.key):<24}{info.bytes:>8}{info.idle_seconds:>8.2f}"
+            f"{diff.hits:>11}{diff.misses:>13}"
+        )
+    totals = stats.cache_totals()["diff"]
+    print(
+        f"fleet-wide difference-vector cache: {totals.hits} hits / "
+        f"{totals.misses} misses ({totals.evictions} evictions under the "
+        "byte budget)\n"
+    )
+
+    # --- Invalidation path 1: explicit --------------------------------
+    victim = pairs[0][0]
+    registry.invalidate(victim)
+    print(f"invalidate({victim!r}): next request constructs a fresh session")
+
+    # --- Invalidation path 2: the data changed under the key ----------
+    key, (spec, splits, seed) = pairs[1][0], lookup[pairs[1][0]]
+    stale = registry.get(key)
+    edited_X = splits.train.X.copy()
+    edited_X[0, :] += 0.5  # a retraining pipeline rewrote some rows
+    edited_train = Dataset(edited_X, splits.train.y)
+    fresh = registry.get_or_create(
+        key, spec, edited_train, splits.holdout,
+        initial_sample_size=initial, n_parameter_samples=k, rng=seed,
+    )
+    print(
+        f"dataset for {key!r} changed: fingerprint mismatch discarded the "
+        f"stale session ({fresh is not stale}), "
+        f"fingerprint_invalidations={registry.stats().fingerprint_invalidations}"
+    )
+    answer = fresh.answer(contracts[0])
+    print(
+        f"first answer against the new data recomputed (from_cache="
+        f"{answer.from_cache}) — a changed training set can never serve "
+        "stale sorted-diff vectors"
+    )
+
+
+if __name__ == "__main__":
+    main()

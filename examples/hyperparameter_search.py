@@ -12,9 +12,13 @@ candidates, which is exactly the Figure 10 story.
 Run with::
 
     python examples/hyperparameter_search.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -23,17 +27,19 @@ from repro.data import higgs_like, train_holdout_test_split
 from repro.evaluation import format_table
 from repro.tuning import RandomSearch, SearchSpace
 
-TIME_BUDGET_SECONDS = 15.0
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+TIME_BUDGET_SECONDS = 2.0 if SMOKE else 15.0
 
 
 def main() -> None:
-    print("Generating a HIGGS-like workload (50k rows, 24 features)...")
-    data = higgs_like(n_rows=50_000, n_features=24, seed=21)
+    n_rows = 6_000 if SMOKE else 50_000
+    print(f"Generating a HIGGS-like workload ({n_rows} rows, 24 features)...")
+    data = higgs_like(n_rows=n_rows, n_features=24, seed=21)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(2))
 
     candidates = SearchSpace(
         n_features=24, min_features=6, max_features=24, log_reg_range=(-4, 0), seed=3
-    ).sample(300)
+    ).sample(30 if SMOKE else 300)
 
     search = RandomSearch(
         spec_factory=lambda reg: LogisticRegressionSpec(regularization=reg),
@@ -41,8 +47,8 @@ def main() -> None:
         holdout=splits.holdout,
         test=splits.test,
         contract=ApproximationContract.from_accuracy(0.95),
-        initial_sample_size=3_000,
-        n_parameter_samples=64,
+        initial_sample_size=500 if SMOKE else 3_000,
+        n_parameter_samples=32 if SMOKE else 64,
         seed=0,
     )
 

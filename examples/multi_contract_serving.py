@@ -1,4 +1,4 @@
-"""Serving many approximation contracts from one estimation session.
+"""Serving many approximation contracts from one registered session.
 
 A serving deployment rarely trains for a single (ε, δ): different callers
 ask for different accuracy/confidence trade-offs against the *same* data
@@ -8,39 +8,57 @@ sampled model-difference distribution — and then answers each contract by a
 conservative-quantile lookup on a cached sorted difference vector: after
 the first contract, `session.answer()` performs zero new model evaluations.
 
+Sessions are obtained through the `SessionRegistry` (the fleet tier): the
+first `get_or_create` for the key trains m_0, every later one returns the
+same live session, and the registry's global byte budget caps what the
+session's caches may hold.  `registry.stats()` at the end shows the
+single-member fleet's hit rate, byte usage and eviction counts.
+
 Run with::
 
     python examples/multi_contract_serving.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
-from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
+from repro import ApproximationContract, LogisticRegressionSpec, SessionRegistry
 from repro.data import higgs_like, train_holdout_test_split
+
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
 
 
 def main() -> None:
-    print("Generating a HIGGS-like workload (120k rows, 24 features)...")
-    data = higgs_like(n_rows=120_000, n_features=24, seed=11)
+    rows = 10_000 if SMOKE else 120_000
+    print(f"Generating a HIGGS-like workload ({rows} rows, 24 features)...")
+    data = higgs_like(n_rows=rows, n_features=24, seed=11)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
 
-    trainer = BlinkML(
-        LogisticRegressionSpec(regularization=1e-3),
-        initial_sample_size=5_000,
-        n_parameter_samples=128,
-        seed=0,
-    )
+    registry = SessionRegistry()  # default fleet bounds from repro.config
+    spec = LogisticRegressionSpec(regularization=1e-3)
 
-    # Open the session once: trains m_0 and computes the statistics.
+    def session_for(key: str):
+        """One registry key per (model, dataset) pair a deployment serves."""
+        return registry.get_or_create(
+            key, spec, splits.train, splits.holdout,
+            initial_sample_size=1_000 if SMOKE else 5_000,
+            n_parameter_samples=64 if SMOKE else 128,
+            rng=0,
+        )
+
+    # The first lookup opens the session: trains m_0, computes statistics.
     start = time.perf_counter()
-    session = trainer.session(splits.train, splits.holdout)
+    session = session_for("higgs-ctr")
     print(f"session opened (m_0 + statistics) in {time.perf_counter() - start:.2f}s\n")
 
-    # A stream of contracts, as a serving endpoint would see them.
+    # A stream of contracts, as a serving endpoint would see them; every
+    # request re-resolves the key, as a stateless endpoint handler would.
     contracts = [
         ApproximationContract.from_accuracy(0.80),
         ApproximationContract.from_accuracy(0.90),
@@ -54,6 +72,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for contract in contracts:
+        session = session_for("higgs-ctr")
         start = time.perf_counter()
         answer = session.answer(contract)
         answer_ms = 1e3 * (time.perf_counter() - start)
@@ -72,8 +91,17 @@ def main() -> None:
         f"\ndifference-vector cache: {stats.misses} misses, {stats.hits} hits "
         f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries, "
         f"{stats.bytes} bytes) — every contract after the first is answered "
-        "by quantile lookup, no new model evaluations.  See "
-        "examples/concurrent_serving.py for the threaded version."
+        "by quantile lookup, no new model evaluations."
+    )
+
+    fleet = registry.stats()
+    print(
+        f"registry: {fleet.sessions} session(s), {fleet.bytes} of "
+        f"{fleet.max_total_bytes} budget bytes in use, "
+        f"{fleet.hits} hits / {fleet.misses} constructions "
+        f"({fleet.hit_rate:.0%} hit rate, {fleet.evictions} evictions).  See "
+        "examples/concurrent_serving.py for the threaded version and "
+        "examples/fleet_serving.py for a multi-pair fleet."
     )
 
 

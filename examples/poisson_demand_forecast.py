@@ -8,23 +8,35 @@ exact full model.
 Run with::
 
     python examples/poisson_demand_forecast.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import BlinkML, PoissonRegressionSpec
 from repro.data import bikeshare_like, train_holdout_test_split
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
-    print("Generating a bike-share-like count workload (80k rows, 16 features)...")
-    data = bikeshare_like(n_rows=80_000, n_features=16, base_rate=4.0, seed=51)
+    n_rows = 8_000 if SMOKE else 80_000
+    print(f"Generating a bike-share-like count workload ({n_rows} rows, 16 features)...")
+    data = bikeshare_like(n_rows=n_rows, n_features=16, base_rate=4.0, seed=51)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(5))
 
     spec = PoissonRegressionSpec(regularization=1e-3)
-    trainer = BlinkML(spec, initial_sample_size=5_000, n_parameter_samples=96, seed=0)
+    trainer = BlinkML(
+        spec,
+        initial_sample_size=800 if SMOKE else 5_000,
+        n_parameter_samples=32 if SMOKE else 96,
+        seed=0,
+    )
 
     result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.97)
     print("\nBlinkML result")

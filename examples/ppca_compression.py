@@ -9,24 +9,36 @@ unsupervised-model difference metric, Appendix C).
 Run with::
 
     python examples/ppca_compression.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro import BlinkML, PPCASpec
 from repro.data import Dataset, mnist_like, train_holdout_test_split
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
-    print("Generating an MNIST-like image workload (40k rows, 64 'pixels')...")
-    raw = mnist_like(n_rows=40_000, n_features=64, n_classes=10, seed=31)
+    n_rows, n_features = (6_000, 25) if SMOKE else (40_000, 64)
+    print(f"Generating an MNIST-like image workload ({n_rows} rows, {n_features} 'pixels')...")
+    raw = mnist_like(n_rows=n_rows, n_features=n_features, n_classes=10, seed=31)
     centered = Dataset(raw.X - raw.X.mean(axis=0), None, name="mnist_like_centered")
     splits = train_holdout_test_split(centered, rng=np.random.default_rng(3))
 
-    spec = PPCASpec(n_factors=10, sigma2=1.0)
-    trainer = BlinkML(spec, initial_sample_size=4_000, n_parameter_samples=96, seed=0)
+    spec = PPCASpec(n_factors=5 if SMOKE else 10, sigma2=1.0)
+    trainer = BlinkML(
+        spec,
+        initial_sample_size=600 if SMOKE else 4_000,
+        n_parameter_samples=32 if SMOKE else 96,
+        seed=0,
+    )
 
     result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.99)
     print("\nBlinkML PPCA result")

@@ -10,10 +10,13 @@ model would.
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -21,19 +24,27 @@ import numpy as np
 from repro import ApproximationContract, BlinkML, LogisticRegressionSpec
 from repro.data import criteo_like, train_holdout_test_split
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
     # A click-through-rate style workload (stand-in for the paper's Criteo
     # dataset); swap in your own `Dataset(X, y)` here.
-    print("Generating a Criteo-like workload (100k rows, 100 sparse features)...")
-    data = criteo_like(n_rows=100_000, n_features=100, density=0.05, seed=7)
+    n_rows, n_features = (10_000, 30) if SMOKE else (100_000, 100)
+    print(f"Generating a Criteo-like workload ({n_rows} rows, {n_features} sparse features)...")
+    data = criteo_like(n_rows=n_rows, n_features=n_features, density=0.05, seed=7)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(0))
 
     spec = LogisticRegressionSpec(regularization=1e-3)
     contract = ApproximationContract.from_accuracy(0.95, delta=0.05)
 
     # --- BlinkML: approximate training under the contract ----------------
-    trainer = BlinkML(spec, initial_sample_size=10_000, n_parameter_samples=128, seed=0)
+    trainer = BlinkML(
+        spec,
+        initial_sample_size=1_000 if SMOKE else 10_000,
+        n_parameter_samples=48 if SMOKE else 128,
+        seed=0,
+    )
     start = time.perf_counter()
     result = trainer.train(splits.train, splits.holdout, contract)
     blinkml_seconds = time.perf_counter() - start

@@ -12,9 +12,13 @@ Demonstrates two practical details for regression users:
 Run with::
 
     python examples/regression_power_grid.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -22,10 +26,13 @@ from repro import BlinkML, LinearRegressionSpec
 from repro.core.guarantees import generalization_error_bound
 from repro.data import power_like, train_holdout_test_split
 
+SMOKE = bool(os.environ.get("REPRO_EXAMPLES_SMOKE"))
+
 
 def main() -> None:
-    print("Generating a Power-like workload (80k rows, 60 features)...")
-    data = power_like(n_rows=80_000, n_features=60, noise=0.4, seed=41)
+    n_rows, n_features = (8_000, 20) if SMOKE else (80_000, 60)
+    print(f"Generating a Power-like workload ({n_rows} rows, {n_features} features)...")
+    data = power_like(n_rows=n_rows, n_features=n_features, noise=0.4, seed=41)
     splits = train_holdout_test_split(data, rng=np.random.default_rng(4))
 
     # Estimate the noise variance from a quick least-squares fit so the
@@ -33,7 +40,12 @@ def main() -> None:
     spec = LinearRegressionSpec.with_estimated_noise(splits.train, regularization=1e-3)
     print(f"Estimated observation-noise variance: {spec.noise_variance:.4f}")
 
-    trainer = BlinkML(spec, initial_sample_size=5_000, n_parameter_samples=96, seed=0)
+    trainer = BlinkML(
+        spec,
+        initial_sample_size=800 if SMOKE else 5_000,
+        n_parameter_samples=32 if SMOKE else 96,
+        seed=0,
+    )
     result = trainer.train_with_accuracy(splits.train, splits.holdout, 0.97)
     print("\nBlinkML result")
     print("  " + result.summary())

@@ -12,13 +12,16 @@ re-exports the pieces a typical user needs:
 >>> result.estimated_accuracy >= 0.95
 True
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-versus-measured comparison of every figure and table.
+See README.md for the system inventory, docs/api.md for the full public
+surface, docs/serving.md for the serving guide, and docs/architecture.md
+for the layer boundaries; benchmarks/bench_fig*.py reproduce the paper's
+figures.
 """
 
 from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
+from repro.core.registry import RegistryStats, SessionInfo, SessionRegistry
 from repro.core.session import EstimationSession, SessionAnswer
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
@@ -56,6 +59,9 @@ __all__ = [
     "LRUCache",
     "EstimationSession",
     "SessionAnswer",
+    "SessionRegistry",
+    "RegistryStats",
+    "SessionInfo",
     "ApproximateTrainingResult",
     "TimingBreakdown",
     "AccuracyEstimate",

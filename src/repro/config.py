@@ -86,6 +86,24 @@ DEFAULT_SESSION_SIZE_CACHE_ENTRIES = _env_int(
     "DEFAULT_SESSION_SIZE_CACHE_ENTRIES", 1024, minimum=1
 )
 
+# Cross-session serving registry (repro.core.registry.SessionRegistry).
+# A serving fleet keeps one EstimationSession per (model, dataset) pair;
+# the registry bounds the *fleet*: at most DEFAULT_REGISTRY_MAX_SESSIONS
+# live sessions, whose cache bytes collectively stay within
+# DEFAULT_REGISTRY_CACHE_BYTES (the pool is divided evenly among member
+# sessions and rebalanced as the fleet grows/shrinks; whole idle sessions
+# are evicted LRU-first when either bound would be exceeded).
+# DEFAULT_REGISTRY_MIN_SESSION_BYTES is the smallest useful per-session
+# share — rather than splitting the pool thinner than this, the registry
+# evicts the most idle session.  All env-overridable like the knobs above.
+DEFAULT_REGISTRY_MAX_SESSIONS = _env_int("DEFAULT_REGISTRY_MAX_SESSIONS", 16, minimum=1)
+DEFAULT_REGISTRY_CACHE_BYTES = _env_int(
+    "DEFAULT_REGISTRY_CACHE_BYTES", 256 * 1024 * 1024, minimum=1
+)
+DEFAULT_REGISTRY_MIN_SESSION_BYTES = _env_int(
+    "DEFAULT_REGISTRY_MIN_SESSION_BYTES", 1024 * 1024, minimum=1
+)
+
 # How many candidate sample sizes the sample-size search evaluates per
 # stacked Monte-Carlo pass (ROADMAP "batched two-stage probes").  1 keeps
 # the classic bisection; the coordinator/session default trades a little

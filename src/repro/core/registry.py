@@ -1,0 +1,459 @@
+"""Cross-session serving registry with a global byte budget.
+
+One :class:`~repro.core.session.EstimationSession` serves every (ε, δ)
+contract against one (model, dataset) pair; a serving *fleet* holds many
+pairs live at once.  PR 3 bounded the per-session caches, but a fleet of
+sessions still shared nothing: no collective memory bound, no invalidation
+when training data changes, and every caller constructing sessions by hand.
+:class:`SessionRegistry` is the tier that turns the session layer into a
+server:
+
+* **keyed ownership** — :meth:`SessionRegistry.get_or_create` maps an
+  application key (e.g. ``"fraud-lr/eu"``) to a live session, constructing
+  it on first use and serving the same instance afterwards;
+* **single-flight construction** — concurrent ``get_or_create`` calls for
+  the same missing key train m_0 exactly once: one thread constructs, the
+  others block on the result (the same protocol as
+  :meth:`repro.core.caching.LRUCache.get_or_compute`);
+* **global byte budget** — the registry owns a byte pool
+  (``max_total_bytes``) shared by every member session.  The pool is
+  divided evenly and each session's cache caps are rebalanced (via
+  :meth:`EstimationSession.resize_cache_budget`) whenever the fleet grows
+  or shrinks, so the sum of cache bytes across the fleet stays within the
+  pool no matter how many pairs are live;
+* **LRU eviction of whole idle sessions** — when admitting a session would
+  exceed ``max_sessions``, or would split the pool thinner than
+  ``min_session_bytes`` per member, the registry evicts the session that
+  has been idle longest (by :attr:`EstimationSession.last_used_at`, which
+  every served request refreshes — including requests made directly on a
+  session handle, not through the registry);
+* **invalidation** — :meth:`SessionRegistry.invalidate` drops a key
+  explicitly, and every ``get_or_create`` checks a content fingerprint of
+  the offered training/holdout data (:meth:`repro.data.dataset.Dataset.content_digest`)
+  against the fingerprint the live session was built from.  A changed
+  dataset therefore *always* misses: the stale session is discarded and a
+  fresh one is constructed, so stale sorted-difference vectors can never be
+  served.
+
+Eviction and invalidation only drop the registry's reference: a caller
+still holding the session handle can keep using it (its caches keep their
+last caps but no longer count against the pool).  Evicted pairs recompute
+bitwise-identically on their next ``get_or_create`` when constructed with
+the same seed, because the Monte-Carlo vectors are determined by the cached
+base draws, not by request order.
+
+Byte accounting matches the session caches' (approximate ``sizeof``); the
+one structural exception is inherited from :class:`~repro.core.caching.LRUCache` —
+a single cached value larger than a session's whole share is still stored.
+With the default k = 128 parameter samples a difference vector is ~1 KB,
+orders of magnitude below any sane share, so the pool bound is tight in
+practice.
+
+Thread safety: one registry lock guards the fleet map, counters and
+rebalancing; session construction runs *outside* it (single-flight), and
+member sessions remain individually thread-safe as before, so worker
+threads may mix ``get_or_create`` with direct ``session.answer()`` calls
+freely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.config import (
+    DEFAULT_REGISTRY_CACHE_BYTES,
+    DEFAULT_REGISTRY_MAX_SESSIONS,
+    DEFAULT_REGISTRY_MIN_SESSION_BYTES,
+)
+from repro.core.caching import CacheStats, _InFlight
+from repro.core.session import EstimationSession
+from repro.data.dataset import Dataset
+from repro.exceptions import BlinkMLError
+from repro.models.base import ModelClassSpec
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """Per-session row of a :class:`RegistryStats` snapshot."""
+
+    key: object
+    fingerprint: str
+    bytes: int
+    idle_seconds: float
+    cache_stats: dict[str, CacheStats]
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """Immutable snapshot of the fleet: occupancy, budget, counters.
+
+    ``bytes`` sums the member sessions' cache bytes — the quantity the
+    global budget bounds.  ``hits`` counts ``get_or_create`` calls served
+    by a live fingerprint-matching session (including single-flight
+    followers); ``misses`` counts session constructions.  ``evictions``
+    counts whole sessions evicted for capacity/budget/idleness;
+    ``invalidations`` explicit :meth:`SessionRegistry.invalidate` drops;
+    ``fingerprint_invalidations`` sessions discarded because the offered
+    dataset's content digest no longer matched.
+    """
+
+    sessions: int
+    max_sessions: int | None
+    bytes: int
+    max_total_bytes: int | None
+    session_budget_bytes: int | None
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    fingerprint_invalidations: int
+    per_session: tuple[SessionInfo, ...]
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get_or_create`` calls served by a live session."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def cache_totals(self) -> dict[str, CacheStats]:
+        """Fleet-wide roll-up of the member sessions' cache counters.
+
+        Returns one aggregated :class:`~repro.core.caching.CacheStats` per
+        cache name ("diff", "model", "size"), summing hits/misses/evictions/
+        entries/bytes across every live session (bounds are reported as the
+        per-cache sums too, ``None`` if any member is unbounded).
+        """
+        totals: dict[str, CacheStats] = {}
+        for info in self.per_session:
+            for name, stats in info.cache_stats.items():
+                base = totals.get(name)
+                if base is None:
+                    totals[name] = stats
+                    continue
+
+                def _add(a: int | None, b: int | None) -> int | None:
+                    return None if a is None or b is None else a + b
+
+                totals[name] = CacheStats(
+                    name=name,
+                    hits=base.hits + stats.hits,
+                    misses=base.misses + stats.misses,
+                    evictions=base.evictions + stats.evictions,
+                    entries=base.entries + stats.entries,
+                    bytes=base.bytes + stats.bytes,
+                    max_entries=_add(base.max_entries, stats.max_entries),
+                    max_bytes=_add(base.max_bytes, stats.max_bytes),
+                )
+        return totals
+
+
+class _Member:
+    """A live fleet member: the session plus the fingerprint it was built from."""
+
+    __slots__ = ("session", "fingerprint")
+
+    def __init__(self, session: EstimationSession, fingerprint: str) -> None:
+        self.session = session
+        self.fingerprint = fingerprint
+
+
+class SessionRegistry:
+    """Owns a fleet of keyed :class:`EstimationSession`\\ s under one byte pool.
+
+    Parameters
+    ----------
+    max_sessions:
+        Most sessions live at once (``None`` = unbounded by count); admitting
+        one more evicts the longest-idle member first.  Default
+        ``DEFAULT_REGISTRY_MAX_SESSIONS``.
+    max_total_bytes:
+        Global cache-byte pool shared by the whole fleet (``None`` =
+        unbounded).  Divided evenly among members and rebalanced on every
+        membership change.  Default ``DEFAULT_REGISTRY_CACHE_BYTES``.
+    min_session_bytes:
+        Smallest useful per-session share of the pool; rather than splitting
+        thinner, the registry evicts.  Default
+        ``DEFAULT_REGISTRY_MIN_SESSION_BYTES``.
+    session_factory:
+        Callable with :class:`EstimationSession`'s signature used to
+        construct members (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int | None = DEFAULT_REGISTRY_MAX_SESSIONS,
+        max_total_bytes: int | None = DEFAULT_REGISTRY_CACHE_BYTES,
+        min_session_bytes: int = DEFAULT_REGISTRY_MIN_SESSION_BYTES,
+        session_factory=EstimationSession,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise BlinkMLError("registry: max_sessions must be at least 1 or None")
+        if max_total_bytes is not None and max_total_bytes < 1:
+            raise BlinkMLError("registry: max_total_bytes must be at least 1 or None")
+        if min_session_bytes < 1:
+            raise BlinkMLError("registry: min_session_bytes must be at least 1")
+        if max_total_bytes is not None and max_total_bytes < min_session_bytes:
+            raise BlinkMLError(
+                "registry: max_total_bytes must be at least min_session_bytes "
+                f"({max_total_bytes} < {min_session_bytes})"
+            )
+        self.max_sessions = max_sessions
+        self.max_total_bytes = max_total_bytes
+        self.min_session_bytes = int(min_session_bytes)
+        self._session_factory = session_factory
+        self._lock = threading.RLock()
+        self._members: dict[object, _Member] = {}
+        self._inflight: dict[object, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._fingerprint_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Fleet capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int | None:
+        """Most members the configured bounds admit (``None`` = unbounded).
+
+        The byte pool bounds the count too: each member must receive at
+        least ``min_session_bytes`` of the pool.
+        """
+        by_count = self.max_sessions
+        if self.max_total_bytes is None:
+            return by_count
+        by_bytes = max(1, self.max_total_bytes // self.min_session_bytes)
+        return by_bytes if by_count is None else min(by_count, by_bytes)
+
+    def session_budget_bytes(self, n_sessions: int | None = None) -> int | None:
+        """Each member's share of the pool at the given fleet size."""
+        if self.max_total_bytes is None:
+            return None
+        with self._lock:
+            count = len(self._members) if n_sessions is None else n_sessions
+        return self.max_total_bytes // max(1, count)
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(train: Dataset, holdout: Dataset) -> str:
+        """Joint content digest of the data a session is built from.
+
+        The sorted-difference vectors a session caches depend on the
+        holdout as much as on the training set, so both are fingerprinted.
+        """
+        return f"{train.content_digest()}:{holdout.content_digest()}"
+
+    # ------------------------------------------------------------------
+    # The serving entry point
+    # ------------------------------------------------------------------
+    def get_or_create(
+        self,
+        key: object,
+        spec: ModelClassSpec,
+        train: Dataset,
+        holdout: Dataset,
+        **session_kwargs,
+    ) -> EstimationSession:
+        """Return the live session for ``key``, constructing it if needed.
+
+        A live session is served only when the offered ``train``/``holdout``
+        data still matches the content fingerprint it was built from; a
+        mismatch discards the stale session and constructs a fresh one (so
+        a changed training set can never be served stale cached answers).
+        Construction is single-flight: concurrent calls for the same
+        missing key train m_0 once.  ``session_kwargs`` are forwarded to
+        the session factory on construction (pass ``rng=<seed>`` for
+        reproducible fleets) and ignored on a hit.
+        """
+        fingerprint = self.fingerprint(train, holdout)
+        while True:
+            with self._lock:
+                member = self._members.get(key)
+                if member is not None:
+                    if member.fingerprint == fingerprint:
+                        self._hits += 1
+                        member.session._touch()
+                        return member.session
+                    # Fingerprint mismatch: the data changed under the key.
+                    del self._members[key]
+                    self._fingerprint_invalidations += 1
+                    self._rebalance_locked()
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                break
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            # Loop rather than trusting the leader's session blindly: this
+            # caller's datasets may differ from the leader's, and the member
+            # may already have been evicted/invalidated again.  The re-check
+            # serves it only on a fingerprint match.
+
+        try:
+            session = self._session_factory(spec, train, holdout, **session_kwargs)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                del self._inflight[key]
+            flight.event.set()
+            raise
+        # Unlike LRUCache.get_or_compute, followers never consume
+        # flight.value: they loop back and re-resolve through _members so
+        # the fingerprint is re-checked against *their* datasets.
+        try:
+            with self._lock:
+                del self._inflight[key]
+                self._misses += 1
+                self._members[key] = _Member(session, fingerprint)
+                self._evict_to_capacity_locked(protect=key)
+                self._rebalance_locked()
+        finally:
+            flight.event.set()
+        return session
+
+    # ------------------------------------------------------------------
+    # Lookup / membership
+    # ------------------------------------------------------------------
+    def get(self, key: object) -> EstimationSession | None:
+        """The live session for ``key`` (no construction, no fingerprint check)."""
+        with self._lock:
+            member = self._members.get(key)
+            return None if member is None else member.session
+
+    def keys(self) -> list[object]:
+        with self._lock:
+            return list(self._members.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._members
+
+    # ------------------------------------------------------------------
+    # Invalidation and eviction
+    # ------------------------------------------------------------------
+    def invalidate(self, key: object) -> bool:
+        """Drop ``key``'s session; True if one was live.
+
+        The next ``get_or_create`` for the key constructs afresh.  Byte
+        shares of the remaining members grow to fill the freed pool.
+        """
+        with self._lock:
+            member = self._members.pop(key, None)
+            if member is None:
+                return False
+            self._invalidations += 1
+            self._rebalance_locked()
+            return True
+
+    def clear(self) -> None:
+        """Drop every session (counted as invalidations, not evictions)."""
+        with self._lock:
+            self._invalidations += len(self._members)
+            self._members.clear()
+
+    def evict_idle(self, idle_seconds: float) -> int:
+        """Evict every member idle for longer than ``idle_seconds``; count."""
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                key
+                for key, member in self._members.items()
+                if now - member.session.last_used_at > idle_seconds
+            ]
+            for key in stale:
+                del self._members[key]
+                self._evictions += 1
+            if stale:
+                self._rebalance_locked()
+            return len(stale)
+
+    def _evict_to_capacity_locked(self, protect: object) -> None:
+        """Evict longest-idle members until within capacity (lock held).
+
+        ``protect`` (the key just admitted) is never the victim, so a
+        fleet at capacity always turns over its idlest member instead.
+        """
+        capacity = self.capacity
+        if capacity is None:
+            return
+        while len(self._members) > max(1, capacity):
+            victim = min(
+                (key for key in self._members if key != protect),
+                key=lambda key: self._members[key].session.last_used_at,
+                default=None,
+            )
+            if victim is None:
+                return
+            del self._members[victim]
+            self._evictions += 1
+
+    def _rebalance_locked(self) -> None:
+        """Re-split the byte pool across the current members (lock held).
+
+        Each member's session re-caps its caches to an even share; the sum
+        of shares never exceeds the pool, so the fleet invariant
+        ``stats().bytes <= max_total_bytes`` holds structurally.
+        """
+        if self.max_total_bytes is None or not self._members:
+            return
+        share = self.max_total_bytes // len(self._members)
+        for member in self._members.values():
+            member.session.resize_cache_budget(max(1, share))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> RegistryStats:
+        """A snapshot of fleet occupancy, byte usage and counters."""
+        with self._lock:
+            per_session = tuple(
+                SessionInfo(
+                    key=key,
+                    fingerprint=member.fingerprint,
+                    bytes=member.session.cache_bytes(),
+                    idle_seconds=member.session.idle_seconds,
+                    cache_stats=member.session.cache_stats(),
+                )
+                for key, member in self._members.items()
+            )
+            return RegistryStats(
+                sessions=len(self._members),
+                max_sessions=self.max_sessions,
+                bytes=sum(info.bytes for info in per_session),
+                max_total_bytes=self.max_total_bytes,
+                session_budget_bytes=self.session_budget_bytes(len(self._members)),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                fingerprint_invalidations=self._fingerprint_invalidations,
+                per_session=per_session,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats()
+        return (
+            f"SessionRegistry(sessions={snapshot.sessions}/{self.max_sessions}, "
+            f"bytes={snapshot.bytes}/{self.max_total_bytes}, "
+            f"hits={snapshot.hits}, misses={snapshot.misses}, "
+            f"evictions={snapshot.evictions})"
+        )

@@ -67,7 +67,7 @@ from repro.core.statistics import ModelStatistics, StatisticsMethod, compute_sta
 from repro.data.dataset import Dataset
 from repro.data.sampling import UniformSampler
 from repro.evaluation.streaming import StreamingConfig
-from repro.exceptions import DataError
+from repro.exceptions import BlinkMLError, DataError
 from repro.models.base import ModelClassSpec, TrainedModel
 
 
@@ -222,6 +222,67 @@ class EstimationSession:
         # lock makes the claim-once race-free under concurrent train_to().
         self._construction_costs_reported = False
         self._construction_costs_lock = threading.Lock()
+        # Serving-time bookkeeping for the cross-session registry
+        # (repro.core.registry): when this session last served a request
+        # (monotonic clock; plain float writes are atomic under the GIL, so
+        # no lock is needed for a freshness heuristic).
+        self._last_used_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Registry integration: byte accounting, resizable caps, idle time
+    # ------------------------------------------------------------------
+    # How a registry-assigned byte budget is split across the three caches.
+    # The sorted-difference vectors dominate (k float64s per (θ, n) pair);
+    # models hold one θ each; size-search results are tiny dataclasses.
+    CACHE_BUDGET_SPLIT = {"diff": 0.70, "model": 0.20, "size": 0.10}
+
+    def cache_bytes(self) -> int:
+        """Approximate bytes currently held across the three session caches."""
+        return sum(stats.bytes for stats in self.cache_stats().values())
+
+    def cache_byte_caps(self) -> dict[str, int | None]:
+        """The current per-cache byte caps (``None`` = unbounded)."""
+        return {
+            "diff": self._diff_cache.max_bytes,
+            "model": self._model_cache.max_bytes,
+            "size": self._size_cache.max_bytes,
+        }
+
+    def resize_cache_budget(self, total_bytes: int) -> None:
+        """Re-cap the session's caches to a combined ``total_bytes`` budget.
+
+        Called by :class:`repro.core.registry.SessionRegistry` whenever the
+        fleet grows or shrinks: the global pool is divided among member
+        sessions and each session re-splits its share across its caches
+        according to :data:`CACHE_BUDGET_SPLIT`.  Shrinking evicts down
+        immediately (m_0 is pinned outside the model cache and can never be
+        evicted; evicted entries recompute bitwise-identically on next use).
+        """
+        total_bytes = int(total_bytes)
+        if total_bytes < 1:
+            raise BlinkMLError(f"cache budget must be >= 1 byte, got {total_bytes}")
+        self._diff_cache.resize(
+            max_bytes=max(1, int(total_bytes * self.CACHE_BUDGET_SPLIT["diff"]))
+        )
+        self._model_cache.resize(
+            max_bytes=max(1, int(total_bytes * self.CACHE_BUDGET_SPLIT["model"]))
+        )
+        self._size_cache.resize(
+            max_bytes=max(1, int(total_bytes * self.CACHE_BUDGET_SPLIT["size"]))
+        )
+
+    @property
+    def last_used_at(self) -> float:
+        """Monotonic-clock timestamp of the last served request."""
+        return self._last_used_at
+
+    @property
+    def idle_seconds(self) -> float:
+        """Seconds since this session last served a request."""
+        return time.monotonic() - self._last_used_at
+
+    def _touch(self) -> None:
+        self._last_used_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # Session-owned state
@@ -305,12 +366,14 @@ class EstimationSession:
         call — any δ, any ε — is a cache lookup returning the same
         read-only array.
         """
+        self._touch()
         return self._sorted_differences(theta, n)[0]
 
     def _accuracy_estimate(
         self, theta: np.ndarray, n: int, delta: float
     ) -> tuple[AccuracyEstimate, bool]:
         validate_delta(delta)
+        self._touch()
         start = time.perf_counter()
         n = int(n)
         differences, from_cache = self._sorted_differences(theta, n)
@@ -388,6 +451,7 @@ class EstimationSession:
         cached per (θ, n, N), and final models are cached per sample size.
         """
         timings = TimingBreakdown()
+        self._touch()
         with self._construction_costs_lock:
             report_construction = not self._construction_costs_reported
             self._construction_costs_reported = True

@@ -11,8 +11,8 @@ subpackage provides that substrate:
 * :mod:`repro.data.sampling` — uniform random sampling (with and without
   replacement) and reservoir sampling over streams;
 * :mod:`repro.data.synthetic` — generators that stand in for the six
-  real-world datasets used in the paper's evaluation (see DESIGN.md for the
-  substitution rationale).
+  real-world datasets used in the paper's evaluation (see that module's
+  docstring for the substitution rationale).
 """
 
 from repro.data.dataset import Dataset

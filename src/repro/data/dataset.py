@@ -12,6 +12,7 @@ trainers and the BlinkML coordinator.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,6 +47,14 @@ class Dataset:
             raise DataError(f"X must be 2-dimensional, got shape {X.shape}")
         if X.shape[0] == 0:
             raise DataError("dataset must contain at least one row")
+        # Enforce the documented immutability: the arrays are published
+        # read-only, so an in-place edit cannot silently invalidate shared
+        # state derived from them — most critically the memoised
+        # content_digest() the serving registry uses to detect changed
+        # training data.  (np.asarray avoids copying, so the freeze also
+        # applies to a float64 array the caller passed in; mutate a .copy()
+        # instead.)
+        X.flags.writeable = False
         object.__setattr__(self, "X", X)
         if self.y is not None:
             y = np.asarray(self.y)
@@ -55,6 +64,7 @@ class Dataset:
                 raise DataError(
                     f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
                 )
+            y.flags.writeable = False
             object.__setattr__(self, "y", y)
 
     # ------------------------------------------------------------------
@@ -77,6 +87,39 @@ class Dataset:
 
     def __len__(self) -> int:
         return self.n_rows
+
+    def content_digest(self) -> str:
+        """A stable hex digest of the dataset *contents* (X, y, shapes, dtypes).
+
+        Two datasets carrying equal arrays produce the same digest no matter
+        how they were constructed (name and metadata are excluded); any
+        change to a value, shape or dtype changes it.  The cross-session
+        registry (:mod:`repro.core.registry`) fingerprints training data
+        with this so a changed training set can never be served stale
+        cached answers.
+
+        The digest is computed once per ``Dataset`` object and memoised —
+        safe because the arrays are published read-only at construction,
+        so the contents cannot change under the memo.
+        """
+        cached = getattr(self, "_content_digest", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(str(self.X.shape).encode())
+        hasher.update(self.X.dtype.str.encode())
+        # Feed the array buffers to the hash directly (zero-copy for the
+        # already-contiguous common case; .tobytes() would transiently
+        # double the dataset's memory).
+        hasher.update(np.ascontiguousarray(self.X))
+        if self.y is None:
+            hasher.update(b"|unsupervised")
+        else:
+            hasher.update(f"|y:{self.y.shape}:{self.y.dtype.str}".encode())
+            hasher.update(np.ascontiguousarray(self.y))
+        digest = hasher.hexdigest()
+        object.__setattr__(self, "_content_digest", digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Transformations (all return new Dataset objects)

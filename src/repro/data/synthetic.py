@@ -20,7 +20,7 @@ Yelp          5-class cls, bag of words   topic-model review counts
 What BlinkML exercises — the asymptotic normality of MLE parameters trained
 on uniform samples — depends on the task type, feature dimensionality and
 noise level, not on the provenance of the rows, so the who-wins/crossover
-shapes of the paper's figures are preserved (see DESIGN.md, "Substitutions").
+shapes of the paper's figures are preserved.
 
 Every generator accepts ``n_rows`` and (where meaningful) dimensionality
 parameters so the same code can be scaled from unit-test size to the paper's

@@ -289,3 +289,76 @@ class TestThreadHammer:
         assert stats.bytes <= 8 * 80
         assert stats.hits + stats.misses == n_threads * n_iterations
         assert stats.evictions > 0  # 32 keys through an 8-slot cache
+
+
+class TestResizeAndEvictionCallbacks:
+    def test_resize_shrink_evicts_immediately(self):
+        cache = LRUCache("r", max_entries=8)
+        for key in range(6):
+            cache.put(key, key)
+        cache.resize(max_entries=2)
+        assert len(cache) == 2
+        assert cache.keys() == [4, 5]  # LRU-first eviction
+        assert cache.stats().evictions == 4
+        assert cache.max_entries == 2
+
+    def test_resize_byte_bound_and_grow(self):
+        cache = LRUCache("r", max_bytes=400)
+        for key in range(4):
+            cache.put(key, np.zeros(10))  # 80 bytes each
+        assert len(cache) == 4
+        cache.resize(max_bytes=160)
+        assert len(cache) == 2
+        assert cache.stats().bytes <= 160
+        cache.resize(max_bytes=None)  # unbounded again
+        for key in range(10, 20):
+            cache.put(key, np.zeros(10))
+        assert len(cache) == 12
+
+    def test_resize_leaves_omitted_bound_unchanged(self):
+        cache = LRUCache("r", max_entries=4, max_bytes=1000)
+        cache.resize(max_entries=2)
+        assert cache.max_entries == 2
+        assert cache.max_bytes == 1000
+        cache.resize(max_bytes=500)
+        assert cache.max_entries == 2
+        assert cache.max_bytes == 500
+
+    def test_resize_validates_bounds(self):
+        cache = LRUCache("r")
+        with pytest.raises(BlinkMLError):
+            cache.resize(max_entries=0)
+        with pytest.raises(BlinkMLError):
+            cache.resize(max_bytes=-1)
+
+    def test_on_evict_fires_for_insert_and_resize_not_clear(self):
+        evicted = []
+        cache = LRUCache(
+            "cb", max_entries=2, on_evict=lambda key, value: evicted.append((key, value))
+        )
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert evicted == [("a", 1)]
+        cache.resize(max_entries=1)  # evicts "b"
+        assert evicted == [("a", 1), ("b", 2)]
+        cache.put("c", 30)  # same-key replacement: no callback
+        cache.clear()  # clear: no callback
+        assert evicted == [("a", 1), ("b", 2)]
+
+    def test_on_evict_fires_on_get_or_compute_eviction(self):
+        evicted = []
+        cache = LRUCache(
+            "cb", max_entries=1, on_evict=lambda key, value: evicted.append(key)
+        )
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert evicted == ["a"]
+
+    def test_on_evict_may_reenter_the_cache(self):
+        """Callbacks run outside the lock, so touching the cache is legal."""
+        seen = []
+        cache = LRUCache("cb", max_entries=2, on_evict=lambda key, value: seen.append(len(cache)))
+        for key in range(4):
+            cache.put(key, key)
+        assert seen == [2, 2]

@@ -523,3 +523,58 @@ class TestBatchedProbes:
                 model.theta, n0, splits.train.n_rows,
                 ApproximationContract(epsilon=0.05), stats, probe_batch=0,
             )
+
+
+class TestRegistryIntegrationSurface:
+    """Byte accounting, externally resized caps and idle timestamps.
+
+    These are the hooks the cross-session registry (repro.core.registry)
+    drives; the fleet-level behaviour is tested in test_core_registry.py.
+    """
+
+    def test_cache_bytes_sums_the_three_caches(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        assert session.cache_bytes() == 0
+        session.answer(ApproximationContract.from_accuracy(0.85))
+        expected = sum(stats.bytes for stats in session.cache_stats().values())
+        assert session.cache_bytes() == expected > 0
+
+    def test_resize_cache_budget_caps_and_evicts(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        theta = session.initial_model.theta
+        for n in (600, 700, 800, 900, 1000, 1100):
+            session.accuracy_estimate(theta, n)
+        before = session.cache_bytes()
+        # One 32-sample vector is 256 bytes; cap the whole session well
+        # below the six vectors currently held.
+        session.resize_cache_budget(1024)
+        caps = session.cache_byte_caps()
+        assert sum(caps.values()) <= 1024
+        assert caps["diff"] == int(1024 * EstimationSession.CACHE_BUDGET_SPLIT["diff"])
+        assert session.cache_bytes() < before
+        assert session.cache_bytes() <= 1024
+        assert session.cache_stats()["diff"].evictions > 0
+        # Growing the budget again raises the caps without dropping entries.
+        held = session.cache_stats()["diff"].entries
+        session.resize_cache_budget(1 << 20)
+        assert session.cache_stats()["diff"].entries == held
+        with pytest.raises(Exception):
+            session.resize_cache_budget(0)
+
+    def test_evicted_vectors_recompute_bitwise_identically(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        theta = session.initial_model.theta
+        baseline = {n: session.sorted_differences(theta, n).copy() for n in (600, 800, 1000)}
+        session.resize_cache_budget(512)  # evicts most vectors
+        for n, expected in baseline.items():
+            np.testing.assert_array_equal(session.sorted_differences(theta, n), expected)
+
+    def test_idle_clock_refreshes_on_serving_calls(self, binary_splits):
+        session = make_session(LogisticRegressionSpec(regularization=1e-3), binary_splits)
+        opened = session.last_used_at
+        assert session.idle_seconds >= 0.0
+        session.answer(ApproximationContract.from_accuracy(0.85))
+        after_answer = session.last_used_at
+        assert after_answer >= opened
+        session.sorted_differences(session.initial_model.theta, 700)
+        assert session.last_used_at >= after_answer

@@ -125,3 +125,53 @@ class TestConcatAndTransforms:
     def test_class_labels_unsupervised_raises(self):
         with pytest.raises(DataError):
             make_dataset(labelled=False).class_labels()
+
+
+class TestContentDigest:
+    def test_equal_contents_equal_digest(self):
+        a = make_dataset(n=20, d=4)
+        b = make_dataset(n=20, d=4)
+        assert a is not b
+        assert a.content_digest() == b.content_digest()
+
+    def test_name_and_metadata_do_not_affect_digest(self):
+        ds = make_dataset()
+        assert ds.content_digest() == ds.with_name("renamed").content_digest()
+
+    def test_any_value_change_changes_digest(self):
+        base = make_dataset(n=20, d=4)
+        changed_X = base.X.copy()
+        changed_X[7, 2] += 1e-9
+        assert Dataset(changed_X, base.y).content_digest() != base.content_digest()
+        changed_y = np.asarray(base.y).copy()
+        changed_y[0] += 1
+        assert Dataset(base.X, changed_y).content_digest() != base.content_digest()
+
+    def test_shape_and_supervision_affect_digest(self):
+        supervised = make_dataset(n=12, d=3)
+        unsupervised = Dataset(supervised.X, None)
+        assert supervised.content_digest() != unsupervised.content_digest()
+        assert (
+            supervised.head(6).content_digest() != supervised.content_digest()
+        )
+
+    def test_digest_is_memoised_and_stable(self):
+        ds = make_dataset()
+        first = ds.content_digest()
+        assert ds.content_digest() is first  # memoised string, not recomputed
+        assert isinstance(first, str) and len(first) == 32
+
+    def test_noncontiguous_view_matches_contiguous_copy(self):
+        X = np.arange(48, dtype=np.float64).reshape(8, 6)
+        view = Dataset(X[:, ::2], np.zeros(8))
+        copy = Dataset(np.ascontiguousarray(X[:, ::2]), np.zeros(8))
+        assert view.content_digest() == copy.content_digest()
+
+    def test_arrays_are_frozen_so_digest_cannot_go_stale(self):
+        ds = make_dataset()
+        digest = ds.content_digest()
+        with pytest.raises(ValueError):
+            ds.X[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            ds.y[0] = 99
+        assert ds.content_digest() == digest

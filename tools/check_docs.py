@@ -1,0 +1,117 @@
+"""Markdown link and anchor checker for the docs — the CI docs gate.
+
+Validates every inline Markdown link in ``README.md`` and ``docs/*.md``:
+
+* **relative file links** must point at a file or directory that exists in
+  the repository (resolved against the linking file's directory);
+* **anchor links** — ``#section`` within a file or ``other.md#section``
+  across files — must match a heading in the target document, using
+  GitHub's heading-to-anchor slug rules;
+* **absolute URLs** are checked for scheme sanity only (no network access,
+  so the gate cannot flake on a third-party outage).
+
+Fenced code blocks and inline code spans are stripped before scanning so
+``array[0](...)``-style source fragments are not misread as links.
+
+Run from the repository root::
+
+    python tools/check_docs.py [files ...]
+
+With no arguments it checks README.md and every Markdown file under docs/.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE_PATTERN = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+INLINE_CODE_PATTERN = re.compile(r"`[^`\n]*`")
+
+
+def strip_code(text: str) -> str:
+    return INLINE_CODE_PATTERN.sub("", FENCE_PATTERN.sub("", text))
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor id transformation (close enough for ASCII)."""
+    heading = INLINE_CODE_PATTERN.sub(lambda match: match.group(0)[1:-1], heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # linked headings
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        text = FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+        slugs: set[str] = set()
+        for match in HEADING_PATTERN.finditer(text):
+            slug = github_slug(match.group(2))
+            candidate = slug
+            suffix = 1
+            while candidate in slugs:  # GitHub dedupes repeats with -1, -2, ...
+                candidate = f"{slug}-{suffix}"
+                suffix += 1
+            slugs.add(candidate)
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict[Path, set[str]]) -> list[str]:
+    problems = []
+    text = strip_code(path.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # absolute URL / mailto
+            if not re.match(r"^(https?|mailto):", target):
+                problems.append(f"{path}: suspicious URL scheme in {target!r}")
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} (missing {base})")
+            continue
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() not in {".md", ""}:
+                continue
+            if fragment not in anchors_of(resolved, cache):
+                problems.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no heading slugs to '#{fragment}' in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = (argv if argv is not None else sys.argv[1:])
+    if arguments:
+        files = [Path(argument).resolve() for argument in arguments]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [path for path in files if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"FAIL: expected documentation file missing: {path}")
+        return 1
+
+    cache: dict[Path, set[str]] = {}
+    problems = []
+    for path in files:
+        problems += check_file(path, cache)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        print(f"\n{len(problems)} broken link(s)/anchor(s)")
+        return 1
+    print(f"OK: {len(files)} documentation files, all links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Run every example script in smoke mode — the CI example gate.
+
+Each ``examples/*.py`` honours the ``REPRO_EXAMPLES_SMOKE=1`` environment
+variable by scaling its workload down to seconds; this runner executes
+every example in a subprocess with that variable set, streams nothing on
+success, and prints the captured output of any failure.  Keeping the gate a
+plain script (stdlib only) means the docs' promise that every example runs
+is enforced on every push, so the example index in README.md cannot rot.
+
+Run from the repository root::
+
+    python tools/run_examples.py [--timeout SECONDS] [pattern ...]
+
+Positional patterns restrict the run to examples whose filename contains
+any of them (e.g. ``python tools/run_examples.py serving``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def discover(patterns: list[str]) -> list[Path]:
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    examples = [path for path in examples if not path.name.startswith("_")]
+    if patterns:
+        examples = [
+            path for path in examples if any(pattern in path.name for pattern in patterns)
+        ]
+    return examples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("patterns", nargs="*", help="filename substrings to select")
+    parser.add_argument("--timeout", type=float, default=300.0, help="per-example seconds")
+    args = parser.parse_args(argv)
+
+    examples = discover(args.patterns)
+    if not examples:
+        print("no examples matched", file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failures = []
+    for path in examples:
+        label = path.relative_to(REPO_ROOT)
+        start = time.perf_counter()
+        try:
+            completed = subprocess.run(
+                [sys.executable, str(path)],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=args.timeout,
+            )
+        except subprocess.TimeoutExpired:
+            print(f"FAIL {label} (timed out after {args.timeout:.0f}s)")
+            failures.append(str(label))
+            continue
+        elapsed = time.perf_counter() - start
+        if completed.returncode == 0:
+            print(f"ok   {label} ({elapsed:.1f}s)")
+        else:
+            print(f"FAIL {label} (exit {completed.returncode}, {elapsed:.1f}s)")
+            sys.stdout.write(completed.stdout)
+            sys.stderr.write(completed.stderr)
+            failures.append(str(label))
+
+    if failures:
+        print(f"\n{len(failures)} of {len(examples)} examples failed: {failures}")
+        return 1
+    print(f"\nall {len(examples)} examples passed in smoke mode")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
