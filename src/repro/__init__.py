@@ -39,7 +39,12 @@ from repro.models import (
     get_model_spec,
     available_models,
 )
-from repro.data import Dataset, train_holdout_test_split
+from repro.data import (
+    Dataset,
+    ShardStore,
+    ShardedDataset,
+    train_holdout_test_split,
+)
 from repro.exceptions import (
     BlinkMLError,
     ContractError,
@@ -82,6 +87,8 @@ __all__ = [
     "get_model_spec",
     "available_models",
     "Dataset",
+    "ShardStore",
+    "ShardedDataset",
     "train_holdout_test_split",
     "BlinkMLError",
     "ContractError",

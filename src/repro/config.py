@@ -40,6 +40,20 @@ def _env_int(name: str, default: int, minimum: int = 0) -> int:
         return default
     return value if value >= minimum else default
 
+def _env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
+    """String default overridable via an environment variable.
+
+    The value must be one of ``choices``; anything else falls back to the
+    built-in default rather than failing import (same philosophy as
+    :func:`_env_int`).
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    raw = raw.strip().lower()
+    return raw if raw in choices else default
+
+
 DEFAULT_INITIAL_SAMPLE_SIZE = 10_000
 DEFAULT_NUM_PARAMETER_SAMPLES = 128
 DEFAULT_CONFIDENCE_SLACK = 0.95
@@ -64,6 +78,23 @@ DEFAULT_HOLDOUT_BLOCK_ROWS = 8_192
 # per-block GEMMs).  Overridable via the DEFAULT_STREAMING_WORKERS
 # environment variable (the CI threaded-stress job sets 4).
 DEFAULT_STREAMING_WORKERS = _env_int("DEFAULT_STREAMING_WORKERS", 0)
+# Which executor the streamed block fan-out uses when n_workers > 1:
+# "threads" (default; NumPy releases the GIL inside the per-block GEMMs) or
+# "processes" (a process pool for GIL-bound custom model specs; pairs best
+# with a ShardedDataset holdout, whose workers re-open their own memory
+# maps instead of copying the data).  Env-overridable.
+DEFAULT_STREAMING_BACKEND = _env_choice(
+    "DEFAULT_STREAMING_BACKEND", "threads", ("threads", "processes")
+)
+
+# Out-of-core shard store (repro.data.store).  Rows per .npy shard: the
+# write path buffers at most one shard, the streaming read path memory-maps
+# one shard at a time, and block bounds snap to shard boundaries — so this
+# also upper-bounds the holdout block size a sharded evaluation can use
+# without crossing shards.  65536 rows x 64 features x 8 bytes = 32 MB per
+# feature shard at the default, a comfortable unit for both local disks and
+# object stores.  Env-overridable.
+DEFAULT_STORE_SHARD_ROWS = _env_int("DEFAULT_STORE_SHARD_ROWS", 65_536, minimum=1)
 
 # Bounds for the EstimationSession caches (repro.core.caching.LRUCache).
 # A serving deployment answering contracts for many (θ, n) pairs must not

@@ -15,12 +15,22 @@ server:
   the same missing key train m_0 exactly once: one thread constructs, the
   others block on the result (the same protocol as
   :meth:`repro.core.caching.LRUCache.get_or_compute`);
-* **global byte budget** — the registry owns a byte pool
-  (``max_total_bytes``) shared by every member session.  The pool is
-  divided evenly and each session's cache caps are rebalanced (via
+* **global byte budget with traffic-weighted shares** — the registry owns
+  a byte pool (``max_total_bytes``) shared by every member session.  Each
+  member's cache caps are rebalanced (via
   :meth:`EstimationSession.resize_cache_budget`) whenever the fleet grows
-  or shrinks, so the sum of cache bytes across the fleet stays within the
-  pool no matter how many pairs are live;
+  or shrinks; under the default ``rebalance_policy="traffic"`` every
+  member receives a floor of ``min_session_bytes`` and the remaining pool
+  is divided in proportion to each session's *recent* serving traffic (an
+  exponentially decayed average of the cache-request deltas between
+  rebalances, from its :meth:`EstimationSession.cache_stats` roll-ups), so
+  hot (model, dataset) pairs keep more vectors cached under the same
+  global bound, a formerly hot pair's share decays geometrically once its
+  traffic stops, and back-to-back rebalances cannot collapse a hot pair's
+  share through a near-empty measurement window.  ``rebalance_policy="even"`` restores the plain
+  ``pool / N`` split.  Either way the sum of shares never exceeds the
+  pool, so the fleet invariant ``stats().bytes <= max_total_bytes`` holds
+  structurally no matter how many pairs are live;
 * **LRU eviction of whole idle sessions** — when admitting a session would
   exceed ``max_sessions``, or would split the pool thinner than
   ``min_session_bytes`` per member, the registry evicts the session that
@@ -33,7 +43,10 @@ server:
   against the fingerprint the live session was built from.  A changed
   dataset therefore *always* misses: the stale session is discarded and a
   fresh one is constructed, so stale sorted-difference vectors can never be
-  served.
+  served.  Out-of-core :class:`~repro.data.store.ShardedDataset` members
+  fingerprint through their manifest-level digest — equal to the digest of
+  the materialised data but read straight from the manifest, so a
+  terabyte-scale holdout is fingerprinted without touching a single row.
 
 Eviction and invalidation only drop the registry's reference: a caller
 still holding the session handle can keep using it (its caches keep their
@@ -70,19 +83,33 @@ from repro.config import (
 from repro.core.caching import CacheStats, _InFlight
 from repro.core.session import EstimationSession
 from repro.data.dataset import Dataset
+from repro.data.store import ShardedDataset
 from repro.exceptions import BlinkMLError
 from repro.models.base import ModelClassSpec
+
+#: accepted ``rebalance_policy`` values.
+REBALANCE_POLICIES = ("traffic", "even")
 
 
 @dataclass(frozen=True)
 class SessionInfo:
-    """Per-session row of a :class:`RegistryStats` snapshot."""
+    """Per-session row of a :class:`RegistryStats` snapshot.
+
+    ``budget_bytes`` is the byte share the last rebalance assigned this
+    member (``None`` when the pool is unbounded); ``traffic`` is the
+    *lifetime cumulative* serving-request roll-up.  The traffic-weighted
+    policy weights by a decayed average of this value's growth between
+    rebalances, so a high-``traffic`` member can legitimately hold a
+    floor-sized share if it has gone idle.
+    """
 
     key: object
     fingerprint: str
     bytes: int
     idle_seconds: float
     cache_stats: dict[str, CacheStats]
+    budget_bytes: int | None = None
+    traffic: int = 0
 
 
 @dataclass(frozen=True)
@@ -152,14 +179,47 @@ class RegistryStats:
         return totals
 
 
-class _Member:
-    """A live fleet member: the session plus the fingerprint it was built from."""
+def _cache_traffic(cache_stats: dict[str, CacheStats]) -> int:
+    """Total cache requests (hits + misses) in one ``cache_stats()`` snapshot."""
+    return sum(entry.hits + entry.misses for entry in cache_stats.values())
 
-    __slots__ = ("session", "fingerprint")
+
+class _Member:
+    """A live fleet member: the session, its data fingerprint, its byte share."""
+
+    __slots__ = ("session", "fingerprint", "share", "rebalanced_traffic", "traffic_ema")
 
     def __init__(self, session: EstimationSession, fingerprint: str) -> None:
         self.session = session
         self.fingerprint = fingerprint
+        self.share: int | None = None
+        # Cumulative traffic observed at the last rebalance, plus an
+        # exponentially decayed running average of the per-rebalance
+        # deltas.  The average — not the lifetime total, not the raw last
+        # delta — is the weighting signal: lifetime totals would let a
+        # formerly hot, now idle session dominate forever, while a raw
+        # delta would collapse a hot session's share whenever a
+        # membership-triggered rebalance lands moments after a periodic
+        # one (near-zero window).  Halving per rebalance decays idle
+        # sessions geometrically and keeps short windows informative.
+        self.rebalanced_traffic = 0
+        self.traffic_ema = 0
+
+    def traffic(self) -> int:
+        """Cumulative cache requests this session has served (hits + misses).
+
+        The rebalancing signal: every serving call (``answer`` /
+        ``accuracy_estimate`` / ``train_to``) passes through at least the
+        sorted-difference cache, so the roll-up tracks how hot the (model,
+        dataset) pair is.  Sessions without the stats surface (injected
+        test fakes) count as zero traffic — feature-detected, not caught,
+        so an exception raised *inside* a real ``cache_stats()`` propagates
+        instead of silently starving the session's caches at the floor.
+        """
+        stats_fn = getattr(self.session, "cache_stats", None)
+        if not callable(stats_fn):
+            return 0
+        return _cache_traffic(stats_fn())
 
 
 class SessionRegistry:
@@ -177,8 +237,15 @@ class SessionRegistry:
         membership change.  Default ``DEFAULT_REGISTRY_CACHE_BYTES``.
     min_session_bytes:
         Smallest useful per-session share of the pool; rather than splitting
-        thinner, the registry evicts.  Default
-        ``DEFAULT_REGISTRY_MIN_SESSION_BYTES``.
+        thinner, the registry evicts.  Under the traffic-weighted policy
+        this is also the *floor* every member is guaranteed regardless of
+        how cold it is.  Default ``DEFAULT_REGISTRY_MIN_SESSION_BYTES``.
+    rebalance_policy:
+        ``"traffic"`` (default) gives every member the
+        ``min_session_bytes`` floor and divides the rest of the pool in
+        proportion to each session's serving traffic (cache-request
+        roll-ups); a zero-traffic fleet degenerates to the even split.
+        ``"even"`` always splits the pool as ``pool / N``.
     session_factory:
         Callable with :class:`EstimationSession`'s signature used to
         construct members (injectable for tests).
@@ -190,8 +257,14 @@ class SessionRegistry:
         max_sessions: int | None = DEFAULT_REGISTRY_MAX_SESSIONS,
         max_total_bytes: int | None = DEFAULT_REGISTRY_CACHE_BYTES,
         min_session_bytes: int = DEFAULT_REGISTRY_MIN_SESSION_BYTES,
+        rebalance_policy: str = "traffic",
         session_factory=EstimationSession,
     ):
+        if rebalance_policy not in REBALANCE_POLICIES:
+            raise BlinkMLError(
+                f"registry: unknown rebalance_policy {rebalance_policy!r}; "
+                f"expected one of {REBALANCE_POLICIES}"
+            )
         if max_sessions is not None and max_sessions < 1:
             raise BlinkMLError("registry: max_sessions must be at least 1 or None")
         if max_total_bytes is not None and max_total_bytes < 1:
@@ -206,6 +279,7 @@ class SessionRegistry:
         self.max_sessions = max_sessions
         self.max_total_bytes = max_total_bytes
         self.min_session_bytes = int(min_session_bytes)
+        self.rebalance_policy = rebalance_policy
         self._session_factory = session_factory
         self._lock = threading.RLock()
         self._members: dict[object, _Member] = {}
@@ -233,22 +307,38 @@ class SessionRegistry:
         return by_bytes if by_count is None else min(by_count, by_bytes)
 
     def session_budget_bytes(self, n_sessions: int | None = None) -> int | None:
-        """Each member's share of the pool at the given fleet size."""
+        """The even-split baseline share of the pool at the given fleet size.
+
+        This is what a zero-traffic fleet (or ``rebalance_policy="even"``)
+        assigns each member; under the traffic-weighted policy actual
+        shares vary around it (floor ``min_session_bytes``, surplus
+        proportional to traffic) — see :meth:`session_shares`.
+        """
         if self.max_total_bytes is None:
             return None
         with self._lock:
             count = len(self._members) if n_sessions is None else n_sessions
         return self.max_total_bytes // max(1, count)
 
+    def session_shares(self) -> dict[object, int | None]:
+        """The byte share the last rebalance assigned each live member."""
+        with self._lock:
+            return {key: member.share for key, member in self._members.items()}
+
     # ------------------------------------------------------------------
     # Fingerprints
     # ------------------------------------------------------------------
     @staticmethod
-    def fingerprint(train: Dataset, holdout: Dataset) -> str:
+    def fingerprint(
+        train: Dataset | ShardedDataset, holdout: Dataset | ShardedDataset
+    ) -> str:
         """Joint content digest of the data a session is built from.
 
         The sorted-difference vectors a session caches depend on the
         holdout as much as on the training set, so both are fingerprinted.
+        Sharded members answer from their manifest digest (no row I/O, no
+        materialisation); the digest is defined to equal the materialised
+        dataset's, so mixing storage tiers cannot alias distinct data.
         """
         return f"{train.content_digest()}:{holdout.content_digest()}"
 
@@ -259,8 +349,8 @@ class SessionRegistry:
         self,
         key: object,
         spec: ModelClassSpec,
-        train: Dataset,
-        holdout: Dataset,
+        train: Dataset | ShardedDataset,
+        holdout: Dataset | ShardedDataset,
         **session_kwargs,
     ) -> EstimationSession:
         """Return the live session for ``key``, constructing it if needed.
@@ -370,6 +460,16 @@ class SessionRegistry:
             self._invalidations += len(self._members)
             self._members.clear()
 
+    def rebalance(self) -> None:
+        """Recompute every member's byte share from current traffic.
+
+        Rebalancing otherwise happens only on membership changes; a
+        serving loop can call this periodically so shares track traffic
+        shifts inside a stable fleet.
+        """
+        with self._lock:
+            self._rebalance_locked()
+
     def evict_idle(self, idle_seconds: float) -> int:
         """Evict every member idle for longer than ``idle_seconds``; count."""
         now = time.monotonic()
@@ -409,15 +509,41 @@ class SessionRegistry:
     def _rebalance_locked(self) -> None:
         """Re-split the byte pool across the current members (lock held).
 
-        Each member's session re-caps its caches to an even share; the sum
-        of shares never exceeds the pool, so the fleet invariant
-        ``stats().bytes <= max_total_bytes`` holds structurally.
+        ``"even"`` assigns every member ``pool // N``.  ``"traffic"``
+        assigns every member a ``min_session_bytes`` floor (capacity
+        guarantees N · floor <= pool) and divides the surplus in proportion
+        to ``1 + traffic_ema``, an exponentially decayed average of the
+        member's cache-request deltas between rebalances (see ``_Member``
+        for why neither lifetime totals nor raw last-window deltas work).
+        The ``+1`` keeps a freshly admitted session from starting at the
+        bare floor while established members are warm, and makes a fleet
+        with no traffic history degenerate to the even split.  Under both
+        policies the sum of shares never exceeds the pool, so the fleet
+        invariant ``stats().bytes <= max_total_bytes`` holds structurally.
         """
         if self.max_total_bytes is None or not self._members:
             return
-        share = self.max_total_bytes // len(self._members)
-        for member in self._members.values():
-            member.session.resize_cache_budget(max(1, share))
+        members = list(self._members.values())
+        if self.rebalance_policy == "even":
+            share = self.max_total_bytes // len(members)
+            for member in members:
+                member.share = max(1, share)
+                member.session.resize_cache_budget(member.share)
+            return
+        floor = min(self.min_session_bytes, self.max_total_bytes // len(members))
+        surplus = self.max_total_bytes - floor * len(members)
+        weights = []
+        for member in members:
+            current = member.traffic()
+            # max() guards caches whose counters were externally reset.
+            delta = max(0, current - member.rebalanced_traffic)
+            member.rebalanced_traffic = current
+            member.traffic_ema = member.traffic_ema // 2 + delta
+            weights.append(1 + member.traffic_ema)
+        total_weight = sum(weights)
+        for member, weight in zip(members, weights):
+            member.share = max(1, floor + surplus * weight // total_weight)
+            member.session.resize_cache_budget(member.share)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -425,16 +551,24 @@ class SessionRegistry:
     def stats(self) -> RegistryStats:
         """A snapshot of fleet occupancy, byte usage and counters."""
         with self._lock:
-            per_session = tuple(
-                SessionInfo(
-                    key=key,
-                    fingerprint=member.fingerprint,
-                    bytes=member.session.cache_bytes(),
-                    idle_seconds=member.session.idle_seconds,
-                    cache_stats=member.session.cache_stats(),
+            rows = []
+            for key, member in self._members.items():
+                # One cache_stats() roll-up per member: traffic is derived
+                # from the same snapshot the row reports, so the two can
+                # never disagree within a SessionInfo.
+                cache_stats = member.session.cache_stats()
+                rows.append(
+                    SessionInfo(
+                        key=key,
+                        fingerprint=member.fingerprint,
+                        bytes=sum(entry.bytes for entry in cache_stats.values()),
+                        idle_seconds=member.session.idle_seconds,
+                        cache_stats=cache_stats,
+                        budget_bytes=member.share,
+                        traffic=_cache_traffic(cache_stats),
+                    )
                 )
-                for key, member in self._members.items()
-            )
+            per_session = tuple(rows)
             return RegistryStats(
                 sessions=len(self._members),
                 max_sessions=self.max_sessions,

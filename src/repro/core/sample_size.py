@@ -19,7 +19,13 @@ Two implementation-level optimisations sit on top of the paper's search:
   share the same cached base samples (sampling-by-scaling), so stacking
   them into one ``(batch · k)``-candidate diff evaluation amortises the
   per-pass overhead and cuts the number of passes from log₂ to
-  log_{batch+1} of the search range.
+  log_{batch+1} of the search range;
+* the per-round batch is **adaptive** (:func:`adaptive_probe_count`):
+  ``probe_batch`` is a ceiling, and each round stacks only as many
+  candidates as still pay for themselves given the current bracket width —
+  a bracket the full batch would over-resolve gets a smaller stack with
+  the *same* number of passes, so tiny brackets stop paying for
+  Monte-Carlo evaluations that cannot narrow them further.
 """
 
 from __future__ import annotations
@@ -71,6 +77,37 @@ class SampleSizeEstimate:
     n_probability_evaluations: int
     probed_sizes: tuple[int, ...] = field(default_factory=tuple)
     estimation_seconds: float = 0.0
+
+
+def adaptive_probe_count(span: int, probe_batch: int) -> int:
+    """Candidates to stack this round for a bracket of width ``span``.
+
+    ``probe_batch`` candidates narrow a bracket by a factor of
+    ``probe_batch + 1`` per pass, so a bracket of width ``span`` resolves
+    in ``r = ceil(log_{probe_batch+1}(span))`` passes.  The full batch is
+    only worth stacking while the bracket is wide: once ``span`` is small,
+    fewer candidates finish in the *same* ``r`` passes.  This returns the
+    smallest per-round count ``b`` with ``(b + 1)^r >= span`` — never more
+    passes than the fixed policy, never more stacked Monte-Carlo
+    evaluations than the bracket can use (ROADMAP "adaptive probe
+    batching").
+
+    Examples with ``probe_batch=3``: a width-1024 bracket stacks 3 (5
+    passes either way), a width-9 bracket stacks 2 instead of 3 (2 passes
+    either way), a width-2 bracket stacks the single useful midpoint.
+    """
+    if span <= 1:
+        return 0
+    cap = min(probe_batch, span - 1)
+    if cap <= 1:
+        return max(cap, 0)
+    rounds = 1
+    while (cap + 1) ** rounds < span:
+        rounds += 1
+    count = 1
+    while (count + 1) ** rounds < span:
+        count += 1
+    return min(count, cap)
 
 
 class SampleSizeEstimator:
@@ -194,11 +231,14 @@ class SampleSizeEstimator:
             actually satisfies the contract the search conservatively
             returns a size in ``(n0, N]`` instead of ``n0``.
         probe_batch:
-            Candidate sizes evaluated per stacked Monte-Carlo pass.  1 is
-            the classic bisection (one midpoint per round); larger values
-            place that many evenly spaced candidates inside the bracket and
-            evaluate them in one pass, narrowing the bracket by a factor of
-            ``probe_batch + 1`` per round under the Theorem 2 monotonicity.
+            Ceiling on candidate sizes evaluated per stacked Monte-Carlo
+            pass.  1 is the classic bisection (one midpoint per round);
+            larger values place up to that many evenly spaced candidates
+            inside the bracket and evaluate them in one pass, narrowing
+            the bracket by a factor of ``batch + 1`` per round under the
+            Theorem 2 monotonicity.  The per-round count adapts to the
+            bracket width (:func:`adaptive_probe_count`): narrow brackets
+            stack fewer candidates without taking extra passes.
         """
         if n0 <= 0 or N <= 0:
             raise SampleSizeError("sample sizes must be positive")
@@ -239,7 +279,7 @@ class SampleSizeEstimator:
         # is exactly the paper's bisection.
         while high - low > 1:
             span = high - low
-            count = min(probe_batch, span - 1)
+            count = adaptive_probe_count(span, probe_batch)
             candidates = sorted(
                 {low + (span * (j + 1)) // (count + 1) for j in range(count)}
             )

@@ -66,6 +66,7 @@ from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
 from repro.core.statistics import ModelStatistics, StatisticsMethod, compute_statistics
 from repro.data.dataset import Dataset
 from repro.data.sampling import UniformSampler
+from repro.data.store import ShardedDataset
 from repro.evaluation.streaming import StreamingConfig
 from repro.exceptions import BlinkMLError, DataError
 from repro.models.base import ModelClassSpec, TrainedModel
@@ -113,7 +114,16 @@ class EstimationSession:
     ----------
     spec / train / holdout:
         The model class, full training data D (size N), and the holdout set
-        used only for estimating prediction differences.
+        used only for estimating prediction differences.  Both datasets may
+        be in-memory :class:`Dataset` objects or out-of-core
+        :class:`~repro.data.store.ShardedDataset` stores: a sharded train
+        set is sampled by index (only the drawn rows are ever gathered into
+        memory), and a sharded holdout streams through the diff engine as
+        zero-copy memory-mapped blocks — row *data* is never materialised.
+        Caveat: the nested-sampling machinery still keeps an O(N) *index*
+        permutation (8 bytes per train row — see
+        :class:`~repro.data.sampling.UniformSampler`), so train-set scale
+        is bounded by index memory, holdout scale by disk alone.
     initial_sample_size / n_parameter_samples / statistics_method /
     optimizer / optimizer_kwargs:
         As on :class:`repro.core.coordinator.BlinkML`.
@@ -137,8 +147,8 @@ class EstimationSession:
     def __init__(
         self,
         spec: ModelClassSpec,
-        train: Dataset,
-        holdout: Dataset,
+        train: Dataset | ShardedDataset,
+        holdout: Dataset | ShardedDataset,
         *,
         initial_sample_size: int = DEFAULT_INITIAL_SAMPLE_SIZE,
         n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,

@@ -12,12 +12,22 @@ subpackage provides that substrate:
   replacement) and reservoir sampling over streams;
 * :mod:`repro.data.synthetic` — generators that stand in for the six
   real-world datasets used in the paper's evaluation (see that module's
-  docstring for the substitution rationale).
+  docstring for the substitution rationale);
+* :mod:`repro.data.store` — the out-of-core tier: datasets persisted as
+  memory-mapped ``.npy`` shards behind a digested manifest, consumed
+  block-by-block by the streaming engine and row-by-index by the samplers.
 """
 
 from repro.data.dataset import Dataset
 from repro.data.splits import SplitSpec, train_holdout_test_split
 from repro.data.sampling import UniformSampler, WeightedSampler, reservoir_sample
+from repro.data.store import (
+    ShardManifest,
+    ShardStore,
+    ShardStoreWriter,
+    ShardedDataset,
+    write_blocks,
+)
 from repro.data.synthetic import (
     SyntheticSpec,
     gas_like,
@@ -37,6 +47,11 @@ __all__ = [
     "UniformSampler",
     "WeightedSampler",
     "reservoir_sample",
+    "ShardManifest",
+    "ShardStore",
+    "ShardStoreWriter",
+    "ShardedDataset",
+    "write_blocks",
     "SyntheticSpec",
     "gas_like",
     "power_like",

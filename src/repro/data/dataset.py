@@ -20,6 +20,37 @@ import numpy as np
 from repro.exceptions import DataError
 
 
+# ----------------------------------------------------------------------
+# Content-digest byte format — THE single source of truth.
+#
+# Everything that fingerprints dataset contents (Dataset.content_digest,
+# the shard store's per-shard digests, and its streamed manifest-level
+# digest in repro.data.store.shard_store) feeds a hasher through these
+# helpers, so a sharded and an in-memory copy of the same data can never
+# diverge.  Any change here changes every digest in lockstep.
+# ----------------------------------------------------------------------
+def content_hasher() -> "hashlib.blake2b":
+    """The hasher every content digest uses (the digest is its hexdigest)."""
+    return hashlib.blake2b(digest_size=16)
+
+
+def hash_feature_header(hasher, shape: tuple, dtype) -> None:
+    """Feed the feature matrix's shape/dtype header (precedes the X bytes)."""
+    hasher.update(str(tuple(shape)).encode())
+    hasher.update(np.dtype(dtype).str.encode())
+
+
+def hash_label_header(hasher, shape: tuple | None, dtype=None) -> None:
+    """Feed the label header (follows the X bytes, precedes the y bytes).
+
+    ``shape=None`` marks an unsupervised dataset (no y bytes follow).
+    """
+    if shape is None:
+        hasher.update(b"|unsupervised")
+    else:
+        hasher.update(f"|y:{tuple(shape)}:{np.dtype(dtype).str}".encode())
+
+
 @dataclass(frozen=True)
 class Dataset:
     """A (multi-)set of training examples ``{(x_i, y_i)}``.
@@ -105,17 +136,16 @@ class Dataset:
         cached = getattr(self, "_content_digest", None)
         if cached is not None:
             return cached
-        hasher = hashlib.blake2b(digest_size=16)
-        hasher.update(str(self.X.shape).encode())
-        hasher.update(self.X.dtype.str.encode())
+        hasher = content_hasher()
+        hash_feature_header(hasher, self.X.shape, self.X.dtype)
         # Feed the array buffers to the hash directly (zero-copy for the
         # already-contiguous common case; .tobytes() would transiently
         # double the dataset's memory).
         hasher.update(np.ascontiguousarray(self.X))
         if self.y is None:
-            hasher.update(b"|unsupervised")
+            hash_label_header(hasher, None)
         else:
-            hasher.update(f"|y:{self.y.shape}:{self.y.dtype.str}".encode())
+            hash_label_header(hasher, self.y.shape, self.y.dtype)
             hasher.update(np.ascontiguousarray(self.y))
         digest = hasher.hexdigest()
         object.__setattr__(self, "_content_digest", digest)

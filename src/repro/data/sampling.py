@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.data.store import ShardedDataset
 
 
 class UniformSampler:
@@ -33,12 +37,25 @@ class UniformSampler:
     Parameters
     ----------
     dataset:
-        The training portion of the data.
+        The training portion of the data: an in-memory :class:`Dataset` or
+        an out-of-core :class:`~repro.data.store.ShardedDataset`.  Only
+        ``n_rows`` and ``take(indices)`` are used, so samples drawn from a
+        shard store gather exactly the selected rows (one shard resident at
+        a time) — the row data itself is never materialised.  The *index*
+        machinery, however, is O(N): ``nested_sample`` keeps a full random
+        permutation (8 bytes per population row) and ``sample`` uses
+        ``Generator.choice(replace=False)``, so a 10⁹-row store still
+        costs ~8 GB of index memory (a sub-linear per-shard index scheme
+        is a ROADMAP item).
     rng:
         Seeded NumPy generator for reproducibility.
     """
 
-    def __init__(self, dataset: Dataset, rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        dataset: Dataset | ShardedDataset,
+        rng: np.random.Generator | None = None,
+    ):
         self._dataset = dataset
         self._rng = rng or np.random.default_rng()
         # A lazily-built random permutation of all row indices.  Sampling a
@@ -56,7 +73,7 @@ class UniformSampler:
         self._rng_lock = threading.Lock()
 
     @property
-    def dataset(self) -> Dataset:
+    def dataset(self) -> Dataset | ShardedDataset:
         return self._dataset
 
     @property

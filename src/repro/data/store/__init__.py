@@ -1,0 +1,40 @@
+"""Out-of-core dataset store: memory-mapped ``.npy`` shards + JSON manifest.
+
+The storage tier beneath the streaming sharded holdout engine (see
+``docs/architecture.md``, "Storage tier"):
+
+* :class:`ShardStore` — owns a store directory (write / open / verify);
+* :class:`ShardStoreWriter` / :func:`write_blocks` — out-of-core write path;
+* :class:`ShardedDataset` — the zero-copy block source the evaluation,
+  session and registry layers consume in place of an in-memory ``Dataset``;
+* :class:`ShardManifest` / :class:`ShardInfo` / :class:`LabelMoments` — the
+  manifest schema (dtype, shape, per-shard row ranges and digests, and a
+  manifest-level content digest compatible with
+  :meth:`repro.data.dataset.Dataset.content_digest`).
+"""
+
+from repro.data.store.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    LabelMoments,
+    ShardInfo,
+    ShardManifest,
+)
+from repro.data.store.shard_store import (
+    ShardStore,
+    ShardStoreWriter,
+    ShardedDataset,
+    write_blocks,
+)
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "MANIFEST_VERSION",
+    "LabelMoments",
+    "ShardInfo",
+    "ShardManifest",
+    "ShardStore",
+    "ShardStoreWriter",
+    "ShardedDataset",
+    "write_blocks",
+]

@@ -1,42 +1,94 @@
-"""Streaming sharded holdout evaluation.
+"""Streaming sharded holdout evaluation over pluggable block sources.
 
 The PR 1 batched diff engine evaluates all k candidate parameters against
 the holdout in one GEMM but materialises the full ``(k, n_holdout)``
 prediction block, which caps holdout size well below the million-user
 target.  This module is the driver half of the streaming replacement:
 
-* the holdout is sharded into contiguous row blocks (zero-copy views);
+* the holdout is consumed as contiguous row blocks through the
+  :class:`BlockSource` protocol — an in-memory
+  :class:`~repro.data.dataset.Dataset` (zero-copy slice views) or an
+  out-of-core :class:`~repro.data.store.ShardedDataset` (zero-copy
+  memory-mapped shard slices, block bounds snapped to shard boundaries);
 * each block is fed to a :class:`~repro.models.base.DiffAccumulator`
   obtained from the model spec, which folds the block into per-candidate
   disagreement counts / squared-error sums;
-* memory therefore stays O(k · block) no matter how large the holdout is;
-* optionally, contiguous block ranges fan out across a thread pool (NumPy
-  releases the GIL inside the per-block GEMMs) and the per-worker partials
-  are merged in holdout order.
+* memory therefore stays O(k · block) no matter how large the holdout is —
+  and with a sharded source, the *data* is never resident either;
+* optionally, contiguous block ranges fan out across an executor.  Two
+  backends: ``"threads"`` (NumPy releases the GIL inside the per-block
+  GEMMs — right for the built-in families) and ``"processes"`` (a process
+  pool for GIL-bound custom model specs; each worker builds its own
+  accumulator from the spec, consumes its block range, and the parent
+  merges the returned partials with the ordinary
+  :meth:`DiffAccumulator.merge` path).
+
+Process-backend requirements: the spec, the source and the accumulator's
+partial state must be picklable, and — as with any ``spawn``/``forkserver``
+multiprocessing — the program's entry module must be import-safe (guard
+script entry points with ``if __name__ == "__main__":``; code piped to
+stdin cannot host process workers).  The built-in specs and accumulators are
+(:class:`~repro.models.base.BlockSumDiffAccumulator` pickles its sums and
+row count and drops its closures — a restored partial can be merged, not
+updated); a ``ShardedDataset`` ships as its store path, so workers re-open
+their own memory maps instead of copying rows, while an in-memory
+``Dataset`` is copied once per worker — the process backend pairs best
+with sharded sources.
 
 Layering (see ``docs/architecture.md``): the estimation session and the
 accuracy / sample-size estimators call the two ``streaming_*`` functions
 below; the functions drive the spec's accumulators; only the model families
-know how to decompose their metric over blocks.
+know how to decompose their metric over blocks; only the block source knows
+where the rows live.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 from collections.abc import Iterator
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.config import DEFAULT_HOLDOUT_BLOCK_ROWS, DEFAULT_STREAMING_WORKERS
+from repro.config import (
+    DEFAULT_HOLDOUT_BLOCK_ROWS,
+    DEFAULT_STREAMING_BACKEND,
+    DEFAULT_STREAMING_WORKERS,
+)
 from repro.data.dataset import Dataset
 from repro.exceptions import DataError
 from repro.models.base import DiffAccumulator, ModelClassSpec
 
+#: executor backends accepted by :class:`StreamingConfig`.
+STREAMING_BACKENDS = ("threads", "processes")
+
+
+@runtime_checkable
+class BlockSource(Protocol):
+    """Anything the streaming engine can shard into contiguous row blocks.
+
+    Implemented by :class:`~repro.data.store.ShardedDataset`; in-memory
+    :class:`Dataset` objects are adapted internally.  ``block_bounds`` must
+    return contiguous, in-order ``[start, stop)`` ranges tiling
+    ``[0, n_rows)``, each at most ``block_rows`` rows; ``read_block`` must
+    return those rows as a :class:`Dataset` (zero-copy wherever possible).
+    """
+
+    @property
+    def n_rows(self) -> int: ...
+
+    def block_bounds(self, block_rows: int) -> list[tuple[int, int]]: ...
+
+    def read_block(self, start: int, stop: int) -> Dataset: ...
+
 
 @dataclass(frozen=True)
 class StreamingConfig:
-    """How the holdout is sharded.
+    """How the holdout is sharded and which executor fans the blocks out.
 
     Parameters
     ----------
@@ -46,17 +98,29 @@ class StreamingConfig:
     n_workers:
         0 or 1 processes blocks serially on the calling thread; larger
         values split the block sequence into that many contiguous ranges
-        and run them on a thread pool, merging partials in holdout order.
+        and run them on the configured executor, merging partials in
+        holdout order.
+    backend:
+        ``"threads"`` (default) or ``"processes"``.  Threads suit the
+        built-in NumPy families (the GIL is released inside the per-block
+        GEMMs); processes suit GIL-bound custom specs — see the module
+        docstring for the picklability requirements.
     """
 
     block_rows: int = DEFAULT_HOLDOUT_BLOCK_ROWS
     n_workers: int = DEFAULT_STREAMING_WORKERS
+    backend: str = DEFAULT_STREAMING_BACKEND
 
     def __post_init__(self) -> None:
         if self.block_rows < 1:
             raise DataError("block_rows must be at least 1")
         if self.n_workers < 0:
             raise DataError("n_workers must be non-negative")
+        if self.backend not in STREAMING_BACKENDS:
+            raise DataError(
+                f"unknown streaming backend {self.backend!r}; "
+                f"expected one of {STREAMING_BACKENDS}"
+            )
 
 
 #: module default used whenever a caller passes ``config=None``.
@@ -76,49 +140,202 @@ def _block_view(dataset: Dataset, start: int, stop: int) -> Dataset:
     )
 
 
-def iter_holdout_blocks(dataset: Dataset, block_rows: int) -> Iterator[Dataset]:
-    """Yield the holdout as contiguous zero-copy blocks of ``block_rows`` rows."""
-    if block_rows < 1:
-        raise DataError("block_rows must be at least 1")
-    for start in range(0, dataset.n_rows, block_rows):
-        yield _block_view(dataset, start, min(start + block_rows, dataset.n_rows))
+class _DatasetBlocks:
+    """Adapter giving an in-memory :class:`Dataset` the block-source surface."""
+
+    __slots__ = ("_dataset",)
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+
+    @property
+    def n_rows(self) -> int:
+        return self._dataset.n_rows
+
+    def block_bounds(self, block_rows: int) -> list[tuple[int, int]]:
+        if block_rows < 1:
+            raise DataError("block_rows must be at least 1")
+        n = self._dataset.n_rows
+        return [
+            (start, min(start + block_rows, n)) for start in range(0, n, block_rows)
+        ]
+
+    def read_block(self, start: int, stop: int) -> Dataset:
+        return _block_view(self._dataset, start, stop)
 
 
-def _drive(
-    make_accumulator,
-    dataset: Dataset,
-    config: StreamingConfig,
-) -> np.ndarray:
+def as_block_source(source: "Dataset | BlockSource") -> BlockSource:
+    """Adapt ``source`` to the block-source surface (Datasets are wrapped)."""
+    if isinstance(source, Dataset):
+        return _DatasetBlocks(source)
+    for attribute in ("n_rows", "block_bounds", "read_block"):
+        if not hasattr(source, attribute):
+            raise DataError(
+                f"{type(source).__name__} is neither a Dataset nor a BlockSource "
+                f"(missing {attribute!r})"
+            )
+    return source
+
+
+def iter_holdout_blocks(
+    source: "Dataset | BlockSource", block_rows: int
+) -> Iterator[Dataset]:
+    """Yield the holdout as contiguous zero-copy blocks of ``<= block_rows`` rows.
+
+    With a :class:`~repro.data.store.ShardedDataset` source the bounds snap
+    to shard boundaries, so some blocks are shorter than ``block_rows`` but
+    none ever crosses a shard (no cross-shard copies).
+    """
+    blocks = as_block_source(source)
+    for start, stop in blocks.block_bounds(block_rows):
+        yield blocks.read_block(start, stop)
+
+
+@dataclass(frozen=True)
+class _StreamTask:
+    """Picklable recipe for one streamed diff evaluation.
+
+    Carries everything a process worker needs to rebuild the accumulator
+    locally: the spec, which factory to call, the parameter batches and the
+    source.  Also used in-process as the single place the accumulator
+    factory is defined.
+    """
+
+    spec: ModelClassSpec
+    kind: str  # "diff" | "pairwise"
+    Thetas_a: np.ndarray
+    Thetas_b: np.ndarray
+    source: "Dataset | BlockSource"
+
+    def make_accumulator(self) -> DiffAccumulator:
+        if self.kind == "diff":
+            return self.spec.diff_accumulator(self.Thetas_a, self.Thetas_b, self.source)
+        return self.spec.pairwise_diff_accumulator(
+            self.Thetas_a, self.Thetas_b, self.source
+        )
+
+
+def _run_block_range(
+    task: _StreamTask, bounds: list[tuple[int, int]]
+) -> DiffAccumulator:
+    """Worker body (both backends): one fresh accumulator over one range.
+
+    Top-level so the process backend can pickle it; with a sharded source
+    the worker's ``read_block`` calls hit its own re-opened memory maps.
+    """
+    accumulator = task.make_accumulator()
+    blocks = as_block_source(task.source)
+    for start, stop in bounds:
+        accumulator.update(blocks.read_block(start, stop))
+    return accumulator
+
+
+def _process_context() -> multiprocessing.context.BaseContext:
+    """Forkserver where the platform offers it, the default elsewhere.
+
+    ``fork`` (still the Linux default until Python 3.14) is unsafe in
+    exactly the deployments this library promotes: a serving process with
+    live threads (thread-backend sessions, registry locks, BLAS internals
+    mid-GEMM) that forks can hand workers inherited locks in the held
+    state.  ``forkserver`` forks from a clean single-threaded server
+    instead, and its per-worker start-up cost is amortised by the shared
+    pools below.  Workers import the worker function, spec classes and
+    sources by reference, which everything in this module supports
+    (top-level function, picklable tasks); platforms without forkserver
+    (Windows) use their default, spawn, with the same pickling contract.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else None
+    )
+
+
+#: shared process pools, keyed by worker count.  Worker start-up (a full
+#: interpreter under spawn/forkserver) is far too expensive to pay on every
+#: streamed evaluation — one train_to() contract alone runs dozens — so
+#: pools are created lazily and reused for the life of the process;
+#: concurrent.futures' own exit hook joins them at interpreter shutdown.
+_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}
+_PROCESS_POOLS_LOCK = threading.Lock()
+
+
+def _shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    with _PROCESS_POOLS_LOCK:
+        pool = _PROCESS_POOLS.get(max_workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=_process_context()
+            )
+            _PROCESS_POOLS[max_workers] = pool
+        return pool
+
+
+def _discard_process_pool(max_workers: int, pool: ProcessPoolExecutor) -> None:
+    """Drop a broken pool from the cache so the next call builds a fresh one."""
+    with _PROCESS_POOLS_LOCK:
+        if _PROCESS_POOLS.get(max_workers) is pool:
+            del _PROCESS_POOLS[max_workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _split_ranges(
+    bounds: list[tuple[int, int]], n_workers: int
+) -> list[list[tuple[int, int]]]:
+    """Split the bound list into ``n_workers`` contiguous, in-order ranges."""
+    splits = np.array_split(np.arange(len(bounds)), n_workers)
+    return [[bounds[i] for i in split] for split in splits if split.size]
+
+
+def _drive(task: _StreamTask, config: StreamingConfig) -> np.ndarray:
     """Run one accumulator (or one per worker) over the sharded holdout."""
-    first = make_accumulator()
+    first = task.make_accumulator()
     if not first.needs_holdout_blocks:
         # Parameter-space metrics (PPCA) and the generic materialised
         # fallback: nothing to shard.
         return first.finalize()
 
-    starts = list(range(0, dataset.n_rows, config.block_rows))
-    if config.n_workers <= 1 or len(starts) <= 1:
-        for block in iter_holdout_blocks(dataset, config.block_rows):
-            first.update(block)
+    blocks = as_block_source(task.source)
+    bounds = blocks.block_bounds(config.block_rows)
+    if config.n_workers <= 1 or len(bounds) <= 1:
+        for start, stop in bounds:
+            first.update(blocks.read_block(start, stop))
         return first.finalize()
 
     # Contiguous block ranges per worker so merge order equals holdout order.
-    # Each range is itself a contiguous row-slice view, so the workers share
-    # the single block-iteration implementation.
-    n_workers = min(config.n_workers, len(starts))
-    ranges = np.array_split(np.asarray(starts), n_workers)
+    n_workers = min(config.n_workers, len(bounds))
+    ranges = _split_ranges(bounds, n_workers)
 
-    def run_range(accumulator: DiffAccumulator, range_starts: np.ndarray) -> DiffAccumulator:
-        first_row = int(range_starts[0])
-        stop_row = min(int(range_starts[-1]) + config.block_rows, dataset.n_rows)
-        for block in iter_holdout_blocks(
-            _block_view(dataset, first_row, stop_row), config.block_rows
-        ):
-            accumulator.update(block)
+    if config.backend == "processes":
+        # Workers rebuild the accumulator from the task (closures never
+        # cross the process boundary) and return their partial state; the
+        # parent merges the partials into its own full accumulator in
+        # holdout order, so finalize() runs with the parent's closures.
+        # The pool is shared across calls (see _shared_process_pool) and
+        # keyed by the *configured* worker count, not this call's effective
+        # range count — otherwise holdouts of varying sizes would accumulate
+        # one persistent pool per distinct min(n_workers, n_blocks).  A
+        # short call simply submits fewer tasks than the pool has workers.
+        # A broken pool is discarded so later calls recover with a fresh one.
+        pool = _shared_process_pool(config.n_workers)
+        try:
+            partials = list(pool.map(_run_block_range, [task] * len(ranges), ranges))
+        except BrokenProcessPool:
+            _discard_process_pool(config.n_workers, pool)
+            raise
+        for partial in partials:
+            first.merge(partial)
+        return first.finalize()
+
+    accumulators = [first] + [task.make_accumulator() for _ in range(len(ranges) - 1)]
+
+    def run_range(
+        accumulator: DiffAccumulator, range_bounds: list[tuple[int, int]]
+    ) -> DiffAccumulator:
+        for start, stop in range_bounds:
+            accumulator.update(blocks.read_block(start, stop))
         return accumulator
 
-    accumulators = [first] + [make_accumulator() for _ in range(n_workers - 1)]
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
         done = list(pool.map(run_range, accumulators, ranges))
     for partial in done[1:]:
         done[0].merge(partial)
@@ -129,18 +346,27 @@ def streaming_prediction_differences(
     spec: ModelClassSpec,
     theta_ref: np.ndarray,
     Thetas: np.ndarray,
-    dataset: Dataset,
+    dataset: "Dataset | BlockSource",
     config: StreamingConfig | None = None,
 ) -> np.ndarray:
     """Sharded equivalent of :meth:`ModelClassSpec.prediction_differences`.
 
     Agrees with the materialised batched path to floating-point accuracy
     (bitwise for the classification families, whose block statistics are
-    integer counts) while keeping memory at O(k · block_rows).
+    integer counts) while keeping memory at O(k · block_rows).  ``dataset``
+    may be an in-memory :class:`Dataset` or any :class:`BlockSource`
+    (e.g. a memory-mapped :class:`~repro.data.store.ShardedDataset`).
     """
     config = config or DEFAULT_STREAMING_CONFIG
     return _drive(
-        lambda: spec.diff_accumulator(theta_ref, Thetas, dataset), dataset, config
+        _StreamTask(
+            spec=spec,
+            kind="diff",
+            Thetas_a=np.asarray(theta_ref, dtype=np.float64),
+            Thetas_b=np.asarray(Thetas, dtype=np.float64),
+            source=dataset,
+        ),
+        config,
     )
 
 
@@ -148,13 +374,18 @@ def streaming_pairwise_prediction_differences(
     spec: ModelClassSpec,
     Thetas_a: np.ndarray,
     Thetas_b: np.ndarray,
-    dataset: Dataset,
+    dataset: "Dataset | BlockSource",
     config: StreamingConfig | None = None,
 ) -> np.ndarray:
     """Sharded equivalent of :meth:`ModelClassSpec.pairwise_prediction_differences`."""
     config = config or DEFAULT_STREAMING_CONFIG
     return _drive(
-        lambda: spec.pairwise_diff_accumulator(Thetas_a, Thetas_b, dataset),
-        dataset,
+        _StreamTask(
+            spec=spec,
+            kind="pairwise",
+            Thetas_a=np.asarray(Thetas_a, dtype=np.float64),
+            Thetas_b=np.asarray(Thetas_b, dtype=np.float64),
+            source=dataset,
+        ),
         config,
     )

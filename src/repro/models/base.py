@@ -96,6 +96,12 @@ class BlockSumDiffAccumulator(DiffAccumulator):
         self._reduce = reduce
 
     def update(self, block: Dataset) -> None:
+        if self._block_sums is None:
+            raise ModelSpecError(
+                "this accumulator is a deserialized partial (process-backend "
+                "return value): it can be merged into a full accumulator but "
+                "not updated"
+            )
         self._sums += np.asarray(self._block_sums(block), dtype=np.float64)
         self._rows += block.n_rows
 
@@ -106,9 +112,30 @@ class BlockSumDiffAccumulator(DiffAccumulator):
         self._rows += other._rows
 
     def finalize(self) -> np.ndarray:
+        if self._reduce is None:
+            raise ModelSpecError(
+                "this accumulator is a deserialized partial (process-backend "
+                "return value): merge it into a full accumulator and finalize "
+                "that instead"
+            )
         if self._rows == 0:
             raise ModelSpecError("accumulator finalized before seeing any holdout rows")
         return np.asarray(self._reduce(self._sums, self._rows), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Process-backend transport: the grand totals travel, the closures do
+    # not (they capture spec methods and are rebuilt from the spec on the
+    # other side).  A restored instance is a merge *donor* only — exactly
+    # what the streaming driver's merge-in-holdout-order path needs.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"sums": self._sums, "rows": self._rows}
+
+    def __setstate__(self, state: dict) -> None:
+        self._sums = state["sums"]
+        self._rows = state["rows"]
+        self._block_sums = None
+        self._reduce = None
 
 
 class PrecomputedDiffAccumulator(DiffAccumulator):
@@ -136,6 +163,53 @@ class PrecomputedDiffAccumulator(DiffAccumulator):
 
     def finalize(self) -> np.ndarray:
         return self._values
+
+
+def holdout_label_scale(dataset, family: str) -> float:
+    """Label standard deviation normalising a regression diff metric.
+
+    One implementation for every normalised regression family (linear,
+    Poisson) so the scale contract cannot silently diverge between them.
+    Block sources (:class:`repro.data.store.ShardedDataset`) expose the
+    scale through precomputed manifest moments (``label_std()`` — O(1), no
+    label I/O, equal to ``np.std`` of the materialised labels to a few
+    ulps); in-memory datasets compute ``np.std(y)`` directly.  (Near-)zero
+    scales fall back to 1.0 to avoid dividing by zero on constant labels.
+    """
+    # Supervision is checked first so the unlabeled-holdout misuse raises
+    # the same ModelSpecError whichever storage tier the holdout lives in
+    # (a sharded source's label_std() would otherwise surface a DataError
+    # about manifest moments instead of explaining the missing labels).
+    if not getattr(dataset, "is_supervised", True):
+        raise ModelSpecError(
+            f"normalised {family} difference needs holdout labels for scaling"
+        )
+    label_std = getattr(dataset, "label_std", None)
+    if callable(label_std):
+        scale = float(label_std())
+        return scale if scale > 0 else 1.0
+    if dataset.y is None:
+        raise ModelSpecError(
+            f"normalised {family} difference needs holdout labels for scaling"
+        )
+    scale = float(np.std(dataset.y))
+    return scale if scale > 0 else 1.0
+
+
+def materialize_if_sharded(dataset) -> Dataset:
+    """An in-memory :class:`Dataset` for ``dataset``, whatever it is.
+
+    Block sources (e.g. :class:`repro.data.store.ShardedDataset`) expose a
+    ``materialize()`` method; in-memory datasets pass through untouched.
+    This is the correctness escape hatch for code that genuinely needs the
+    whole feature matrix — notably the generic accumulator fallbacks for
+    custom model specs without a streaming decomposition — and it
+    deliberately trades the out-of-core memory bound for compatibility.
+    """
+    materialize = getattr(dataset, "materialize", None)
+    if callable(materialize):
+        return materialize()
+    return dataset
 
 
 class _ReferenceMemo(threading.local):
@@ -169,6 +243,21 @@ class ModelClassSpec(ABC):
         # batched diff path: (theta bytes, feature-matrix identity) ->
         # predictions.  The feature matrix is kept alive by the memo entry
         # itself, so the identity check cannot alias a recycled object.
+        self._reference_cache = _ReferenceMemo()
+
+    # ------------------------------------------------------------------
+    # Pickling (the process streaming backend ships specs to its workers):
+    # the per-thread memo is a threading.local and cannot cross a process
+    # boundary, so it is dropped and rebuilt empty on the other side —
+    # losing one memoised prediction, never correctness.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_reference_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._reference_cache = _ReferenceMemo()
 
     # ------------------------------------------------------------------
@@ -383,9 +472,15 @@ class ModelClassSpec(ABC):
         ``dataset`` is the *full* holdout: factories may read global context
         from it (e.g. the label scale of normalised regression metrics) but
         must not evaluate predictions on it — rows arrive via ``update``.
+        It may also be a block source (:class:`repro.data.store.ShardedDataset`);
+        this generic fallback then materialises it once, preserving
+        correctness for custom specs at the cost of the memory bound (the
+        built-in families override with true streaming decompositions).
         """
         return PrecomputedDiffAccumulator(
-            self.prediction_differences(theta_ref, Thetas, dataset)
+            self.prediction_differences(
+                theta_ref, Thetas, materialize_if_sharded(dataset)
+            )
         )
 
     def pairwise_diff_accumulator(
@@ -393,7 +488,9 @@ class ModelClassSpec(ABC):
     ) -> DiffAccumulator:
         """Accumulator computing ``pairwise_prediction_differences`` blockwise."""
         return PrecomputedDiffAccumulator(
-            self.pairwise_prediction_differences(Thetas_a, Thetas_b, dataset)
+            self.pairwise_prediction_differences(
+                Thetas_a, Thetas_b, materialize_if_sharded(dataset)
+            )
         )
 
     # ------------------------------------------------------------------

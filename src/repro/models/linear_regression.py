@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import DiffAccumulator, ModelClassSpec
+from repro.models.base import (
+    DiffAccumulator,
+    ModelClassSpec,
+    holdout_label_scale,
+)
 
 
 class LinearRegressionSpec(ModelClassSpec):
@@ -140,12 +144,7 @@ class LinearRegressionSpec(ModelClassSpec):
     def _difference_scale(self, dataset: Dataset) -> float:
         if not self.normalize_difference:
             return 1.0
-        if dataset.y is None:
-            raise ModelSpecError(
-                "normalised regression difference needs holdout labels for scaling"
-            )
-        scale = float(np.std(dataset.y))
-        return scale if scale > 0 else 1.0
+        return holdout_label_scale(dataset, "regression")
 
     def prediction_difference(
         self, theta_a: np.ndarray, theta_b: np.ndarray, dataset: Dataset

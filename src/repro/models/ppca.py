@@ -25,7 +25,11 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ModelSpecError
-from repro.models.base import ModelClassSpec
+from repro.models.base import (
+    DiffAccumulator,
+    ModelClassSpec,
+    PrecomputedDiffAccumulator,
+)
 
 
 class PPCASpec(ModelClassSpec):
@@ -295,11 +299,26 @@ class PPCASpec(ModelClassSpec):
     # Streaming note: PPCA's diff lives in parameter space — the aligned
     # ``1 − cosine`` metric depends only on the loading matrices
     # (Appendix C), already O(k · d · q) in time and memory with no
-    # ``(k, n_holdout)`` block to shard.  The inherited
-    # ModelClassSpec.diff_accumulator / pairwise_diff_accumulator fallbacks
-    # (PrecomputedDiffAccumulator, ``needs_holdout_blocks = False``) are
-    # therefore exactly right here: the streaming driver skips the holdout
-    # loop and the metric is computed once per call.
+    # ``(k, n_holdout)`` block to shard.  The overrides below hand the
+    # driver a PrecomputedDiffAccumulator (``needs_holdout_blocks = False``)
+    # computed straight from the parameter batches; unlike the generic
+    # base-class fallback they never materialise the holdout, because the
+    # metric reads only ``dataset.n_features`` — which block sources
+    # (repro.data.store.ShardedDataset) expose without touching a row, so
+    # a PPCA session over an out-of-core holdout stays out of core.
+    def diff_accumulator(
+        self, theta_ref: np.ndarray, Thetas: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        return PrecomputedDiffAccumulator(
+            self.prediction_differences(theta_ref, Thetas, dataset)
+        )
+
+    def pairwise_diff_accumulator(
+        self, Thetas_a: np.ndarray, Thetas_b: np.ndarray, dataset: Dataset
+    ) -> DiffAccumulator:
+        return PrecomputedDiffAccumulator(
+            self.pairwise_prediction_differences(Thetas_a, Thetas_b, dataset)
+        )
 
     def describe(self) -> dict:
         description = super().describe()

@@ -5,7 +5,11 @@ import pytest
 
 from repro.core.contract import ApproximationContract
 from repro.core.parameter_sampler import ParameterSampler
-from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.sample_size import (
+    SampleSizeEstimate,
+    SampleSizeEstimator,
+    adaptive_probe_count,
+)
 from repro.core.statistics import compute_statistics
 from repro.data.dataset import Dataset
 from repro.data.splits import SplitSpec, train_holdout_test_split
@@ -151,3 +155,78 @@ class TestBinarySearch:
         spec, splits, *_ = initial_model_setup
         with pytest.raises(SampleSizeError):
             SampleSizeEstimator(spec, splits.holdout, n_parameter_samples=1)
+
+
+class TestAdaptiveProbeBatching:
+    """probe_batch is a ceiling; the per-round count adapts to the bracket."""
+
+    def test_unit_schedule(self):
+        # Wide brackets use the full batch; narrow ones shrink it without
+        # adding passes; a width-2 bracket has exactly one useful midpoint.
+        assert adaptive_probe_count(1024, 3) == 3
+        assert adaptive_probe_count(9, 3) == 2
+        assert adaptive_probe_count(5, 3) == 2
+        assert adaptive_probe_count(2, 3) == 1
+        assert adaptive_probe_count(1, 3) == 0
+        # probe_batch=1 is the classic bisection at every width.
+        for span in (2, 3, 10, 1000):
+            assert adaptive_probe_count(span, 1) == 1
+        # The count never exceeds what the bracket can use.
+        for span in range(2, 50):
+            for batch in range(1, 6):
+                count = adaptive_probe_count(span, batch)
+                assert 1 <= count <= min(batch, span - 1)
+
+    def test_same_pass_count_as_fixed_batch(self):
+        # The adaptive count is chosen so (count+1)^rounds >= span with the
+        # same rounds the fixed batch needs, so passes never increase.
+        for span in range(2, 2_000, 37):
+            for batch in (2, 3, 5):
+                fixed_rounds = 1
+                while (batch + 1) ** fixed_rounds < span:
+                    fixed_rounds += 1
+                count = adaptive_probe_count(span, batch)
+                assert (count + 1) ** fixed_rounds >= span
+
+    def test_adaptive_batched_search_matches_bisection_with_fewer_probes(
+        self, initial_model_setup
+    ):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits, k=32)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        N = splits.train.n_rows
+        bisect = estimator.estimate(
+            model.theta, n0, N, contract, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(5)),
+            probe_batch=1,
+        )
+        # Spy on the stacked passes to observe the per-round schedule.
+        round_sizes = []
+        original = estimator.contract_satisfied_batch
+
+        def spy(theta0, n0_, candidates, N_, contract_, sampler_):
+            round_sizes.append(len(candidates))
+            return original(theta0, n0_, candidates, N_, contract_, sampler_)
+
+        estimator.contract_satisfied_batch = spy
+        try:
+            batched = estimator.estimate(
+                model.theta, n0, N, contract, stats,
+                sampler=ParameterSampler(stats, rng=np.random.default_rng(5)),
+                probe_batch=3,
+            )
+        finally:
+            del estimator.contract_satisfied_batch
+        # Same answer under the shared-draw monotone predicate...
+        assert batched.sample_size == bisect.sample_size
+        assert batched.feasible == bisect.feasible
+        assert all(n0 <= probe <= N for probe in batched.probed_sizes)
+        # ...and the observed schedule is genuinely adaptive: no round ever
+        # stacked above the ceiling, the first (widest) bracket used the
+        # full batch, and at least one narrowed round stacked fewer.  The
+        # first two spy entries are the single-candidate endpoint probes.
+        bracket_rounds = round_sizes[2:]
+        assert bracket_rounds, "search never entered the bracket loop"
+        assert all(1 <= size <= 3 for size in bracket_rounds)
+        assert bracket_rounds[0] == 3
+        assert min(bracket_rounds) < 3
