@@ -1,0 +1,277 @@
+"""Incremental statistics benchmark: sidecar reuse, append, refresh cost.
+
+The streaming statistics tier's contract has three measurable halves:
+
+* **bounded residency** — ``compute_statistics`` over a sharded store folds
+  per-example gradient blocks into an O(d²) moment summary; the N×d
+  gradient matrix never exists, so the peak allocation stays within a
+  small constant factor of one ``(block_rows, d)`` block;
+* **sidecar bootstrap** — a second session over the same store loads the
+  persisted per-shard summaries instead of re-reading raw rows, and must
+  produce a bitwise-identical covariance while computing **zero** shard
+  summaries;
+* **O(new shard) refresh** — after ``ShardStore.append_shards`` grows the
+  store, recomputing the statistics reuses every old shard's summary and
+  computes exactly one summary per appended shard, again bitwise-equal to
+  a cold rebuild over a sidecar-free copy.
+
+Peak memory is measured with :mod:`tracemalloc`; memory-mapped shard pages
+are OS page cache, not process allocations, so the measurement is exactly
+the working set the statistics fold allocates.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_stats.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import shutil
+import sys
+import tempfile
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.statistics import compute_statistics
+from repro.data.store import ShardManifest, ShardStore
+from repro.data.synthetic import higgs_like
+from repro.evaluation.streaming import StreamingConfig
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+#: allowance multiplier on the block_rows · d · 8-byte ideal for per-block
+#: temporaries (the gradient block, the stacked QR input, logits) — the
+#: "never materialises N×d" gate.
+BLOCK_BOUND_FACTOR = 24
+
+
+def _measure(fn) -> tuple[object, int, float]:
+    """(result, peak allocated bytes, wall seconds) for ``fn``."""
+    fn()  # warm-up: BLAS initialisation, shard memory maps
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, int(peak), elapsed
+
+
+def _strip_sidecars(directory: str) -> str:
+    """A copy of ``directory`` with every statistics sidecar removed."""
+    clean = directory.rstrip("/") + "-clean"
+    if os.path.exists(clean):
+        shutil.rmtree(clean)
+    shutil.copytree(directory, clean)
+    for name in os.listdir(clean):
+        if name.startswith("stats-"):
+            os.remove(os.path.join(clean, name))
+    manifest = ShardManifest.load(clean)
+    ShardManifest(
+        name=manifest.name,
+        n_rows=manifest.n_rows,
+        n_features=manifest.n_features,
+        x_dtype=manifest.x_dtype,
+        y_dtype=manifest.y_dtype,
+        shards=manifest.shards,
+        content_digest=manifest.content_digest,
+        label_moments=manifest.label_moments,
+        version=manifest.version,
+        metadata=dict(manifest.metadata),
+        statistics=(),
+    ).save(clean)
+    return clean
+
+
+def run(
+    n_rows: int,
+    n_append: int,
+    n_features: int,
+    block_rows: int,
+    shard_rows: int,
+    store_dir: str,
+) -> dict:
+    data = higgs_like(n_rows=n_rows + n_append, n_features=n_features, seed=311)
+    spec = LogisticRegressionSpec(regularization=1e-3)
+    model = spec.fit(data.head(min(4_000, n_rows)))
+    theta = model.theta
+    config = StreamingConfig(block_rows=block_rows)
+
+    store = ShardStore.write(data.head(n_rows), store_dir, shard_rows=shard_rows)
+    n_old_shards = store.n_shards
+
+    # Publish the per-shard sidecars once (un-measured): this is the
+    # session-bootstrap write the later paths reuse.
+    cold = compute_statistics(
+        spec, theta, ShardStore.open(store_dir).dataset(), streaming=config
+    )
+
+    rows = []
+    # Raw-row streaming on a sidecar-free copy: persist=False keeps the
+    # state stable, so the warm-up + measure protocol is sound.
+    raw_dir = _strip_sidecars(store_dir)
+    raw, raw_peak, seconds = _measure(
+        lambda: compute_statistics(
+            spec, theta, ShardStore.open(raw_dir).dataset(),
+            streaming=config, persist=False,
+        )
+    )
+    rows.append((f"raw-row streamed ({n_old_shards} shards)", raw_peak, seconds))
+    shutil.rmtree(raw_dir)
+
+    warm, warm_peak, warm_seconds = _measure(
+        lambda: compute_statistics(
+            spec, theta, ShardStore.open(store_dir).dataset(),
+            streaming=config,
+        )
+    )
+    rows.append(("bootstrap from sidecars", warm_peak, warm_seconds))
+
+    append_start = time.perf_counter()
+    store.append_shards(
+        [(data.X[n_rows:], data.y[n_rows:])], shard_rows=shard_rows
+    )
+    append_seconds = time.perf_counter() - append_start
+    n_new_shards = store.n_shards - n_old_shards
+    store.verify()
+
+    # The refresh is a one-shot state transition (its publish makes every
+    # later call a pure sidecar load), so measure the single call directly —
+    # BLAS and the memory maps are warm from the runs above.
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    refreshed = compute_statistics(
+        spec, theta, ShardStore.open(store_dir).dataset(), streaming=config
+    )
+    seconds = time.perf_counter() - start
+    _, refresh_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rows.append((f"refresh (+{n_new_shards} shards)", refresh_peak, seconds))
+
+    rebuild_dir = _strip_sidecars(store_dir)
+    rebuilt, rebuild_peak, seconds = _measure(
+        lambda: compute_statistics(
+            spec, theta, ShardStore.open(rebuild_dir).dataset(),
+            streaming=config, persist=False,
+        )
+    )
+    rows.append((f"cold rebuild ({store.n_shards} shards)", rebuild_peak, seconds))
+    shutil.rmtree(rebuild_dir)
+
+    # Correctness gates (always on): sidecar reuse and the incremental
+    # refresh must be bitwise-identical to computing from raw rows.
+    if not np.array_equal(cold.covariance.dense(), raw.covariance.dense()):
+        raise AssertionError("sidecar publish drifted from the raw-row streaming")
+    if not np.array_equal(cold.covariance.dense(), warm.covariance.dense()):
+        raise AssertionError("sidecar bootstrap drifted from the cold computation")
+    if not np.array_equal(refreshed.covariance.dense(), rebuilt.covariance.dense()):
+        raise AssertionError("incremental refresh drifted from the cold rebuild")
+
+    return {
+        "rows": rows,
+        "append_seconds": append_seconds,
+        "n_old_shards": n_old_shards,
+        "n_new_shards": n_new_shards,
+        "warm": warm,
+        "refreshed": refreshed,
+        "stream_peak": max(raw_peak, rebuild_peak),
+        "block_bound": BLOCK_BOUND_FACTOR * block_rows * n_features * 8,
+        "matrix_bytes": (n_rows + n_append) * n_features * 8,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--append-rows", type=int, default=40_000)
+    parser.add_argument("--features", type=int, default=30)
+    parser.add_argument("--block", type=int, default=8_192, help="rows per block")
+    parser.add_argument("--shard", type=int, default=32_768, help="rows per shard")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration for CI (48k rows + 12k appended)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless sidecar bootstrap computes zero summaries, "
+            "refresh computes exactly one summary per appended shard, and the "
+            "streamed fold stays within the O(block · d) residency bound"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows, args.append_rows, args.features = 48_000, 12_000, 20
+        args.block, args.shard = 2_048, 6_000
+
+    with tempfile.TemporaryDirectory(prefix="bench-incr-stats-") as parent:
+        store_dir = os.path.join(parent, "store")
+        report = run(
+            args.rows, args.append_rows, args.features,
+            args.block, args.shard, store_dir,
+        )
+
+    header = f"{'path':<34}{'peak MB':>12}{'seconds':>10}"
+    print(
+        f"store={args.rows} rows (+{args.append_rows} appended) x "
+        f"{args.features} features, block={args.block}, shard={args.shard}; "
+        f"append took {report['append_seconds']:.2f}s"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, peak, seconds in report["rows"]:
+        print(f"{name:<34}{peak / 1e6:>12.2f}{seconds:>10.3f}")
+    warm, refreshed = report["warm"], report["refreshed"]
+    print(
+        f"sidecar bootstrap: reused={warm.reused_shard_summaries} "
+        f"computed={warm.computed_shard_summaries}; refresh: "
+        f"reused={refreshed.reused_shard_summaries} "
+        f"computed={refreshed.computed_shard_summaries}; all bitwise identical"
+    )
+
+    if args.check:
+        failures = []
+        if warm.computed_shard_summaries != 0 or (
+            warm.reused_shard_summaries != report["n_old_shards"]
+        ):
+            failures.append(
+                "sidecar bootstrap recomputed summaries: expected "
+                f"0 computed / {report['n_old_shards']} reused, got "
+                f"{warm.computed_shard_summaries} / {warm.reused_shard_summaries}"
+            )
+        if refreshed.computed_shard_summaries != report["n_new_shards"] or (
+            refreshed.reused_shard_summaries != report["n_old_shards"]
+        ):
+            failures.append(
+                "refresh is not O(new shard): expected "
+                f"{report['n_new_shards']} computed / "
+                f"{report['n_old_shards']} reused, got "
+                f"{refreshed.computed_shard_summaries} / "
+                f"{refreshed.reused_shard_summaries}"
+            )
+        if report["stream_peak"] > report["block_bound"]:
+            failures.append(
+                f"streamed fold peak {report['stream_peak'] / 1e6:.2f} MB "
+                f"exceeds the O(block · d) bound "
+                f"{report['block_bound'] / 1e6:.2f} MB — the gradient matrix "
+                "is being materialised"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: stream peak {report['stream_peak'] / 1e6:.2f} MB vs block "
+            f"bound {report['block_bound'] / 1e6:.2f} MB (full matrix would "
+            f"be {report['matrix_bytes'] / 1e6:.2f} MB); refresh computed "
+            f"exactly {report['n_new_shards']} new summaries"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

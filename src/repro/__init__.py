@@ -22,12 +22,18 @@ from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.core.registry import RegistryStats, SessionInfo, SessionRegistry
-from repro.core.session import EstimationSession, SessionAnswer
+from repro.core.session import EstimationSession, SessionAnswer, SessionRefresh
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
 from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
-from repro.core.statistics import ModelStatistics, StatisticsMethod, compute_statistics
+from repro.core.statistics import (
+    GradientMomentAccumulator,
+    ModelStatistics,
+    StatisticsMethod,
+    compute_statistics,
+)
 from repro.core.parameter_sampler import ParameterSampler
+from repro.linalg.moments import GradientMomentSummary
 from repro.models import (
     LinearRegressionSpec,
     LogisticRegressionSpec,
@@ -64,6 +70,7 @@ __all__ = [
     "LRUCache",
     "EstimationSession",
     "SessionAnswer",
+    "SessionRefresh",
     "SessionRegistry",
     "RegistryStats",
     "SessionInfo",
@@ -76,6 +83,8 @@ __all__ = [
     "ModelStatistics",
     "StatisticsMethod",
     "compute_statistics",
+    "GradientMomentAccumulator",
+    "GradientMomentSummary",
     "ParameterSampler",
     "LinearRegressionSpec",
     "LogisticRegressionSpec",

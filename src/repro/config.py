@@ -86,6 +86,13 @@ DEFAULT_STREAMING_WORKERS = _env_int("DEFAULT_STREAMING_WORKERS", 0)
 DEFAULT_STREAMING_BACKEND = _env_choice(
     "DEFAULT_STREAMING_BACKEND", "threads", ("threads", "processes")
 )
+# Streaming statistics tier (repro.core.statistics).  Rows per gradient
+# block when H/J summaries are folded incrementally: the resident set is one
+# (block_rows, d) per-example gradient block plus a (d, d) triangular
+# factor, never the full N×d matrix.  Kept separate from
+# DEFAULT_HOLDOUT_BLOCK_ROWS because statistics blocks also bound the QR
+# work per fold, not just prediction GEMM size.  Env-overridable.
+DEFAULT_STATS_BLOCK_ROWS = _env_int("DEFAULT_STATS_BLOCK_ROWS", 8_192, minimum=1)
 
 # Out-of-core shard store (repro.data.store).  Rows per .npy shard: the
 # write path buffers at most one shard, the streaming read path memory-maps

@@ -26,11 +26,18 @@ The components mirror Figure 2 of the paper:
 from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
-from repro.core.statistics import ModelStatistics, compute_statistics, StatisticsMethod
+from repro.core.statistics import (
+    GradientMomentAccumulator,
+    ModelStatistics,
+    StatisticsMethod,
+    compute_statistics,
+    spec_digest,
+    theta_digest,
+)
 from repro.core.parameter_sampler import ParameterSampler
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
 from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
-from repro.core.session import EstimationSession, SessionAnswer
+from repro.core.session import EstimationSession, SessionAnswer, SessionRefresh
 from repro.core.coordinator import BlinkML
 from repro.core.guarantees import (
     conservative_quantile_level,
@@ -45,8 +52,11 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "TimingBreakdown",
+    "GradientMomentAccumulator",
     "ModelStatistics",
     "compute_statistics",
+    "spec_digest",
+    "theta_digest",
     "StatisticsMethod",
     "ParameterSampler",
     "AccuracyEstimate",
@@ -55,6 +65,7 @@ __all__ = [
     "SampleSizeEstimator",
     "EstimationSession",
     "SessionAnswer",
+    "SessionRefresh",
     "BlinkML",
     "conservative_quantile_level",
     "conservative_upper_bound",

@@ -81,7 +81,7 @@ from repro.config import (
     DEFAULT_REGISTRY_MIN_SESSION_BYTES,
 )
 from repro.core.caching import CacheStats, _InFlight
-from repro.core.session import EstimationSession
+from repro.core.session import EstimationSession, SessionRefresh
 from repro.data.dataset import Dataset
 from repro.data.store import ShardedDataset
 from repro.exceptions import BlinkMLError
@@ -123,7 +123,9 @@ class RegistryStats:
     counts whole sessions evicted for capacity/budget/idleness;
     ``invalidations`` explicit :meth:`SessionRegistry.invalidate` drops;
     ``fingerprint_invalidations`` sessions discarded because the offered
-    dataset's content digest no longer matched.
+    dataset's content digest no longer matched; ``refreshes`` live sessions
+    that adopted appended data in place via :meth:`SessionRegistry.refresh`
+    instead of being torn down.
     """
 
     sessions: int
@@ -137,6 +139,7 @@ class RegistryStats:
     invalidations: int
     fingerprint_invalidations: int
     per_session: tuple[SessionInfo, ...]
+    refreshes: int = 0
 
     @property
     def requests(self) -> int:
@@ -289,6 +292,7 @@ class SessionRegistry:
         self._evictions = 0
         self._invalidations = 0
         self._fingerprint_invalidations = 0
+        self._refreshes = 0
 
     # ------------------------------------------------------------------
     # Fleet capacity
@@ -460,6 +464,36 @@ class SessionRegistry:
             self._invalidations += len(self._members)
             self._members.clear()
 
+    def refresh(self, key: object) -> SessionRefresh | None:
+        """Fold appended data into ``key``'s live session *in place*.
+
+        The incremental alternative to the fingerprint-mismatch path of
+        :meth:`get_or_create`: where a mismatch discards the session and
+        retrains m_0 from scratch, ``refresh`` asks the session to adopt
+        the grown store via :meth:`EstimationSession.refresh` — O(new
+        shards) when the session streams statistics from a sidecar-indexed
+        store — and then re-fingerprints the member from the reloaded
+        manifests, so the *next* ``get_or_create`` offering the grown data
+        is a hit instead of a teardown.  Returns the session's
+        :class:`~repro.core.session.SessionRefresh` report, or ``None``
+        when no session is live under ``key``.  The (potentially slow)
+        session refresh runs outside the registry lock.
+        """
+        with self._lock:
+            member = self._members.get(key)
+        if member is None:
+            return None
+        outcome = member.session.refresh()
+        with self._lock:
+            # Re-resolve: the member may have been evicted while we worked.
+            current = self._members.get(key)
+            if current is member:
+                member.fingerprint = self.fingerprint(
+                    member.session.train_data, member.session.holdout
+                )
+                self._refreshes += 1
+        return outcome
+
     def rebalance(self) -> None:
         """Recompute every member's byte share from current traffic.
 
@@ -581,6 +615,7 @@ class SessionRegistry:
                 invalidations=self._invalidations,
                 fingerprint_invalidations=self._fingerprint_invalidations,
                 per_session=per_session,
+                refreshes=self._refreshes,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

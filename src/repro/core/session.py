@@ -102,6 +102,47 @@ class SessionAnswer:
     from_cache: bool
 
 
+@dataclass(frozen=True)
+class SessionRefresh:
+    """Outcome of one :meth:`EstimationSession.refresh` call.
+
+    Attributes
+    ----------
+    train_rows_before / train_rows_after / holdout_rows_before /
+    holdout_rows_after:
+        Row counts around the manifest reload (equal when nothing grew).
+    train_changed / holdout_changed:
+        Whether each side's content digest actually moved.
+    statistics_recomputed:
+        True when the session's H/J statistics were re-merged over the
+        grown train store (``statistics_scope="train"`` only — sample-scope
+        statistics describe the frozen initial sample and stay valid).
+    reused_shard_summaries / computed_shard_summaries:
+        The sidecar economics of that re-merge: how many per-shard moment
+        summaries were loaded versus computed.  Refresh cost is O(new
+        shards) precisely when ``reused`` covers the old shards.
+    reanswered:
+        Fresh :class:`SessionAnswer` for every standing contract this
+        session has served, re-evaluated against the refreshed data (empty
+        when nothing changed).
+    """
+
+    train_rows_before: int
+    train_rows_after: int
+    holdout_rows_before: int
+    holdout_rows_after: int
+    train_changed: bool
+    holdout_changed: bool
+    statistics_recomputed: bool
+    reused_shard_summaries: int
+    computed_shard_summaries: int
+    reanswered: tuple[SessionAnswer, ...]
+
+    @property
+    def changed(self) -> bool:
+        return self.train_changed or self.holdout_changed
+
+
 class EstimationSession:
     """Owns one initial model and serves any number of (ε, δ) contracts.
 
@@ -153,6 +194,7 @@ class EstimationSession:
         initial_sample_size: int = DEFAULT_INITIAL_SAMPLE_SIZE,
         n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,
         statistics_method: StatisticsMethod | str = StatisticsMethod.OBSERVED_FISHER,
+        statistics_scope: str = "sample",
         optimizer: str | None = None,
         optimizer_kwargs: dict | None = None,
         streaming: StreamingConfig | None = None,
@@ -165,14 +207,21 @@ class EstimationSession:
     ):
         if holdout.n_rows == 0:
             raise DataError("holdout set must not be empty")
+        if statistics_scope not in ("sample", "train"):
+            raise BlinkMLError(
+                f"statistics_scope must be 'sample' or 'train', got "
+                f"{statistics_scope!r}"
+            )
         self.spec = spec
         self.train_data = train
         self.holdout = holdout
         self.statistics_method = StatisticsMethod(statistics_method)
+        self.statistics_scope = statistics_scope
         self._optimizer = optimizer
         self._optimizer_kwargs = dict(optimizer_kwargs or {})
         self._probe_batch = int(probe_batch)
         self._n_parameter_samples = int(n_parameter_samples)
+        self._streaming = streaming
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
         self._N = train.n_rows
@@ -188,8 +237,13 @@ class EstimationSession:
         self._initial_training_seconds = time.perf_counter() - start
 
         # Step 2: H/J statistics at θ_0 and the shared parameter sampler.
-        self._statistics = compute_statistics(
-            spec, initial_model.theta, initial_data, method=self.statistics_method
+        # Scope "sample" (default, the paper's workflow) evaluates them on
+        # the frozen initial sample D0; scope "train" streams them over the
+        # full train source — with a sharded store this persists per-shard
+        # sidecar summaries, which is what makes refresh() after an append
+        # O(new shards) instead of a cold rebuild.
+        self._statistics = self._compute_scope_statistics(
+            initial_model.theta, initial_data
         )
         self._parameter_sampler = ParameterSampler(self._statistics, rng=self._rng)
         self._accuracy_estimator = ModelAccuracyEstimator(
@@ -237,6 +291,28 @@ class EstimationSession:
         # (monotonic clock; plain float writes are atomic under the GIL, so
         # no lock is needed for a freshness heuristic).
         self._last_used_at = time.monotonic()
+        # Standing contracts: every (ε, δ) this session has been asked,
+        # insertion-ordered, so refresh() can re-answer them against grown
+        # data.  Guarded by its own lock (answer() runs from thread pools).
+        self._standing_contracts: dict[ApproximationContract, None] = {}
+        self._standing_contracts_lock = threading.Lock()
+        # refresh() is serialized: concurrent refreshes would race the
+        # sampler / statistics swaps against each other.
+        self._refresh_lock = threading.Lock()
+
+    def _compute_scope_statistics(
+        self, theta: np.ndarray, initial_data: Dataset, persist: bool = True
+    ) -> ModelStatistics:
+        """H/J statistics at ``theta`` on the session's configured scope."""
+        source = self.train_data if self.statistics_scope == "train" else initial_data
+        return compute_statistics(
+            self.spec,
+            theta,
+            source,
+            method=self.statistics_method,
+            streaming=self._streaming,
+            persist=persist,
+        )
 
     # ------------------------------------------------------------------
     # Registry integration: byte accounting, resizable caps, idle time
@@ -414,6 +490,8 @@ class EstimationSession:
         same vector trigger exactly one computation (single-flight) and the
         waiting callers report ``from_cache=True``.
         """
+        with self._standing_contracts_lock:
+            self._standing_contracts[contract] = None
         estimate, from_cache = self._accuracy_estimate(
             self.initial_model.theta, self._n0, contract.delta
         )
@@ -424,6 +502,81 @@ class EstimationSession:
             estimate=estimate,
             from_cache=from_cache,
         )
+
+    # ------------------------------------------------------------------
+    # Data growth
+    # ------------------------------------------------------------------
+    def refresh(self) -> SessionRefresh:
+        """Adopt appended train/holdout data and re-answer standing contracts.
+
+        The serving path for continuously arriving data: after a writer
+        appends shards to a store this session reads
+        (:meth:`~repro.data.store.ShardStore.append_shards`), ``refresh()``
+        reloads the manifests, folds the new shards' statistics summaries
+        into the session's :class:`ModelStatistics` (when
+        ``statistics_scope="train"`` — the per-shard sidecar index makes
+        this O(new shards), and the merged result is bitwise identical to a
+        cold rebuild over the grown store), invalidates every cache whose
+        contents depended on the grown data, and re-answers each standing
+        contract.  In-memory datasets have no reload surface and report
+        unchanged.  Serialized: concurrent refreshes run one at a time.
+        """
+        with self._refresh_lock:
+            train_rows_before = self._N
+            holdout_rows_before = self.holdout.n_rows
+
+            reload_train = getattr(self.train_data, "reload", None)
+            train_changed = bool(reload_train()) if callable(reload_train) else False
+            reload_holdout = getattr(self.holdout, "reload", None)
+            holdout_changed = (
+                bool(reload_holdout()) if callable(reload_holdout) else False
+            )
+
+            statistics_recomputed = False
+            reused = computed = 0
+            if train_changed:
+                self._N = self.train_data.n_rows
+                # Fresh nested sampling over the grown index space; trained
+                # models / difference vectors / size searches all baked the
+                # old N into their keys or contents, so they go wholesale.
+                self._data_sampler = UniformSampler(self.train_data, rng=self._rng)
+                self._diff_cache.clear()
+                self._model_cache.clear()
+                self._size_cache.clear()
+                if self.statistics_scope == "train":
+                    self._statistics = self._compute_scope_statistics(
+                        self._initial_model.theta, None
+                    )
+                    self._parameter_sampler = ParameterSampler(
+                        self._statistics, rng=self._rng
+                    )
+                    statistics_recomputed = True
+                    reused = self._statistics.reused_shard_summaries
+                    computed = self._statistics.computed_shard_summaries
+            if holdout_changed and not train_changed:
+                # The estimators hold the (mutated in place) holdout, so
+                # only the cached evaluation products need invalidating.
+                self._diff_cache.clear()
+                self._size_cache.clear()
+
+            reanswered: tuple[SessionAnswer, ...] = ()
+            if train_changed or holdout_changed:
+                with self._standing_contracts_lock:
+                    contracts = list(self._standing_contracts)
+                reanswered = tuple(self.answer(contract) for contract in contracts)
+
+            return SessionRefresh(
+                train_rows_before=train_rows_before,
+                train_rows_after=self._N,
+                holdout_rows_before=holdout_rows_before,
+                holdout_rows_after=self.holdout.n_rows,
+                train_changed=train_changed,
+                holdout_changed=holdout_changed,
+                statistics_recomputed=statistics_recomputed,
+                reused_shard_summaries=reused,
+                computed_shard_summaries=computed,
+                reanswered=reanswered,
+            )
 
     # ------------------------------------------------------------------
     # Full workflow per contract
@@ -452,13 +605,27 @@ class EstimationSession:
         model, hit = self._model_cache.get_or_compute(n, train)
         return model, (elapsed_holder[0] if elapsed_holder else 0.0), hit
 
-    def train_to(self, contract: ApproximationContract) -> ApproximateTrainingResult:
+    def train_to(
+        self,
+        contract: ApproximationContract,
+        *,
+        recompute_at_theta_n: bool = False,
+    ) -> ApproximateTrainingResult:
         """Train an approximate model satisfying ``contract`` (Section 2.3).
 
         The workflow of the monolithic coordinator, with every
         contract-independent quantity served from the session: statistics
         and the initial model are never recomputed, difference vectors are
         cached per (θ, n, N), and final models are cached per sample size.
+
+        ``recompute_at_theta_n=True`` re-evaluates the H/J statistics at the
+        *final* model's θ_n (the paper reuses the θ_0 statistics for
+        efficiency) and reports the bound those tighter statistics yield as
+        ``estimated_epsilon``; the result metadata records both bounds and
+        their difference (``bound_tightening``).  The extra cost is one
+        streamed statistics pass plus one fresh difference-vector sample —
+        skipped automatically when the initial model already satisfies the
+        contract or the search fell back to the full data (ε = 0 either way).
         """
         timings = TimingBreakdown()
         self._touch()
@@ -526,6 +693,47 @@ class EstimationSession:
             final_model.theta, final_n, contract.delta
         )
         timings.accuracy_estimation_seconds += final_estimate.estimation_seconds
+        estimated_epsilon = final_estimate.epsilon
+
+        if recompute_at_theta_n and final_n < self._N:
+            stats_start = time.perf_counter()
+            if self.statistics_scope == "train":
+                stats_source: Dataset | ShardedDataset = self.train_data
+            else:
+                stats_source = self._data_sampler.nested_sample(final_n)
+            # persist=False: publishing θ_n sidecars would garbage-collect
+            # the θ_0 sidecars every later bootstrap of this store reuses.
+            stats_n = compute_statistics(
+                self.spec,
+                final_model.theta,
+                stats_source,
+                method=self.statistics_method,
+                streaming=self._streaming,
+                persist=False,
+            )
+            seed = int.from_bytes(self._theta_digest(final_model.theta)[:8], "little")
+            sampler_n = ParameterSampler(stats_n, rng=np.random.default_rng(seed))
+            # Bypasses the diff cache deliberately: its key is (θ, n, N),
+            # which cannot distinguish a θ_0-statistics vector from this
+            # θ_n-statistics one.
+            differences_n = self._accuracy_estimator.sorted_differences(
+                final_model.theta, final_n, self._N, sampler_n, tag="theta_n"
+            )
+            epsilon_n = float(
+                conservative_upper_bound(
+                    differences_n, contract.delta, assume_sorted=True
+                )
+            )
+            timings.statistics_seconds += time.perf_counter() - stats_start
+            metadata.update(
+                {
+                    "recomputed_at_theta_n": True,
+                    "epsilon_theta0_stats": float(final_estimate.epsilon),
+                    "epsilon_theta_n_stats": epsilon_n,
+                    "bound_tightening": float(final_estimate.epsilon) - epsilon_n,
+                }
+            )
+            estimated_epsilon = epsilon_n
 
         metadata.update(
             {
@@ -540,7 +748,7 @@ class EstimationSession:
         return ApproximateTrainingResult(
             model=final_model,
             contract=contract,
-            estimated_epsilon=final_estimate.epsilon,
+            estimated_epsilon=estimated_epsilon,
             sample_size=final_n,
             initial_sample_size=self._n0,
             full_size=self._N,

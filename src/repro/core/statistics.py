@@ -1,4 +1,4 @@
-"""Computation of the H and J statistics (Section 3.4).
+"""Computation of the H and J statistics (Section 3.4), streamed over blocks.
 
 Theorem 1 needs two model/data-aware quantities evaluated at the trained
 parameter θ_n:
@@ -23,24 +23,60 @@ Three methods are implemented, matching the paper:
 ``observed_fisher`` (default)
     Uses the information-matrix equality: J equals the covariance of the
     per-example gradients, and ``H = J + J_r``.  Implemented through an SVD
-    of the per-example gradient matrix so no d-by-d matrix is ever formed —
-    the factor feeds straight into the fast sampler of Section 4.3.
+    of a thin triangular factor of the per-example gradient matrix so no
+    d-by-d matrix is ever formed — the factor feeds straight into the fast
+    sampler of Section 4.3.
+
+Every method is driven through the streaming tier: the source may be an
+in-memory :class:`~repro.data.dataset.Dataset` or any
+:class:`~repro.evaluation.streaming.BlockSource` (e.g. a memory-mapped
+:class:`~repro.data.store.ShardedDataset`), consumed as zero-copy row
+blocks by a picklable accumulator that folds each block into a
+shard-mergeable moment summary (:mod:`repro.linalg.moments`).  Resident
+memory is O(block · d) — the full N×d per-example gradient matrix is never
+materialised — and the executor fan-out (threads | processes) of
+:func:`~repro.evaluation.streaming.stream_accumulate` applies unchanged.
+
+Store-backed sources additionally get a **per-shard statistics index**:
+each shard's moment summary is persisted as a sidecar file keyed by
+(model-spec digest, θ-digest, method) next to the shard data
+(:mod:`repro.data.store.statistics_index`), written lazily on first
+computation and reused on every later bootstrap.  After an append, only the
+new shards' summaries are computed; the merged result is bitwise identical
+to a cold rebuild over the grown store because per-shard summaries are
+always folded canonically (serial, fixed-size blocks from the shard start)
+and merged in shard order.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.config import DEFAULT_FINITE_DIFFERENCE_EPS
+from repro.config import DEFAULT_FINITE_DIFFERENCE_EPS, DEFAULT_STATS_BLOCK_ROWS
 from repro.data.dataset import Dataset
+from repro.evaluation import streaming as _streaming
+from repro.evaluation.streaming import BlockSource, StreamingConfig, as_block_source
 from repro.exceptions import StatisticsError
 from repro.linalg.covariance import FactoredCovariance
+from repro.linalg.moments import (
+    BlockHessianSummary,
+    GradientMomentSummary,
+    MomentSummary,
+    ProbeMomentSummary,
+)
 from repro.linalg.utils import symmetrize
 from repro.models.base import ModelClassSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.store.statistics_index import StatisticsIndex
 
 
 class StatisticsMethod(str, Enum):
@@ -67,68 +103,416 @@ class ModelStatistics:
     computation_seconds:
         Wall-clock time spent computing the statistics; the Figure 8a
         runtime-breakdown benchmark reports this.
+    reused_shard_summaries / computed_shard_summaries:
+        For store-backed sources: how many per-shard moment summaries were
+        loaded from the statistics sidecars versus computed from raw rows.
+        Both zero for in-memory / generic block sources.
+    source_digest:
+        The content digest of a store-backed source at computation time
+        (``None`` otherwise) — what :meth:`EstimationSession.refresh` and
+        the registry compare to detect data growth.
     """
 
     covariance: FactoredCovariance
     method: StatisticsMethod
     sample_size: int
     computation_seconds: float = 0.0
+    reused_shard_summaries: int = 0
+    computed_shard_summaries: int = 0
+    source_digest: str | None = None
 
     @property
     def dimension(self) -> int:
         return self.covariance.dimension
 
 
-def _closed_form(
-    spec: ModelClassSpec, theta: np.ndarray, dataset: Dataset
-) -> FactoredCovariance:
-    if not spec.has_closed_form_hessian:
-        raise StatisticsError(
-            f"model {spec.name!r} has no closed-form Hessian; "
-            "use inverse_gradients or observed_fisher"
-        )
-    H = symmetrize(spec.hessian(theta, dataset))
-    # J is the Jacobian of g_n − r, i.e. H minus the regulariser's Jacobian
-    # (βI for L2 regularisation).
-    J = H - spec.regularization * np.eye(H.shape[0])
-    return FactoredCovariance.from_dense(H, J, regularization=spec.regularization)
+# ----------------------------------------------------------------------
+# Digests keying the statistics sidecars
+# ----------------------------------------------------------------------
+def _stable_value_bytes(value) -> bytes:
+    if isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        return repr((array.dtype.str, array.shape)).encode() + array.tobytes()
+    return repr(value).encode()
 
 
-def _inverse_gradients(
-    spec: ModelClassSpec,
+def spec_digest(spec: ModelClassSpec) -> str:
+    """Content digest of a model-class specification.
+
+    Hashes the spec's class identity plus its picklable state (the
+    ``__getstate__`` view, which already strips per-instance caches), so
+    two specs that would train identically share a digest and a spec with
+    a different regulariser or hyper-parameter gets a fresh one.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(type(spec).__module__.encode())
+    digest.update(b"\x00")
+    digest.update(type(spec).__qualname__.encode())
+    state = spec.__getstate__()
+    for key in sorted(state):
+        digest.update(b"\x00")
+        digest.update(key.encode())
+        digest.update(b"\x00")
+        digest.update(_stable_value_bytes(state[key]))
+    return digest.hexdigest()
+
+
+def theta_digest(
     theta: np.ndarray,
-    dataset: Dataset,
+    method: StatisticsMethod | str = StatisticsMethod.OBSERVED_FISHER,
+    probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
+) -> str:
+    """Content digest of the parameter vector a summary was evaluated at.
+
+    For InverseGradients the finite-difference step also participates —
+    probe summaries taken with a different ε are not interchangeable.
+    """
+    theta = np.ascontiguousarray(theta, dtype=np.float64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(theta.shape).encode())
+    digest.update(theta.tobytes())
+    if StatisticsMethod(method) is StatisticsMethod.INVERSE_GRADIENTS:
+        digest.update(np.float64(probe_eps).tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Moment accumulators (the streaming replacements for the one-shot paths)
+# ----------------------------------------------------------------------
+class GradientMomentAccumulator:
+    """Streaming ObservedFisher: folds per-example gradient blocks into a
+    :class:`~repro.linalg.moments.GradientMomentSummary`.
+
+    Picklable (the spec drops its caches on pickling; the summary is plain
+    arrays), so process-backend workers can rebuild one from the task and
+    return their partial for the ordinary ``merge`` path.  Memory stays at
+    one ``(block_rows, d)`` gradient block plus an ``(≤d, d)`` triangular
+    factor — the N×d matrix never exists.
+    """
+
+    needs_holdout_blocks = True
+
+    def __init__(self, spec: ModelClassSpec, theta: np.ndarray):
+        self.spec = spec
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self._summary: GradientMomentSummary | None = None
+
+    def update(self, block: Dataset) -> None:
+        gradients = self.spec.per_example_gradients(self.theta, block)
+        if self._summary is None:
+            self._summary = GradientMomentSummary.from_gradients(gradients)
+        else:
+            self._summary = self._summary.updated(gradients)
+
+    def merge(self, other: "GradientMomentAccumulator") -> None:
+        theirs = other._summary
+        if theirs is None:
+            return
+        self._summary = theirs if self._summary is None else self._summary.merge(theirs)
+
+    def finalize(self) -> GradientMomentSummary:
+        if self._summary is None:
+            raise StatisticsError("no gradient blocks were accumulated")
+        return self._summary
+
+
+class ProbeGradientAccumulator:
+    """Streaming InverseGradients: per-probe gradient sums over blocks.
+
+    Evaluates the per-example gradients at θ and at the d finite-difference
+    probes ``θ + ε e_j`` block by block, accumulating only the ``(d+1, d)``
+    sum matrix — additive, hence trivially mergeable.
+    """
+
+    needs_holdout_blocks = True
+
+    def __init__(
+        self,
+        spec: ModelClassSpec,
+        theta: np.ndarray,
+        probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
+    ):
+        self.spec = spec
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self.probe_eps = float(probe_eps)
+        self._summary: ProbeMomentSummary | None = None
+
+    def update(self, block: Dataset) -> None:
+        d = self.theta.shape[0]
+        sums = np.empty((d + 1, d), dtype=np.float64)
+        sums[0] = self.spec.per_example_gradients(self.theta, block).sum(axis=0)
+        for j in range(d):
+            probe = self.theta.copy()
+            probe[j] += self.probe_eps
+            sums[j + 1] = self.spec.per_example_gradients(probe, block).sum(axis=0)
+        partial = ProbeMomentSummary(rows=block.n_rows, gradient_sums=sums)
+        self._summary = partial if self._summary is None else self._summary.merge(partial)
+
+    def merge(self, other: "ProbeGradientAccumulator") -> None:
+        theirs = other._summary
+        if theirs is None:
+            return
+        self._summary = theirs if self._summary is None else self._summary.merge(theirs)
+
+    def finalize(self) -> ProbeMomentSummary:
+        if self._summary is None:
+            raise StatisticsError("no gradient blocks were accumulated")
+        return self._summary
+
+
+class BlockHessianAccumulator:
+    """Streaming ClosedForm: row-weighted per-block Hessian sums.
+
+    Every built-in analytic Hessian has the form ``(1/n) Σ hᵢ(θ) + βI``, so
+    ``n_b · (H(θ, block) − βI)`` recovers the block's exact ``Σ hᵢ`` and the
+    per-block sums add up to the full-dataset Hessian.
+    """
+
+    needs_holdout_blocks = True
+
+    def __init__(self, spec: ModelClassSpec, theta: np.ndarray):
+        if not spec.has_closed_form_hessian:
+            raise StatisticsError(
+                f"model {spec.name!r} has no closed-form Hessian; "
+                "use inverse_gradients or observed_fisher"
+            )
+        self.spec = spec
+        self.theta = np.asarray(theta, dtype=np.float64)
+        self._summary: BlockHessianSummary | None = None
+
+    def update(self, block: Dataset) -> None:
+        hessian = np.asarray(
+            self.spec.hessian(self.theta, block), dtype=np.float64
+        )
+        data_sum = block.n_rows * (
+            hessian - self.spec.regularization * np.eye(hessian.shape[0])
+        )
+        partial = BlockHessianSummary(rows=block.n_rows, hessian_sum=data_sum)
+        self._summary = partial if self._summary is None else self._summary.merge(partial)
+
+    def merge(self, other: "BlockHessianAccumulator") -> None:
+        theirs = other._summary
+        if theirs is None:
+            return
+        self._summary = theirs if self._summary is None else self._summary.merge(theirs)
+
+    def finalize(self) -> BlockHessianSummary:
+        if self._summary is None:
+            raise StatisticsError("no Hessian blocks were accumulated")
+        return self._summary
+
+
+@dataclass(frozen=True)
+class _StatisticsTask:
+    """Picklable recipe for one streamed moment accumulation.
+
+    The statistics-tier counterpart of the diff `_StreamTask`; anything
+    :func:`~repro.evaluation.streaming.stream_accumulate` needs.
+    """
+
+    spec: ModelClassSpec
+    method: StatisticsMethod
+    theta: np.ndarray
+    probe_eps: float
+    source: "Dataset | BlockSource"
+
+    def make_accumulator(self):
+        if self.method is StatisticsMethod.CLOSED_FORM:
+            return BlockHessianAccumulator(self.spec, self.theta)
+        if self.method is StatisticsMethod.INVERSE_GRADIENTS:
+            return ProbeGradientAccumulator(
+                self.spec, self.theta, probe_eps=self.probe_eps
+            )
+        return GradientMomentAccumulator(self.spec, self.theta)
+
+
+# ----------------------------------------------------------------------
+# Summary → covariance
+# ----------------------------------------------------------------------
+def covariance_from_summary(
+    spec: ModelClassSpec,
+    summary: MomentSummary,
     probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
 ) -> FactoredCovariance:
-    theta = np.asarray(theta, dtype=np.float64)
-    d = theta.shape[0]
-    gradient_at_theta = spec.gradient(theta, dataset)
-    # g_n(θ_n + ε e_j) − g_n(θ_n) ≈ ε H e_j, one probe per parameter.
-    H = np.empty((d, d))
-    for j in range(d):
-        probe = theta.copy()
-        probe[j] += probe_eps
-        H[:, j] = (spec.gradient(probe, dataset) - gradient_at_theta) / probe_eps
-    H = symmetrize(H)
-    J = H - spec.regularization * np.eye(d)
-    return FactoredCovariance.from_dense(H, J, regularization=spec.regularization)
+    """Turn a merged moment summary into the factored covariance.
+
+    The reconstruction the old one-shot helpers performed, now decoupled
+    from where the moments came from (fresh blocks, executor partials or
+    persisted shard sidecars).
+    """
+    beta = spec.regularization
+    if isinstance(summary, GradientMomentSummary):
+        return FactoredCovariance.from_gradient_summary(summary, regularization=beta)
+    if isinstance(summary, ProbeMomentSummary):
+        d = summary.dimension
+        means = summary.gradient_sums / summary.rows
+        # g_n(θ + ε e_j) − g_n(θ) ≈ ε H e_j.  The data terms are the probe
+        # mean differences; the L2 regulariser contributes exactly βε e_j.
+        H = (means[1:] - means[0]).T / probe_eps + beta * np.eye(d)
+        H = symmetrize(H)
+        J = H - beta * np.eye(d)
+        return FactoredCovariance.from_dense(H, J, regularization=beta)
+    if isinstance(summary, BlockHessianSummary):
+        d = summary.dimension
+        H = symmetrize(summary.hessian_sum / summary.rows + beta * np.eye(d))
+        J = H - beta * np.eye(d)
+        return FactoredCovariance.from_dense(H, J, regularization=beta)
+    raise StatisticsError(f"unknown moment summary type {type(summary).__name__}")
 
 
-def _observed_fisher(
-    spec: ModelClassSpec, theta: np.ndarray, dataset: Dataset
-) -> FactoredCovariance:
-    per_example = spec.per_example_gradients(theta, dataset)
-    return FactoredCovariance.from_per_example_gradients(
-        per_example, regularization=spec.regularization
+# ----------------------------------------------------------------------
+# Canonical per-shard summaries (the unit the sidecar index persists)
+# ----------------------------------------------------------------------
+def _shard_block_bounds(
+    start: int, stop: int, block_rows: int
+) -> list[tuple[int, int]]:
+    """Fixed-size block bounds within one shard, anchored at the shard start.
+
+    THE canonical decomposition: every per-shard summary — computed cold,
+    computed during a refresh, or recomputed by a verification — folds the
+    same blocks in the same order, which is what makes persisted summaries
+    bitwise reproducible.
+    """
+    return [
+        (block_start, min(block_start + block_rows, stop))
+        for block_start in range(start, stop, block_rows)
+    ]
+
+
+@dataclass(frozen=True)
+class _ShardSummaryTask(_StatisticsTask):
+    """One shard's canonical summary computation (picklable for processes)."""
+
+    start: int = 0
+    stop: int = 0
+    block_rows: int = DEFAULT_STATS_BLOCK_ROWS
+
+
+def _compute_shard_summary(task: _ShardSummaryTask) -> MomentSummary:
+    """Worker body: serial canonical fold over one shard's blocks.
+
+    Top-level so the process backend can pickle it; parallelism across
+    shards never leaks into a shard's own fold order.
+    """
+    accumulator = task.make_accumulator()
+    blocks = as_block_source(task.source)
+    for block_start, block_stop in _shard_block_bounds(
+        task.start, task.stop, task.block_rows
+    ):
+        accumulator.update(blocks.read_block(block_start, block_stop))
+    return accumulator.finalize()
+
+
+def _map_shard_tasks(
+    tasks: list[_ShardSummaryTask], config: StreamingConfig
+) -> list[MomentSummary]:
+    """Run shard-summary tasks on the configured executor, results in order."""
+    if config.n_workers <= 1 or len(tasks) <= 1:
+        return [_compute_shard_summary(task) for task in tasks]
+    if config.backend == "processes":
+        pool = _streaming._shared_process_pool(config.n_workers)
+        try:
+            return list(pool.map(_compute_shard_summary, tasks))
+        except BrokenProcessPool:
+            _streaming._discard_process_pool(config.n_workers, pool)
+            raise
+    n_workers = min(config.n_workers, len(tasks))
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_compute_shard_summary, tasks))
+
+
+def _merge_summaries(summaries: list[MomentSummary]) -> MomentSummary:
+    """Left fold in shard order — the single merge order used everywhere."""
+    merged = summaries[0]
+    for summary in summaries[1:]:
+        merged = merged.merge(summary)
+    return merged
+
+
+def _is_store_source(source) -> bool:
+    """Duck-typed detection of a statistics-index-capable store source.
+
+    Checked structurally (``statistics_index()`` + ``manifest``) so this
+    module never imports :mod:`repro.data.store`.
+    """
+    return callable(getattr(source, "statistics_index", None)) and hasattr(
+        source, "manifest"
     )
+
+
+def _store_backed_summary(
+    task: _StatisticsTask,
+    source,
+    config: StreamingConfig,
+    persist: bool,
+) -> tuple[MomentSummary, int, int]:
+    """Merged summary over a store source, reusing / refreshing sidecars.
+
+    Returns ``(summary, reused, computed)``.  Missing shards are computed
+    canonically (possibly fanned out across the executor, each shard's own
+    fold staying serial) and, when ``persist`` is set, the complete
+    per-shard summary set is republished so the next bootstrap — or a cold
+    rebuild over the grown store — reads the identical bits.
+    """
+    index: StatisticsIndex = source.statistics_index()
+    manifest = source.manifest
+    key_spec = spec_digest(task.spec)
+    key_theta = theta_digest(task.theta, task.method, task.probe_eps)
+    cached = index.load(key_spec, key_theta, task.method.value)
+
+    shard_summaries: list[MomentSummary | None] = []
+    missing: list[tuple[int, _ShardSummaryTask]] = []
+    for position, shard in enumerate(manifest.shards):
+        summary = cached.get(shard.digest) if cached else None
+        if summary is None:
+            missing.append(
+                (
+                    position,
+                    _ShardSummaryTask(
+                        spec=task.spec,
+                        method=task.method,
+                        theta=task.theta,
+                        probe_eps=task.probe_eps,
+                        source=source,
+                        start=shard.start,
+                        stop=shard.stop,
+                        block_rows=config.block_rows,
+                    ),
+                )
+            )
+        shard_summaries.append(summary)
+
+    computed = _map_shard_tasks([item[1] for item in missing], config)
+    for (position, _), summary in zip(missing, computed):
+        shard_summaries[position] = summary
+
+    if missing and persist:
+        try:
+            index.publish(
+                key_spec,
+                key_theta,
+                task.method.value,
+                config.block_rows,
+                [shard.digest for shard in manifest.shards],
+                shard_summaries,
+            )
+        except OSError:
+            # Read-only stores still get statistics, just not persistence.
+            pass
+
+    merged = _merge_summaries(shard_summaries)
+    reused = len(shard_summaries) - len(missing)
+    return merged, reused, len(missing)
 
 
 def compute_statistics(
     spec: ModelClassSpec,
     theta: np.ndarray,
-    dataset: Dataset,
+    source: "Dataset | BlockSource",
     method: StatisticsMethod | str = StatisticsMethod.OBSERVED_FISHER,
     probe_eps: float = DEFAULT_FINITE_DIFFERENCE_EPS,
+    streaming: StreamingConfig | None = None,
+    persist: bool = True,
 ) -> ModelStatistics:
     """Compute the parameter-covariance statistics at a trained θ.
 
@@ -138,27 +522,62 @@ def compute_statistics(
         The model class specification.
     theta:
         The parameter vector of the (initial or approximate) trained model.
-    dataset:
-        The sample the model was trained on (size n); the statistics are the
-        sample estimates of H and J at θ.
+    source:
+        The sample the model was trained on (size n); the statistics are
+        the sample estimates of H and J at θ.  Accepts an in-memory
+        :class:`~repro.data.dataset.Dataset` or any
+        :class:`~repro.evaluation.streaming.BlockSource` — a memory-mapped
+        :class:`~repro.data.store.ShardedDataset` additionally gets
+        per-shard sidecar reuse.
     method:
         One of :class:`StatisticsMethod` (or its string value).  The default
         is ObservedFisher, the paper's default.
     probe_eps:
         Finite-difference step for InverseGradients.
+    streaming:
+        Block size / executor configuration; defaults to serial folding in
+        blocks of :data:`~repro.config.DEFAULT_STATS_BLOCK_ROWS` rows with
+        the session-wide worker/backend defaults.
+    persist:
+        For store-backed sources: whether newly computed per-shard
+        summaries may be written back as sidecars.  Pass ``False`` for
+        throwaway evaluations (e.g. ``recompute_at_theta_n``) that must not
+        garbage-collect the store's standing θ₀ sidecars.
     """
     method = StatisticsMethod(method)
+    if streaming is None:
+        streaming = StreamingConfig(block_rows=DEFAULT_STATS_BLOCK_ROWS)
+    if method is StatisticsMethod.CLOSED_FORM and not spec.has_closed_form_hessian:
+        raise StatisticsError(
+            f"model {spec.name!r} has no closed-form Hessian; "
+            "use inverse_gradients or observed_fisher"
+        )
+
     start = time.perf_counter()
-    if method is StatisticsMethod.CLOSED_FORM:
-        covariance = _closed_form(spec, theta, dataset)
-    elif method is StatisticsMethod.INVERSE_GRADIENTS:
-        covariance = _inverse_gradients(spec, theta, dataset, probe_eps=probe_eps)
+    task = _StatisticsTask(
+        spec=spec,
+        method=method,
+        theta=np.asarray(theta, dtype=np.float64),
+        probe_eps=float(probe_eps),
+        source=source,
+    )
+    reused = computed = 0
+    source_digest: str | None = None
+    if _is_store_source(source):
+        summary, reused, computed = _store_backed_summary(
+            task, source, streaming, persist
+        )
+        source_digest = source.content_digest()
     else:
-        covariance = _observed_fisher(spec, theta, dataset)
+        summary = _streaming.stream_accumulate(task, streaming)
+    covariance = covariance_from_summary(spec, summary, probe_eps=task.probe_eps)
     elapsed = time.perf_counter() - start
     return ModelStatistics(
         covariance=covariance,
         method=method,
-        sample_size=dataset.n_rows,
+        sample_size=summary.rows,
         computation_seconds=elapsed,
+        reused_shard_summaries=reused,
+        computed_shard_summaries=computed,
+        source_digest=source_digest,
     )

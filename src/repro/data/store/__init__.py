@@ -3,14 +3,21 @@
 The storage tier beneath the streaming sharded holdout engine (see
 ``docs/architecture.md``, "Storage tier"):
 
-* :class:`ShardStore` — owns a store directory (write / open / verify);
-* :class:`ShardStoreWriter` / :func:`write_blocks` — out-of-core write path;
+* :class:`ShardStore` — owns a store directory (write / open / verify /
+  append);
+* :class:`ShardStoreWriter` / :func:`write_blocks` — out-of-core write path
+  (``append=True`` reopens and grows an existing store);
 * :class:`ShardedDataset` — the zero-copy block source the evaluation,
-  session and registry layers consume in place of an in-memory ``Dataset``;
+  session and registry layers consume in place of an in-memory ``Dataset``
+  (``reload()`` adopts published growth in place);
 * :class:`ShardManifest` / :class:`ShardInfo` / :class:`LabelMoments` — the
   manifest schema (dtype, shape, per-shard row ranges and digests, and a
   manifest-level content digest compatible with
-  :meth:`repro.data.dataset.Dataset.content_digest`).
+  :meth:`repro.data.dataset.Dataset.content_digest`);
+* :class:`StatisticsIndex` / :class:`StatisticsSidecarInfo` — per-shard H/J
+  moment-summary sidecars keyed by (model-spec digest, θ-digest, method),
+  written lazily by the streaming statistics tier and reused on every later
+  session bootstrap.
 """
 
 from repro.data.store.manifest import (
@@ -19,6 +26,7 @@ from repro.data.store.manifest import (
     LabelMoments,
     ShardInfo,
     ShardManifest,
+    StatisticsSidecarInfo,
 )
 from repro.data.store.shard_store import (
     ShardStore,
@@ -26,6 +34,7 @@ from repro.data.store.shard_store import (
     ShardedDataset,
     write_blocks,
 )
+from repro.data.store.statistics_index import StatisticsIndex, sidecar_filename
 
 __all__ = [
     "MANIFEST_FILENAME",
@@ -33,8 +42,11 @@ __all__ = [
     "LabelMoments",
     "ShardInfo",
     "ShardManifest",
+    "StatisticsSidecarInfo",
     "ShardStore",
     "ShardStoreWriter",
     "ShardedDataset",
+    "StatisticsIndex",
+    "sidecar_filename",
     "write_blocks",
 ]

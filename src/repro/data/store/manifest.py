@@ -137,6 +137,40 @@ class LabelMoments:
 
 
 @dataclass(frozen=True)
+class StatisticsSidecarInfo:
+    """One statistics sidecar file: per-shard moment summaries for one key.
+
+    A sidecar holds every covered shard's H/J moment summary for one
+    ``(model-spec digest, θ-digest, method)`` key — what lets a session
+    bootstrap merge persisted summaries instead of re-reading raw rows.
+
+    ``digest`` is the blake2b hex digest of the sidecar file's bytes (the
+    tamper check :meth:`ShardStore.verify` replays); ``shard_digests``
+    records, in shard order, which shard contents each stored summary was
+    computed from, so a reader can tell exactly which shards of the current
+    manifest are covered (after an append the sidecar covers the old
+    prefix until the statistics are refreshed).
+    """
+
+    file: str
+    spec_digest: str
+    theta_digest: str
+    method: str
+    block_rows: int
+    digest: str
+    shard_digests: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.file or not self.digest:
+            raise DataError("statistics sidecar entry needs a file and a digest")
+        if self.block_rows < 1:
+            raise DataError("statistics sidecar block_rows must be at least 1")
+        if not self.shard_digests:
+            raise DataError("statistics sidecar entry covers no shards")
+        object.__setattr__(self, "shard_digests", tuple(self.shard_digests))
+
+
+@dataclass(frozen=True)
 class ShardManifest:
     """Schema, layout and integrity metadata of one shard store."""
 
@@ -150,6 +184,7 @@ class ShardManifest:
     label_moments: LabelMoments | None = None
     version: int = MANIFEST_VERSION
     metadata: dict = field(default_factory=dict)
+    statistics: tuple[StatisticsSidecarInfo, ...] = ()
 
     def __post_init__(self) -> None:
         if self.version != MANIFEST_VERSION:
@@ -195,6 +230,7 @@ class ShardManifest:
                 f"label moments cover {self.label_moments.count} rows but the "
                 f"manifest declares {self.n_rows}"
             )
+        object.__setattr__(self, "statistics", tuple(self.statistics))
 
     @property
     def is_supervised(self) -> bool:
@@ -229,6 +265,7 @@ class ShardManifest:
     def to_json(self) -> str:
         payload = asdict(self)
         payload["shards"] = [asdict(shard) for shard in self.shards]
+        payload["statistics"] = [asdict(entry) for entry in self.statistics]
         return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
@@ -261,6 +298,21 @@ class ShardManifest:
                     m2=float(moments["m2"]),
                 )
             )
+            # Older manifests (pre statistics tier) simply omit the key.
+            statistics = tuple(
+                StatisticsSidecarInfo(
+                    file=str(entry["file"]),
+                    spec_digest=str(entry["spec_digest"]),
+                    theta_digest=str(entry["theta_digest"]),
+                    method=str(entry["method"]),
+                    block_rows=int(entry["block_rows"]),
+                    digest=str(entry["digest"]),
+                    shard_digests=tuple(
+                        str(digest) for digest in entry["shard_digests"]
+                    ),
+                )
+                for entry in payload.get("statistics", [])
+            )
             return cls(
                 name=str(payload["name"]),
                 n_rows=int(payload["n_rows"]),
@@ -272,6 +324,7 @@ class ShardManifest:
                 label_moments=label_moments,
                 version=int(payload["version"]),
                 metadata=dict(payload.get("metadata", {})),
+                statistics=statistics,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise DataError(

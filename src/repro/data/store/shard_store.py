@@ -50,6 +50,7 @@ from repro.data.store.manifest import (
     ShardInfo,
     ShardManifest,
 )
+from repro.data.store.statistics_index import StatisticsIndex, _file_digest
 from repro.exceptions import DataError
 
 #: feature matrices are always stored as little-endian float64, matching the
@@ -145,6 +146,18 @@ class ShardStoreWriter:
             for X_block, y_block in produce_blocks():
                 writer.append(X_block, y_block)
         store = writer.store
+
+    Reopening an existing store with ``append=True`` seeds the writer from
+    the published manifest and grows it: existing shard files are left
+    untouched (only manifest-unreferenced leftovers are cleared), new
+    shards continue the index sequence, label moments keep folding, and the
+    statistics sidecar entries are carried into the republished manifest —
+    they remain valid for the shards they cover.  Shard *writes* are
+    O(new rows); the close-time content digest is an O(store) streaming
+    re-hash, inherent to the header-first digest byte format (the final row
+    count leads the hashed bytes, and a sequential hash cannot be
+    prepended to).  The manifest republish is atomic, so a crash mid-append
+    leaves the previous manifest serving the previous store consistently.
     """
 
     def __init__(
@@ -155,10 +168,13 @@ class ShardStoreWriter:
         name: str = "dataset",
         metadata: dict | None = None,
         overwrite: bool = False,
+        append: bool = False,
         content_digest: str | None = None,
     ):
         if shard_rows < 1:
             raise DataError("shard_rows must be at least 1")
+        if append and overwrite:
+            raise DataError("append and overwrite are mutually exclusive")
         # Optional precomputed digest of exactly the rows about to be
         # appended (e.g. Dataset.content_digest() when persisting an
         # in-memory dataset).  It spares close() the re-read hashing pass
@@ -168,27 +184,6 @@ class ShardStoreWriter:
         self._shard_rows = int(shard_rows)
         self._name = name
         self._metadata = dict(metadata or {})
-        manifest_path = os.path.join(self._directory, MANIFEST_FILENAME)
-        if os.path.exists(manifest_path):
-            if not overwrite:
-                raise DataError(
-                    f"{self._directory!r} already holds a shard store "
-                    "(pass overwrite=True to replace it)"
-                )
-            # Unlink the old manifest *before* writing anything: a crash
-            # mid-rewrite must leave a manifest-less directory that
-            # ShardStore.open rejects — never an old manifest over a mix of
-            # old and new shard data, which would open cleanly and
-            # fingerprint as the old content.
-            os.remove(manifest_path)
-        os.makedirs(self._directory, exist_ok=True)
-        # Clear leftover shard files unconditionally (not only under
-        # overwrite): a crashed earlier write leaves shards without a
-        # manifest, and a successful re-run must not strand those alien
-        # files beside a store whose manifest no longer references them.
-        for entry in os.listdir(self._directory):
-            if entry.startswith("shard-") and entry.endswith(".npy"):
-                os.remove(os.path.join(self._directory, entry))
         self._pending_X: list[np.ndarray] = []
         self._pending_y: list[np.ndarray] = []
         self._pending_rows = 0
@@ -197,8 +192,75 @@ class ShardStoreWriter:
         self._supervised: bool | None = None
         self._shards: list[ShardInfo] = []
         self._moments = LabelMoments(count=0, mean=0.0, m2=0.0)
+        self._statistics: tuple = ()
         self._store: ShardStore | None = None
         self._closed = False
+
+        manifest_path = os.path.join(self._directory, MANIFEST_FILENAME)
+        if append:
+            if not os.path.exists(manifest_path):
+                raise DataError(
+                    f"{self._directory!r} holds no shard store to append to"
+                )
+            manifest = ShardManifest.load(self._directory)
+            self._name = manifest.name
+            self._metadata = {**manifest.metadata, **self._metadata}
+            self._n_features = manifest.n_features
+            self._y_dtype = (
+                None if manifest.y_dtype is None else np.dtype(manifest.y_dtype)
+            )
+            self._supervised = manifest.is_supervised
+            self._shards = list(manifest.shards)
+            if manifest.label_moments is not None:
+                self._moments = manifest.label_moments
+            # Sidecars stay valid for the shards they cover; the refresh
+            # path computes summaries for the new shards only.
+            self._statistics = manifest.statistics
+            # The old manifest stays in place until close() republishes —
+            # readers keep serving the pre-append store consistently, and a
+            # crash mid-append at worst strands unreferenced new shard
+            # files (cleared by the next writer).  Only clear leftovers the
+            # manifest does not reference.
+            referenced = {
+                file
+                for shard in manifest.shards
+                for file in (shard.x_file, shard.y_file)
+                if file is not None
+            }
+            for entry in os.listdir(self._directory):
+                if (
+                    entry.startswith("shard-")
+                    and entry.endswith(".npy")
+                    and entry not in referenced
+                ):
+                    os.remove(os.path.join(self._directory, entry))
+            return
+
+        if os.path.exists(manifest_path):
+            if not overwrite:
+                raise DataError(
+                    f"{self._directory!r} already holds a shard store "
+                    "(pass overwrite=True to replace it, or append=True to "
+                    "grow it)"
+                )
+            # Unlink the old manifest *before* writing anything: a crash
+            # mid-rewrite must leave a manifest-less directory that
+            # ShardStore.open rejects — never an old manifest over a mix of
+            # old and new shard data, which would open cleanly and
+            # fingerprint as the old content.
+            os.remove(manifest_path)
+        os.makedirs(self._directory, exist_ok=True)
+        # Clear leftover shard and statistics-sidecar files unconditionally
+        # (not only under overwrite): a crashed earlier write leaves shards
+        # without a manifest, and a successful re-run must not strand those
+        # alien files beside a store whose manifest no longer references
+        # them.  Sidecars summarise the *old* rows, so a rewrite invalidates
+        # them wholesale.
+        for entry in os.listdir(self._directory):
+            if (entry.startswith("shard-") and entry.endswith(".npy")) or (
+                entry.startswith("stats-") and entry.endswith(".npz")
+            ):
+                os.remove(os.path.join(self._directory, entry))
 
     @property
     def store(self) -> "ShardStore":
@@ -368,6 +430,7 @@ class ShardStoreWriter:
             content_digest="pending",
             label_moments=self._moments if self._supervised else None,
             metadata=self._metadata,
+            statistics=self._statistics,
         )
         digest = self._known_content_digest
         if digest is None:
@@ -501,6 +564,38 @@ class ShardStore:
         )
 
     # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def append_shards(
+        self,
+        blocks: Iterable[tuple[np.ndarray, np.ndarray | None]],
+        *,
+        shard_rows: int = DEFAULT_STORE_SHARD_ROWS,
+    ) -> "ShardStore":
+        """Grow this store by appending ``(X_block, y_block)`` pairs.
+
+        Convenience wrapper over ``ShardStoreWriter(..., append=True)``:
+        existing shards and statistics sidecars are untouched, new shards
+        continue the sequence, and the manifest is republished atomically.
+        This store object adopts the grown manifest; other handles (e.g. a
+        long-lived :class:`ShardedDataset` in a serving session) pick it up
+        via :meth:`ShardedDataset.reload`.  Returns ``self``.
+        """
+        writer = ShardStoreWriter(self._directory, shard_rows=shard_rows, append=True)
+        for X_block, y_block in blocks:
+            writer.append(X_block, y_block)
+        grown = writer.close()
+        self._manifest = grown.manifest
+        return self
+
+    # ------------------------------------------------------------------
+    # Statistics sidecars
+    # ------------------------------------------------------------------
+    def statistics_index(self) -> "StatisticsIndex":
+        """Read/write access to this store's per-shard statistics sidecars."""
+        return StatisticsIndex(self)
+
+    # ------------------------------------------------------------------
     # Integrity
     # ------------------------------------------------------------------
     def verify(self) -> None:
@@ -513,6 +608,9 @@ class ShardStore:
         part of the row-data digest — are re-derived from the label shards
         and compared exactly (the recompute replays the writer's
         per-shard-then-combine order, so matching stores match bitwise).
+        Statistics sidecars are covered too: every listed sidecar file must
+        exist, hash to its manifest digest, and reference only shard
+        contents the manifest actually holds.
         O(store) sequential I/O, one shard resident at a time.
         """
         manifest = self._manifest
@@ -550,6 +648,25 @@ class ShardStore:
                 "shard store content digest mismatch "
                 f"(expected {manifest.content_digest}, found {digest})"
             )
+        known_shards = {shard.digest for shard in manifest.shards}
+        for entry in manifest.statistics:
+            path = os.path.join(self._directory, entry.file)
+            if not os.path.exists(path):
+                raise DataError(
+                    f"statistics sidecar {entry.file!r} is listed in the "
+                    "manifest but missing on disk"
+                )
+            if _file_digest(path) != entry.digest:
+                raise DataError(
+                    f"statistics sidecar {entry.file!r} content digest mismatch: "
+                    "sidecar tampered or corrupted"
+                )
+            orphaned = set(entry.shard_digests) - known_shards
+            if orphaned:
+                raise DataError(
+                    f"statistics sidecar {entry.file!r} references shard "
+                    f"contents the store does not hold: {sorted(orphaned)}"
+                )
 
     # ------------------------------------------------------------------
     # The read side
@@ -648,6 +765,36 @@ class ShardedDataset:
         families call this instead of touching ``.y``.
         """
         return self.manifest.label_std()
+
+    def statistics_index(self) -> StatisticsIndex:
+        """The owning store's statistics-sidecar index (shared manifest)."""
+        return self._store.statistics_index()
+
+    def reload(self) -> bool:
+        """Re-read the manifest from disk; adopt any published growth.
+
+        The serving refresh entry point: after another writer appended
+        shards (:meth:`ShardStore.append_shards`), a long-lived reader
+        calls ``reload()`` to pick the new manifest up.  Returns ``True``
+        iff the *row data* changed (content digest moved); a republish that
+        only touched statistics sidecars adopts silently and returns
+        ``False``.  When the old shards survive as a digest-matching prefix
+        of the new layout — the append case — the open memory maps are
+        kept; any other change drops them so no stale map is ever served.
+        """
+        new_manifest = ShardManifest.load(self._store.directory)
+        old_manifest = self._store.manifest
+        old_shards = old_manifest.shards
+        new_shards = new_manifest.shards
+        appended_prefix = len(new_shards) >= len(old_shards) and all(
+            old.digest == new.digest and old.x_file == new.x_file
+            for old, new in zip(old_shards, new_shards)
+        )
+        if not appended_prefix:
+            with self._memmap_lock:
+                self._memmaps.clear()
+        self._store._manifest = new_manifest
+        return new_manifest.content_digest != old_manifest.content_digest
 
     # ------------------------------------------------------------------
     # Block source protocol

@@ -191,6 +191,24 @@ def iter_holdout_blocks(
         yield blocks.read_block(start, stop)
 
 
+@runtime_checkable
+class StreamTask(Protocol):
+    """Picklable recipe for one streamed block-fold evaluation.
+
+    Anything :func:`stream_accumulate` can drive: it names the block source
+    and knows how to build a fresh accumulator (an object with the
+    :class:`~repro.models.base.DiffAccumulator` fold surface —
+    ``needs_holdout_blocks`` / ``update`` / ``merge`` / ``finalize``).
+    Implemented by the diff tasks below and by the statistics tasks in
+    :mod:`repro.core.statistics`.
+    """
+
+    @property
+    def source(self) -> "Dataset | BlockSource": ...
+
+    def make_accumulator(self): ...
+
+
 @dataclass(frozen=True)
 class _StreamTask:
     """Picklable recipe for one streamed diff evaluation.
@@ -215,9 +233,7 @@ class _StreamTask:
         )
 
 
-def _run_block_range(
-    task: _StreamTask, bounds: list[tuple[int, int]]
-) -> DiffAccumulator:
+def _run_block_range(task: StreamTask, bounds: list[tuple[int, int]]):
     """Worker body (both backends): one fresh accumulator over one range.
 
     Top-level so the process backend can pickle it; with a sharded source
@@ -286,8 +302,17 @@ def _split_ranges(
     return [[bounds[i] for i in split] for split in splits if split.size]
 
 
-def _drive(task: _StreamTask, config: StreamingConfig) -> np.ndarray:
-    """Run one accumulator (or one per worker) over the sharded holdout."""
+def stream_accumulate(task: StreamTask, config: StreamingConfig):
+    """Run one accumulator (or one per worker) over the task's block source.
+
+    The generic executor core behind every streamed fold in the system: the
+    two ``streaming_*`` diff functions below and the statistics tier's
+    moment accumulation (:func:`repro.core.statistics.compute_statistics`)
+    all delegate here.  Returns whatever the merged accumulator's
+    ``finalize()`` produces — a per-candidate diff vector for the diff
+    tasks, a moment summary for the statistics tasks.  Partials are always
+    merged in source order, so results are independent of executor timing.
+    """
     first = task.make_accumulator()
     if not first.needs_holdout_blocks:
         # Parameter-space metrics (PPCA) and the generic materialised
@@ -358,7 +383,7 @@ def streaming_prediction_differences(
     (e.g. a memory-mapped :class:`~repro.data.store.ShardedDataset`).
     """
     config = config or DEFAULT_STREAMING_CONFIG
-    return _drive(
+    return stream_accumulate(
         _StreamTask(
             spec=spec,
             kind="diff",
@@ -379,7 +404,7 @@ def streaming_pairwise_prediction_differences(
 ) -> np.ndarray:
     """Sharded equivalent of :meth:`ModelClassSpec.pairwise_prediction_differences`."""
     config = config or DEFAULT_STREAMING_CONFIG
-    return _drive(
+    return stream_accumulate(
         _StreamTask(
             spec=spec,
             kind="pairwise",

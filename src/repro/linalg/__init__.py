@@ -8,11 +8,23 @@ This subpackage holds the factored representation that makes this possible:
   ``U, Σ`` factorisation of the per-example gradient matrix, the derived
   transform ``L = U Λ`` with ``L Lᵀ = H⁻¹ J H⁻¹``, and dense reconstruction
   helpers used for testing and for the ClosedForm / InverseGradients paths;
+* :mod:`repro.linalg.moments` — shard-mergeable moment summaries
+  (tall-skinny-QR gradient factors, probe gradient sums, block Hessian
+  sums) that the streaming statistics tier folds block by block and the
+  shard store persists as per-shard sidecars;
 * :mod:`repro.linalg.utils` — small shared helpers (safe Cholesky,
   symmetrisation, dense multivariate-normal sampling).
 """
 
 from repro.linalg.covariance import FactoredCovariance
+from repro.linalg.moments import (
+    BlockHessianSummary,
+    GradientMomentSummary,
+    MomentSummary,
+    ProbeMomentSummary,
+    SUMMARY_KINDS,
+    summary_kind,
+)
 from repro.linalg.utils import (
     symmetrize,
     safe_cholesky,
@@ -22,6 +34,12 @@ from repro.linalg.utils import (
 
 __all__ = [
     "FactoredCovariance",
+    "GradientMomentSummary",
+    "ProbeMomentSummary",
+    "BlockHessianSummary",
+    "MomentSummary",
+    "SUMMARY_KINDS",
+    "summary_kind",
     "symmetrize",
     "safe_cholesky",
     "sample_multivariate_normal",

@@ -22,11 +22,15 @@ reconstruction helpers used in tests and diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import StatisticsError
 from repro.linalg.utils import symmetrize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.linalg.moments import GradientMomentSummary
 
 
 @dataclass(frozen=True)
@@ -103,6 +107,38 @@ class FactoredCovariance:
         # J is the covariance of individual gradients: J = (1/n) Σ q_i q_iᵀ.
         # SVD of the scaled matrix A = Q / sqrt(n) gives J = U diag(s²) Uᵀ.
         scaled = Q / np.sqrt(n)
+        return cls._from_scaled_matrix(scaled, regularization, rank_tolerance)
+
+    @classmethod
+    def from_gradient_summary(
+        cls,
+        summary: "GradientMomentSummary",
+        regularization: float = 0.0,
+        rank_tolerance: float = 1e-12,
+    ) -> FactoredCovariance:
+        """Build the factor from a shard-merged gradient moment summary.
+
+        The summary's triangular factor satisfies ``RᵀR = Σ qᵢqᵢᵀ``, so
+        ``R / √n`` has exactly the singular values and right singular
+        vectors of the scaled per-example gradient matrix ``Q / √n`` — the
+        streaming statistics tier reaches the same covariance as
+        :meth:`from_per_example_gradients` without ever materialising ``Q``.
+        """
+        if summary.rows < 2:
+            raise StatisticsError("need at least two per-example gradients")
+        if regularization < 0:
+            raise StatisticsError("regularization must be non-negative")
+        scaled = summary.r_factor / np.sqrt(summary.rows)
+        return cls._from_scaled_matrix(scaled, regularization, rank_tolerance)
+
+    @classmethod
+    def _from_scaled_matrix(
+        cls,
+        scaled: np.ndarray,
+        regularization: float,
+        rank_tolerance: float,
+    ) -> FactoredCovariance:
+        """Shared SVD tail for the ObservedFisher constructors."""
         # full_matrices=False keeps U at (d, min(n, d)): the O(min(n²d, nd²))
         # cost quoted in Section 3.4.
         try:

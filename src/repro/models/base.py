@@ -286,6 +286,14 @@ class ModelClassSpec(ABC):
         These are the *unregularised* per-example gradients; the regulariser
         gradient ``r(θ)`` is added separately (it does not vary across
         examples and therefore contributes nothing to the covariance J).
+
+        Implementations must be *row-decomposable*: the gradient of row i
+        may depend on θ and on row i only, never on the other rows in
+        ``dataset``.  The streaming statistics tier
+        (:mod:`repro.core.statistics`) relies on this to evaluate the
+        method block-by-block over a sharded store and fold the blocks into
+        a moment summary — calling it on a block must yield exactly the
+        corresponding rows of the full-matrix call.
         """
 
     def regularizer_gradient(self, theta: np.ndarray) -> np.ndarray:
