@@ -1,0 +1,270 @@
+"""Benchmark: request-coalescing front-end vs serial contract serving.
+
+A serving deployment receives B concurrent ``train_to`` requests against
+one session — duplicates (identical (ε, δ) from different clients) mixed
+with distinct-but-related contracts (same ε at several confidence levels,
+plus loose contracts the initial model already satisfies).  This
+benchmark measures what the coalescing tier (``repro.serving``) is
+responsible for:
+
+* **streamed passes** — the fused lockstep search evaluates every active
+  search's round candidates as one union pass, so the B-request batch
+  must complete in *strictly fewer* streamed passes than B serial calls;
+  duplicates must coalesce to *zero* extra passes (a batch of B identical
+  contracts costs exactly the passes of one serial call);
+* **throughput** — end-to-end wall-clock through a :class:`ContractBatcher`
+  (B threads, one batching window) vs the serial loop on an identically
+  seeded session.  The gate requires >= 2x at the default B = 8;
+* **identity** — every coalesced result must be bitwise identical to the
+  serial baseline (same sample size, same θ, same ε estimate): coalescing
+  buys passes, never answers.
+
+The workload uses the Lin model class (closed-form-cheap training) so the
+streamed size-search evaluations dominate, as they do for the large
+holdouts the streaming engine exists for.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_coalesced_serving.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core.contract import ApproximationContract
+from repro.core.session import EstimationSession
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import gas_like
+from repro.evaluation.streaming import streaming_pass_count
+from repro.models.linear_regression import LinearRegressionSpec
+from repro.serving import ContractBatcher
+
+
+def build_splits(n_rows: int, n_features: int):
+    data = gas_like(n_rows=n_rows, n_features=n_features, seed=301)
+    return train_holdout_test_split(
+        data,
+        SplitSpec(holdout_fraction=0.45, test_fraction=0.05),
+        rng=np.random.default_rng(302),
+    )
+
+
+def make_session(spec, splits, args) -> EstimationSession:
+    return EstimationSession(
+        spec,
+        splits.train,
+        splits.holdout,
+        initial_sample_size=args.initial,
+        n_parameter_samples=args.k,
+        rng=0,
+    )
+
+
+def build_contracts(epsilon0: float, batch: int) -> list[ApproximationContract]:
+    """B mixed contracts: duplicates + distinct δ at one tight ε + loose ε.
+
+    Three duplicate pairs exercise in-window dedup; the tight-ε group's
+    searches follow near-identical bracket trajectories (only the Lemma 2
+    quantile position differs with δ), which is where cross-caller union
+    passes save the most; the loose-ε members are answered by the initial
+    model without any search at all.
+    """
+    tight = 0.25 * epsilon0
+    mixed = [
+        ApproximationContract(epsilon=tight, delta=0.05),
+        ApproximationContract(epsilon=tight, delta=0.04),
+        ApproximationContract(epsilon=tight, delta=0.05),  # duplicate
+        ApproximationContract(epsilon=tight, delta=0.06),
+        ApproximationContract(epsilon=tight, delta=0.045),
+        ApproximationContract(epsilon=tight, delta=0.05),  # duplicate
+        ApproximationContract(epsilon=0.9 * epsilon0, delta=0.05),
+        ApproximationContract(epsilon=0.8 * epsilon0, delta=0.10),
+    ]
+    # Scale to the requested batch size by repeating the mix (extra
+    # repeats are further duplicates, which is realistic serving traffic).
+    return [mixed[i % len(mixed)] for i in range(batch)]
+
+
+def run_serial(session, contracts):
+    before = streaming_pass_count()
+    start = time.perf_counter()
+    results = [session.train_to(contract) for contract in contracts]
+    return results, time.perf_counter() - start, streaming_pass_count() - before
+
+
+def run_batched(session, contracts, window_ms: float):
+    """All B contracts through one batcher from B threads, one window."""
+    batcher = ContractBatcher(
+        session, window_ms=window_ms, max_batch=len(contracts), name="bench"
+    )
+    barrier = threading.Barrier(len(contracts))
+    results: list = [None] * len(contracts)
+    errors: list = []
+
+    def worker(index: int, contract: ApproximationContract) -> None:
+        barrier.wait()
+        try:
+            results[index] = batcher.train_to(contract)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, contract))
+        for i, contract in enumerate(contracts)
+    ]
+    before = streaming_pass_count()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    passes = streaming_pass_count() - before
+    batcher.close()
+    if errors:
+        raise errors[0]
+    return results, elapsed, passes, batcher.stats()
+
+
+def count_mismatches(serial_results, coalesced_results) -> int:
+    mismatches = 0
+    for lone, fused in zip(serial_results, coalesced_results):
+        identical = (
+            fused.sample_size == lone.sample_size
+            and np.array_equal(fused.model.theta, lone.model.theta)
+            and fused.estimated_epsilon == lone.estimated_epsilon
+        )
+        mismatches += 0 if identical else 1
+    return mismatches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=240_000)
+    parser.add_argument("--features", type=int, default=24)
+    parser.add_argument("--initial", type=int, default=1_000, help="initial sample n0")
+    parser.add_argument("--k", type=int, default=128, help="parameter samples")
+    parser.add_argument("--batch", type=int, default=8, help="concurrent requests B")
+    parser.add_argument("--window-ms", type=float, default=5_000.0,
+                        help="batching window (generous: the window closes when full)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration for CI (120k rows)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless coalesced results are bitwise-identical to "
+            "serial, duplicates add zero streamed passes, the mixed batch "
+            "completes in strictly fewer passes than serial, and batched "
+            "throughput is >= 2x serial"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows = 120_000
+
+    splits = build_splits(args.rows, args.features)
+    spec = LinearRegressionSpec.with_estimated_noise(
+        splits.train, regularization=1e-3
+    )
+
+    # Probe session: what ε does the initial model already achieve?  The
+    # workload contracts are placed relative to it so the tight group needs
+    # a genuine size search and the loose group does not.
+    probe = make_session(spec, splits, args)
+    epsilon0 = probe.answer(
+        ApproximationContract(epsilon=0.5, delta=0.05)
+    ).estimate.epsilon
+    contracts = build_contracts(epsilon0, args.batch)
+
+    # Duplicates-only coalescing: B identical contracts in one batch must
+    # cost exactly the streamed passes of a single serial call.
+    single_session = make_session(spec, splits, args)
+    before = streaming_pass_count()
+    single_session.train_to(contracts[0])
+    single_passes = streaming_pass_count() - before
+    duplicate_session = make_session(spec, splits, args)
+    before = streaming_pass_count()
+    duplicate_session.train_to_many([contracts[0]] * args.batch)
+    duplicate_passes = streaming_pass_count() - before
+
+    # Mixed batch: serial loop vs one coalesced window, fresh identically
+    # seeded sessions.
+    serial_results, serial_seconds, serial_passes = run_serial(
+        make_session(spec, splits, args), contracts
+    )
+    batched_results, batched_seconds, batched_passes, stats = run_batched(
+        make_session(spec, splits, args), contracts, args.window_ms
+    )
+    mismatches = count_mismatches(serial_results, batched_results)
+    speedup = serial_seconds / batched_seconds
+
+    header = f"{'run':<22}{'seconds':>9}{'req/s':>8}{'passes':>8}"
+    print(
+        f"B={args.batch} concurrent contracts, {args.rows} rows, "
+        f"{splits.holdout.n_rows} holdout rows, k={args.k}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, seconds, passes in (
+        ("serial loop", serial_seconds, serial_passes),
+        ("coalesced batch", batched_seconds, batched_passes),
+    ):
+        print(
+            f"{label:<22}{seconds:>9.2f}{args.batch / seconds:>8.1f}{passes:>8}"
+        )
+    print(
+        f"duplicates: 1 call = {single_passes} passes, "
+        f"{args.batch} coalesced duplicates = {duplicate_passes} passes"
+    )
+    print(
+        f"batcher: {stats.batches} batch(es), "
+        f"{stats.coalesced_requests} in-window duplicates, "
+        f"search passes fused={stats.fused_passes} serial={stats.serial_passes} "
+        f"(saved {stats.passes_saved}), speedup {speedup:.2f}x, "
+        f"{mismatches} mismatching results"
+    )
+
+    if args.check:
+        failures = []
+        if mismatches:
+            failures.append(
+                f"{mismatches} coalesced results differ from the serial baseline"
+            )
+        if duplicate_passes != single_passes:
+            failures.append(
+                f"{args.batch} coalesced duplicates cost {duplicate_passes} "
+                f"streamed passes; a single serial call costs {single_passes} "
+                "(duplicates must add zero)"
+            )
+        if batched_passes >= serial_passes:
+            failures.append(
+                f"coalesced batch used {batched_passes} streamed passes, "
+                f"not strictly fewer than serial's {serial_passes}"
+            )
+        if speedup < 2.0:
+            failures.append(
+                f"batched throughput only {speedup:.2f}x serial (gate: >= 2x "
+                f"at B={args.batch})"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: bitwise-identical results, duplicates coalesce to zero "
+            f"extra passes, {serial_passes} -> {batched_passes} streamed "
+            f"passes, {speedup:.2f}x throughput"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,10 +22,20 @@ from repro.core.caching import CacheStats, LRUCache
 from repro.core.contract import ApproximationContract
 from repro.core.coordinator import BlinkML
 from repro.core.registry import RegistryStats, SessionInfo, SessionRegistry
-from repro.core.session import EstimationSession, SessionAnswer, SessionRefresh
+from repro.core.session import (
+    CoalescedTrainOutcome,
+    EstimationSession,
+    SessionAnswer,
+    SessionRefresh,
+)
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.accuracy import AccuracyEstimate, ModelAccuracyEstimator
-from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
+from repro.core.sample_size import (
+    FusedSizeSearch,
+    SampleSizeEstimate,
+    SampleSizeEstimator,
+)
+from repro.serving import BatcherStats, CoalescingService, ContractBatcher
 from repro.core.statistics import (
     GradientMomentAccumulator,
     ModelStatistics,
@@ -58,6 +68,8 @@ from repro.exceptions import (
     ModelSpecError,
     OptimizationError,
     SampleSizeError,
+    ServingError,
+    ServingOverloadError,
     StatisticsError,
 )
 
@@ -74,6 +86,11 @@ __all__ = [
     "SessionRegistry",
     "RegistryStats",
     "SessionInfo",
+    "CoalescedTrainOutcome",
+    "FusedSizeSearch",
+    "ContractBatcher",
+    "BatcherStats",
+    "CoalescingService",
     "ApproximateTrainingResult",
     "TimingBreakdown",
     "AccuracyEstimate",
@@ -105,6 +122,8 @@ __all__ = [
     "ModelSpecError",
     "OptimizationError",
     "SampleSizeError",
+    "ServingError",
+    "ServingOverloadError",
     "StatisticsError",
     "__version__",
 ]

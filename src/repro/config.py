@@ -40,6 +40,23 @@ def _env_int(name: str, default: int, minimum: int = 0) -> int:
         return default
     return value if value >= minimum else default
 
+def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """Float default overridable via an environment variable.
+
+    Same philosophy as :func:`_env_int`: invalid values — non-numbers or
+    anything below ``minimum`` — fall back to the built-in default rather
+    than failing import.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value >= minimum else default
+
+
 def _env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
     """String default overridable via an environment variable.
 
@@ -146,7 +163,44 @@ DEFAULT_REGISTRY_MIN_SESSION_BYTES = _env_int(
 # stacked Monte-Carlo pass (ROADMAP "batched two-stage probes").  1 keeps
 # the classic bisection; the coordinator/session default trades a little
 # extra compute per pass for ~log_{b+1} instead of log_2 passes.
-DEFAULT_SIZE_SEARCH_PROBE_BATCH = 3
+# Env-overridable like the other serving knobs; values below 1 fall back
+# to the default (the session/coordinator boundary rejects them outright).
+DEFAULT_SIZE_SEARCH_PROBE_BATCH = _env_int(
+    "DEFAULT_SIZE_SEARCH_PROBE_BATCH", 3, minimum=1
+)
+
+# Request-coalescing serving tier (repro.serving).  A ContractBatcher
+# collects concurrent answer()/train_to() requests against one session for
+# a short window and dispatches them as one fused evaluation — identical
+# (ε, δ) contracts become single-flight followers and distinct contracts
+# share each search round's streamed holdout pass.  The window trades a
+# couple of milliseconds of added latency for cross-caller GEMM sharing;
+# the batch cap bounds how much work one dispatch can aggregate; the queue
+# cap is the backpressure bound — submissions beyond it are load-shed with
+# ServingOverloadError.  All env-overridable.
+DEFAULT_COALESCE_WINDOW_MS = _env_float("DEFAULT_COALESCE_WINDOW_MS", 2.0, minimum=0.0)
+DEFAULT_COALESCE_MAX_BATCH = _env_int("DEFAULT_COALESCE_MAX_BATCH", 16, minimum=1)
+DEFAULT_COALESCE_MAX_QUEUE = _env_int("DEFAULT_COALESCE_MAX_QUEUE", 1024, minimum=1)
+
+# CoalescingService housekeeping (repro.serving.service): the background
+# thread period, how long a session may idle before the housekeeping pass
+# evicts it from the registry, the minimum relative share drift below which
+# a periodic traffic-weighted rebalance() is skipped (hysteresis — avoids
+# cache-cap churn for tiny share movements), and the fraction of the
+# registry byte pool above which admission control tightens (the "budget
+# is hot" threshold for earlier load-shedding).  All env-overridable.
+DEFAULT_SERVICE_HOUSEKEEPING_SECONDS = _env_float(
+    "DEFAULT_SERVICE_HOUSEKEEPING_SECONDS", 5.0, minimum=0.01
+)
+DEFAULT_SERVICE_IDLE_EVICT_SECONDS = _env_float(
+    "DEFAULT_SERVICE_IDLE_EVICT_SECONDS", 900.0, minimum=0.0
+)
+DEFAULT_SERVICE_REBALANCE_DRIFT = _env_float(
+    "DEFAULT_SERVICE_REBALANCE_DRIFT", 0.10, minimum=0.0
+)
+DEFAULT_SERVICE_HOT_BYTES_FRACTION = _env_float(
+    "DEFAULT_SERVICE_HOT_BYTES_FRACTION", 0.9, minimum=0.0
+)
 
 
 def validate_delta(delta: float) -> float:

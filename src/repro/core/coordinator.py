@@ -41,6 +41,7 @@ from repro.core.session import EstimationSession
 from repro.core.statistics import StatisticsMethod
 from repro.data.dataset import Dataset
 from repro.evaluation.streaming import StreamingConfig
+from repro.exceptions import SampleSizeError
 from repro.models.base import ModelClassSpec, TrainedModel
 
 
@@ -92,6 +93,12 @@ class BlinkML:
         self.optimizer_kwargs = dict(optimizer_kwargs or {})
         self.streaming = streaming
         self.probe_batch = int(probe_batch)
+        if self.probe_batch < 1:
+            raise SampleSizeError(
+                f"probe_batch must be at least 1, got {self.probe_batch} "
+                "(1 = paper bisection; larger values stack candidates per "
+                "size-search pass)"
+            )
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------

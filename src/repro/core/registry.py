@@ -140,6 +140,12 @@ class RegistryStats:
     fingerprint_invalidations: int
     per_session: tuple[SessionInfo, ...]
     refreshes: int = 0
+    #: snapshot from an attached serving front-end (``None`` when no
+    #: provider is attached) — the coalescing tier's aggregated
+    #: :class:`~repro.serving.batcher.BatcherStats` when served through
+    #: :class:`~repro.serving.service.CoalescingService`.  Typed loosely so
+    #: the core registry stays import-free of the serving package.
+    serving: object | None = None
 
     @property
     def requests(self) -> int:
@@ -293,6 +299,7 @@ class SessionRegistry:
         self._invalidations = 0
         self._fingerprint_invalidations = 0
         self._refreshes = 0
+        self._serving_stats_provider = None
 
     # ------------------------------------------------------------------
     # Fleet capacity
@@ -494,15 +501,26 @@ class SessionRegistry:
                 self._refreshes += 1
         return outcome
 
-    def rebalance(self) -> None:
+    def rebalance(self, min_drift: float = 0.0) -> bool:
         """Recompute every member's byte share from current traffic.
 
         Rebalancing otherwise happens only on membership changes; a
-        serving loop can call this periodically so shares track traffic
-        shifts inside a stable fleet.
+        serving loop (the :class:`~repro.serving.service.CoalescingService`
+        housekeeping thread, or any periodic task) calls this so shares
+        track traffic shifts inside a stable fleet.
+
+        ``min_drift`` adds hysteresis for periodic callers: when every
+        member already holds a share and the largest relative share change
+        the recomputation proposes is at most ``min_drift`` (e.g. ``0.1``
+        = 10 %), the proposal is discarded and no cache cap moves —
+        avoiding eviction churn from re-capping caches over noise-level
+        traffic shifts.  The traffic measurement window is consumed either
+        way (the decayed averages stay current), so skipped rounds do not
+        distort the next applied one.  Returns whether new shares were
+        applied.
         """
         with self._lock:
-            self._rebalance_locked()
+            return self._rebalance_locked(min_drift=min_drift)
 
     def evict_idle(self, idle_seconds: float) -> int:
         """Evict every member idle for longer than ``idle_seconds``; count."""
@@ -540,7 +558,7 @@ class SessionRegistry:
             del self._members[victim]
             self._evictions += 1
 
-    def _rebalance_locked(self) -> None:
+    def _rebalance_locked(self, min_drift: float = 0.0) -> bool:
         """Re-split the byte pool across the current members (lock held).
 
         ``"even"`` assigns every member ``pool // N``.  ``"traffic"``
@@ -554,36 +572,71 @@ class SessionRegistry:
         with no traffic history degenerate to the even split.  Under both
         policies the sum of shares never exceeds the pool, so the fleet
         invariant ``stats().bytes <= max_total_bytes`` holds structurally.
+
+        ``min_drift`` (see :meth:`rebalance`) discards the proposal — after
+        the traffic window has been consumed — when every member has a
+        share and no proposed share moves by more than that relative
+        fraction.  Membership-change callers pass 0, so admissions,
+        evictions and invalidations always apply.  Returns whether shares
+        were applied.
         """
         if self.max_total_bytes is None or not self._members:
-            return
+            return False
         members = list(self._members.values())
         if self.rebalance_policy == "even":
-            share = self.max_total_bytes // len(members)
+            share = max(1, self.max_total_bytes // len(members))
+            shares = [share] * len(members)
+        else:
+            floor = min(self.min_session_bytes, self.max_total_bytes // len(members))
+            surplus = self.max_total_bytes - floor * len(members)
+            weights = []
             for member in members:
-                member.share = max(1, share)
-                member.session.resize_cache_budget(member.share)
-            return
-        floor = min(self.min_session_bytes, self.max_total_bytes // len(members))
-        surplus = self.max_total_bytes - floor * len(members)
-        weights = []
-        for member in members:
-            current = member.traffic()
-            # max() guards caches whose counters were externally reset.
-            delta = max(0, current - member.rebalanced_traffic)
-            member.rebalanced_traffic = current
-            member.traffic_ema = member.traffic_ema // 2 + delta
-            weights.append(1 + member.traffic_ema)
-        total_weight = sum(weights)
-        for member, weight in zip(members, weights):
-            member.share = max(1, floor + surplus * weight // total_weight)
-            member.session.resize_cache_budget(member.share)
+                current = member.traffic()
+                # max() guards caches whose counters were externally reset.
+                delta = max(0, current - member.rebalanced_traffic)
+                member.rebalanced_traffic = current
+                member.traffic_ema = member.traffic_ema // 2 + delta
+                weights.append(1 + member.traffic_ema)
+            total_weight = sum(weights)
+            shares = [
+                max(1, floor + surplus * weight // total_weight)
+                for weight in weights
+            ]
+        if min_drift > 0 and all(member.share is not None for member in members):
+            drift = max(
+                abs(share - member.share) / max(member.share, 1)
+                for member, share in zip(members, shares)
+            )
+            if drift <= min_drift:
+                return False
+        for member, share in zip(members, shares):
+            member.share = share
+            member.session.resize_cache_budget(share)
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def attach_serving_stats(self, provider) -> None:
+        """Roll a serving front-end's stats snapshot into :meth:`stats`.
+
+        ``provider`` is a zero-argument callable returning any snapshot
+        object (the :class:`~repro.serving.service.CoalescingService`
+        attaches its aggregated
+        :class:`~repro.serving.batcher.BatcherStats`); every later
+        ``stats()`` call invokes it *outside* the registry lock — providers
+        may take their own locks freely — and reports the result as
+        :attr:`RegistryStats.serving`.  Pass ``None`` to detach.  Kept as a
+        callback so the core registry never imports the serving package.
+        """
+        if provider is not None and not callable(provider):
+            raise BlinkMLError("registry: serving stats provider must be callable")
+        self._serving_stats_provider = provider
+
     def stats(self) -> RegistryStats:
         """A snapshot of fleet occupancy, byte usage and counters."""
+        provider = self._serving_stats_provider
+        serving = provider() if provider is not None else None
         with self._lock:
             rows = []
             for key, member in self._members.items():
@@ -616,6 +669,7 @@ class SessionRegistry:
                 fingerprint_invalidations=self._fingerprint_invalidations,
                 per_session=per_session,
                 refreshes=self._refreshes,
+                serving=serving,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

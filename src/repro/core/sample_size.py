@@ -44,7 +44,7 @@ from repro.core.statistics import ModelStatistics
 from repro.data.dataset import Dataset
 from repro.evaluation.streaming import (
     StreamingConfig,
-    streaming_pairwise_prediction_differences,
+    streaming_fanout_pairwise_prediction_differences,
 )
 from repro.exceptions import SampleSizeError
 from repro.models.base import ModelClassSpec
@@ -79,6 +79,39 @@ class SampleSizeEstimate:
     estimation_seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class FusedSizeSearch:
+    """Outcome of one fused multi-contract search (:meth:`SampleSizeEstimator.estimate_many`).
+
+    Attributes
+    ----------
+    estimates:
+        One :class:`SampleSizeEstimate` per input contract, in input order.
+        Each is bitwise identical to what a lone :meth:`SampleSizeEstimator.estimate`
+        call for that contract would return, except ``estimation_seconds``,
+        which reports the *shared* fused wall-clock for every member.
+    fused_passes:
+        Evaluation rounds the fused search actually executed — each is one
+        streamed holdout pass (for block-streaming model families) carrying
+        the union of that round's candidates across all active searches.
+    serial_passes:
+        Evaluation rounds the same contracts would have cost executed
+        serially (each search's own round count, summed).  Exact, not
+        estimated: every member search follows the identical bracket
+        trajectory fused or serial, so its serial round count is simply the
+        number of fused rounds it contributed candidates to.
+    """
+
+    estimates: tuple[SampleSizeEstimate, ...]
+    fused_passes: int
+    serial_passes: int
+
+    @property
+    def passes_saved(self) -> int:
+        """Streamed passes the fusion avoided versus serial execution."""
+        return self.serial_passes - self.fused_passes
+
+
 def adaptive_probe_count(span: int, probe_batch: int) -> int:
     """Candidates to stack this round for a bracket of width ``span``.
 
@@ -92,15 +125,29 @@ def adaptive_probe_count(span: int, probe_batch: int) -> int:
     evaluations than the bracket can use (ROADMAP "adaptive probe
     batching").
 
+    Edge cases are explicit rather than emergent from the cap arithmetic:
+    a resolved bracket (``span <= 1``) needs no candidates at all; a
+    width-2 bracket has exactly one interior point regardless of how large
+    ``probe_batch`` is; a ``probe_batch`` of 1 is the classic bisection
+    midpoint whatever the width.  ``probe_batch < 1`` is a caller bug and
+    raises (the session/coordinator boundary validates it too).
+
     Examples with ``probe_batch=3``: a width-1024 bracket stacks 3 (5
     passes either way), a width-9 bracket stacks 2 instead of 3 (2 passes
     either way), a width-2 bracket stacks the single useful midpoint.
     """
+    if probe_batch < 1:
+        raise SampleSizeError(
+            f"probe_batch must be at least 1, got {probe_batch}"
+        )
     if span <= 1:
+        # Bracket already resolved: nothing left to probe.
         return 0
+    if span == 2 or probe_batch == 1:
+        # A width-2 bracket has exactly one interior point; bisection
+        # stacks exactly one midpoint however wide the bracket is.
+        return 1
     cap = min(probe_batch, span - 1)
-    if cap <= 1:
-        return max(cap, 0)
     rounds = 1
     while (cap + 1) ** rounds < span:
         rounds += 1
@@ -108,6 +155,17 @@ def adaptive_probe_count(span: int, probe_batch: int) -> int:
     while (count + 1) ** rounds < span:
         count += 1
     return min(count, cap)
+
+
+def _bracket_candidates(low: int, high: int, count: int) -> list[int]:
+    """The ``count`` evenly spaced interior candidates of ``(low, high)``.
+
+    Shared by the serial search and the fused lockstep search so both
+    schedule byte-identical probe sequences — the foundation of the exact
+    ``passes_saved`` accounting.
+    """
+    span = high - low
+    return sorted({low + (span * (j + 1)) // (count + 1) for j in range(count)})
 
 
 class SampleSizeEstimator:
@@ -148,6 +206,41 @@ class SampleSizeEstimator:
             theta0, n0, (candidate_n,), N, contract, sampler
         )[0]
 
+    def candidate_differences_batch(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        candidate_ns: Sequence[int],
+        N: int,
+        sampler: ParameterSampler,
+    ) -> list[np.ndarray]:
+        """Sampled diff vectors for several candidate sizes, one streamed pass.
+
+        The two-stage draws (Section 4.1) for every candidate reuse the same
+        cached base samples, so the only per-candidate cost is the rescale;
+        each candidate's k parameter pairs then form one *segment* of a
+        single fan-out streamed evaluation
+        (:func:`~repro.evaluation.streaming.streaming_fanout_pairwise_prediction_differences`).
+        Per-candidate segmentation — rather than stacking all candidates
+        into one wide GEMM — is what makes results demultiplex bitwise
+        identically: every segment runs the same per-block GEMM shapes, in
+        the same block order, that a lone single-candidate evaluation would,
+        so the vector a candidate gets is independent of which (or whose)
+        other candidates shared the pass.  This is the contract the
+        request-coalescing tier (:mod:`repro.serving`) is built on.
+        """
+        if not candidate_ns:
+            return []
+        segments = [
+            sampler.two_stage_samples(
+                theta0, n0=n0, n=int(candidate), N=N, count=self._n_parameter_samples
+            )
+            for candidate in candidate_ns
+        ]
+        return streaming_fanout_pairwise_prediction_differences(
+            self._spec, segments, self._holdout, config=self._streaming
+        )
+
     def contract_satisfied_batch(
         self,
         theta0: np.ndarray,
@@ -157,36 +250,23 @@ class SampleSizeEstimator:
         contract: ApproximationContract,
         sampler: ParameterSampler,
     ) -> list[bool]:
-        """Monte-Carlo check of several candidate sizes in one stacked pass.
+        """Monte-Carlo check of several candidate sizes in one streamed pass.
 
-        The two-stage draws (Section 4.1) for every candidate reuse the same
-        cached base samples, so the only per-candidate cost is the rescale;
-        the k pairs of all candidates are then stacked into a single
-        ``(len(candidates) · k)``-pair streamed diff evaluation (the ROADMAP
-        "batched two-stage probes").
+        A thin threshold layer over :meth:`candidate_differences_batch`
+        (the ROADMAP "batched two-stage probes"): evaluate every candidate's
+        segment in one fan-out pass, then apply the contract's Lemma 2
+        threshold per candidate.
         """
         if not candidate_ns:
             return []
-        pairs = [
-            sampler.two_stage_samples(
-                theta0, n0=n0, n=int(candidate), N=N, count=self._n_parameter_samples
-            )
-            for candidate in candidate_ns
-        ]
-        stacked_n = np.concatenate([theta_n for theta_n, _ in pairs], axis=0)
-        stacked_N = np.concatenate([theta_N for _, theta_N in pairs], axis=0)
-        differences = np.asarray(
-            streaming_pairwise_prediction_differences(
-                self._spec, stacked_n, stacked_N, self._holdout, config=self._streaming
-            ),
-            dtype=np.float64,
+        differences = self.candidate_differences_batch(
+            theta0, n0, candidate_ns, N, sampler
         )
-        k = self._n_parameter_samples
         return [
             satisfies_probability_threshold(
-                differences[i * k : (i + 1) * k], contract.epsilon, contract.delta
+                vector, contract.epsilon, contract.delta
             )
-            for i in range(len(pairs))
+            for vector in differences
         ]
 
     # ------------------------------------------------------------------
@@ -278,11 +358,8 @@ class SampleSizeEstimator:
         # makes the bracket narrowing valid; with probe_batch == 1 the loop
         # is exactly the paper's bisection.
         while high - low > 1:
-            span = high - low
-            count = adaptive_probe_count(span, probe_batch)
-            candidates = sorted(
-                {low + (span * (j + 1)) // (count + 1) for j in range(count)}
-            )
+            count = adaptive_probe_count(high - low, probe_batch)
+            candidates = _bracket_candidates(low, high, count)
             probed.extend(candidates)
             outcomes = self.contract_satisfied_batch(
                 theta0, n0, candidates, N, contract, sampler
@@ -298,3 +375,173 @@ class SampleSizeEstimator:
                     low = candidates[first_true - 1]
 
         return finish(high, True)
+
+    # ------------------------------------------------------------------
+    # Fused multi-contract search (request coalescing)
+    # ------------------------------------------------------------------
+    def estimate_many(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        N: int,
+        contracts: Sequence[ApproximationContract],
+        statistics: ModelStatistics,
+        sampler: ParameterSampler | None = None,
+        skip_lower_probe: bool = False,
+        probe_batch: int = 1,
+    ) -> FusedSizeSearch:
+        """Run several contracts' searches in lockstep, sharing each round's pass.
+
+        The cross-caller generalisation of ``probe_batch``: where the serial
+        search stacks one *caller's* candidates into a round, this stacks
+        one *round's* candidates across every active search.  Each member
+        search follows exactly the bracket trajectory it would follow alone
+        — same endpoint probes, same :func:`adaptive_probe_count` schedule,
+        same narrowing decisions — but all searches still active at a given
+        round contribute their candidates to one deduplicated union, which
+        is evaluated as a single fan-out streamed pass
+        (:meth:`candidate_differences_batch`).  Per-candidate segmentation
+        makes the demultiplexed outcomes bitwise identical to serial runs,
+        so the member estimates (sample size, feasibility, probe schedule)
+        are exactly what ``estimate()`` would have produced, while the pass
+        count drops from the sum of the members' round counts to the
+        maximum of them.
+
+        Duplicated (ε, δ) contracts in the input are legal and cost nothing
+        extra (their candidates always coincide, so the union absorbs
+        them); callers that want duplicate *results* shared should dedupe a
+        level up (the session's size cache does).  Returns a
+        :class:`FusedSizeSearch` with the per-contract estimates in input
+        order plus the exact fused/serial pass accounting.
+        """
+        if n0 <= 0 or N <= 0:
+            raise SampleSizeError("sample sizes must be positive")
+        if n0 > N:
+            raise SampleSizeError(f"initial sample size {n0} exceeds N={N}")
+        if probe_batch < 1:
+            raise SampleSizeError(
+                f"probe_batch must be at least 1, got {probe_batch}"
+            )
+        contracts = list(contracts)
+        if not contracts:
+            return FusedSizeSearch(estimates=(), fused_passes=0, serial_passes=0)
+
+        start = time.perf_counter()
+        sampler = sampler or ParameterSampler(statistics)
+        searches = [_LockstepSearch(contract) for contract in contracts]
+        fused_passes = 0
+        serial_passes = 0
+
+        def evaluate(active: list[tuple["_LockstepSearch", list[int]]]):
+            """One fused round: union pass, per-search demultiplexed outcomes."""
+            nonlocal fused_passes, serial_passes
+            fused_passes += 1
+            serial_passes += len(active)
+            for search, candidates in active:
+                search.probed.extend(candidates)
+            if len(active) == 1:
+                # A lone search takes the exact serial path (including the
+                # overridable contract_satisfied_batch hook tests rely on).
+                search, candidates = active[0]
+                return [
+                    self.contract_satisfied_batch(
+                        theta0, n0, candidates, N, search.contract, sampler
+                    )
+                ]
+            union = sorted({c for _, candidates in active for c in candidates})
+            differences = self.candidate_differences_batch(
+                theta0, n0, union, N, sampler
+            )
+            index = {candidate: i for i, candidate in enumerate(union)}
+            return [
+                [
+                    satisfies_probability_threshold(
+                        differences[index[candidate]],
+                        search.contract.epsilon,
+                        search.contract.delta,
+                    )
+                    for candidate in candidates
+                ]
+                for search, candidates in active
+            ]
+
+        # Round 0a (optional): every search probes the lower endpoint n0.
+        if not skip_lower_probe:
+            active = [(search, [n0]) for search in searches]
+            for (search, _), outcomes in zip(active, evaluate(active)):
+                if outcomes[0]:
+                    search.finish(n0, True)
+
+        # Round 0b: remaining searches probe the upper endpoint N; a search
+        # the full data cannot certify falls back to N, infeasible.
+        pending = [search for search in searches if not search.done]
+        if pending:
+            active = [(search, [N]) for search in pending]
+            for (search, _), outcomes in zip(active, evaluate(active)):
+                if not outcomes[0]:
+                    search.finish(N, False)
+                else:
+                    search.low, search.high = n0, N
+
+        # Bracket rounds in lockstep: searches drop out as their brackets
+        # resolve; the survivors keep sharing one union pass per round.
+        while True:
+            active = []
+            for search in searches:
+                if search.done:
+                    continue
+                if search.high - search.low <= 1:
+                    search.finish(search.high, True)
+                    continue
+                count = adaptive_probe_count(search.high - search.low, probe_batch)
+                active.append(
+                    (search, _bracket_candidates(search.low, search.high, count))
+                )
+            if not active:
+                break
+            for (search, candidates), outcomes in zip(active, evaluate(active)):
+                first_true = next(
+                    (i for i, outcome in enumerate(outcomes) if outcome), None
+                )
+                if first_true is None:
+                    search.low = candidates[-1]
+                else:
+                    search.high = candidates[first_true]
+                    if first_true > 0:
+                        search.low = candidates[first_true - 1]
+
+        elapsed = time.perf_counter() - start
+        return FusedSizeSearch(
+            estimates=tuple(search.estimate(elapsed) for search in searches),
+            fused_passes=fused_passes,
+            serial_passes=serial_passes,
+        )
+
+
+class _LockstepSearch:
+    """Mutable per-contract state threaded through one fused search."""
+
+    __slots__ = ("contract", "probed", "low", "high", "done", "sample_size", "feasible")
+
+    def __init__(self, contract: ApproximationContract) -> None:
+        self.contract = contract
+        self.probed: list[int] = []
+        self.low = 0
+        self.high = 0
+        self.done = False
+        self.sample_size = 0
+        self.feasible = True
+
+    def finish(self, sample_size: int, feasible: bool) -> None:
+        self.done = True
+        self.sample_size = int(sample_size)
+        self.feasible = feasible
+
+    def estimate(self, elapsed: float) -> SampleSizeEstimate:
+        return SampleSizeEstimate(
+            sample_size=self.sample_size,
+            feasible=self.feasible,
+            n_probability_evaluations=len(self.probed),
+            probed_sizes=tuple(self.probed),
+            estimation_seconds=elapsed,
+        )

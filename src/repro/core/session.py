@@ -41,6 +41,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -68,7 +69,7 @@ from repro.data.dataset import Dataset
 from repro.data.sampling import UniformSampler
 from repro.data.store import ShardedDataset
 from repro.evaluation.streaming import StreamingConfig
-from repro.exceptions import BlinkMLError, DataError
+from repro.exceptions import BlinkMLError, DataError, SampleSizeError
 from repro.models.base import ModelClassSpec, TrainedModel
 
 
@@ -100,6 +101,37 @@ class SessionAnswer:
     satisfied: bool
     estimate: AccuracyEstimate
     from_cache: bool
+
+
+@dataclass(frozen=True)
+class CoalescedTrainOutcome:
+    """Outcome of one :meth:`EstimationSession.train_to_many` dispatch.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.core.result.ApproximateTrainingResult` per input
+        contract, in input order — each bitwise identical (model θ, sample
+        size, ε estimate, probe schedule) to what a serial
+        :meth:`EstimationSession.train_to` call would have produced.
+    fused_search_passes / serial_search_passes:
+        Exact size-search pass accounting from the fused lockstep search
+        (:class:`~repro.core.sample_size.FusedSizeSearch`): evaluation
+        rounds actually executed versus the rounds the same contracts would
+        have cost run back-to-back against this session (warm caches — the
+        savings counted here come purely from cross-contract round sharing,
+        not from cache effects a serial caller would also enjoy).  Zero /
+        zero when every contract was already satisfied or size-cached.
+    """
+
+    results: tuple[ApproximateTrainingResult, ...]
+    fused_search_passes: int
+    serial_search_passes: int
+
+    @property
+    def passes_saved(self) -> int:
+        """Streamed search passes the coalesced dispatch avoided."""
+        return self.serial_search_passes - self.fused_search_passes
 
 
 @dataclass(frozen=True)
@@ -219,7 +251,14 @@ class EstimationSession:
         self.statistics_scope = statistics_scope
         self._optimizer = optimizer
         self._optimizer_kwargs = dict(optimizer_kwargs or {})
-        self._probe_batch = int(probe_batch)
+        probe_batch = int(probe_batch)
+        if probe_batch < 1:
+            raise SampleSizeError(
+                f"probe_batch must be at least 1, got {probe_batch} "
+                "(1 = paper bisection; larger values stack candidates per "
+                "size-search pass)"
+            )
+        self._probe_batch = probe_batch
         self._n_parameter_samples = int(n_parameter_samples)
         self._streaming = streaming
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -503,6 +542,21 @@ class EstimationSession:
             from_cache=from_cache,
         )
 
+    def answer_many(
+        self, contracts: "Sequence[ApproximationContract]"
+    ) -> tuple[SessionAnswer, ...]:
+        """Answer a batch of contracts, in order, against the initial model.
+
+        Every answer keys the same (θ_0, n_0, N) difference vector, so a
+        batch of B contracts costs at most one streamed evaluation no
+        matter how many distinct (ε, δ) pairs it mixes — the first miss
+        computes the vector, every other member is a quantile lookup.
+        Order-independent and bitwise identical to B serial
+        :meth:`answer` calls (it *is* B serial calls; the method exists so
+        the coalescing batcher has a single dispatch surface).
+        """
+        return tuple(self.answer(contract) for contract in contracts)
+
     # ------------------------------------------------------------------
     # Data growth
     # ------------------------------------------------------------------
@@ -605,6 +659,44 @@ class EstimationSession:
         model, hit = self._model_cache.get_or_compute(n, train)
         return model, (elapsed_holder[0] if elapsed_holder else 0.0), hit
 
+    def _claim_construction_timings(self) -> TimingBreakdown:
+        """A fresh timing record, carrying the one-time construction costs at most once.
+
+        The session-construction costs (initial training, statistics) are
+        claimed by exactly one result per session — race-free under
+        concurrent ``train_to`` — so aggregating timings across contracts
+        never double-counts the amortised work.
+        """
+        timings = TimingBreakdown()
+        with self._construction_costs_lock:
+            report_construction = not self._construction_costs_reported
+            self._construction_costs_reported = True
+        if report_construction:
+            timings.initial_training_seconds = self._initial_training_seconds
+            timings.statistics_seconds = self._statistics.computation_seconds
+        return timings
+
+    def _initial_model_result(
+        self,
+        contract: ApproximationContract,
+        answer: SessionAnswer,
+        timings: TimingBreakdown,
+        metadata: dict,
+    ) -> ApproximateTrainingResult:
+        """The early-return result when m_0 already satisfies the contract."""
+        return ApproximateTrainingResult(
+            model=self.initial_model,
+            contract=contract,
+            estimated_epsilon=answer.estimate.epsilon,
+            sample_size=self._n0,
+            initial_sample_size=self._n0,
+            full_size=self._N,
+            used_initial_model=True,
+            estimated_minimum_sample_size=self._n0,
+            timings=timings,
+            metadata=metadata,
+        )
+
     def train_to(
         self,
         contract: ApproximationContract,
@@ -627,30 +719,13 @@ class EstimationSession:
         skipped automatically when the initial model already satisfies the
         contract or the search fell back to the full data (ε = 0 either way).
         """
-        timings = TimingBreakdown()
         self._touch()
-        with self._construction_costs_lock:
-            report_construction = not self._construction_costs_reported
-            self._construction_costs_reported = True
-        if report_construction:
-            timings.initial_training_seconds = self._initial_training_seconds
-            timings.statistics_seconds = self._statistics.computation_seconds
+        timings = self._claim_construction_timings()
         answer = self.answer(contract)
         timings.accuracy_estimation_seconds += answer.estimate.estimation_seconds
         metadata = {"statistics_method": self.statistics_method.value}
         if answer.satisfied:
-            return ApproximateTrainingResult(
-                model=self.initial_model,
-                contract=contract,
-                estimated_epsilon=answer.estimate.epsilon,
-                sample_size=self._n0,
-                initial_sample_size=self._n0,
-                full_size=self._N,
-                used_initial_model=True,
-                estimated_minimum_sample_size=self._n0,
-                timings=timings,
-                metadata=metadata,
-            )
+            return self._initial_model_result(contract, answer, timings, metadata)
 
         # Step 3: smallest n satisfying the contract (batched probes; the
         # accuracy estimate above already rejected n0, so skip re-probing it).
@@ -674,6 +749,25 @@ class EstimationSession:
         size_estimate, size_cache_hit = self._size_cache.get_or_compute(
             size_key, run_search
         )
+        return self._complete_with_size(
+            contract,
+            size_estimate,
+            size_cache_hit,
+            timings,
+            metadata,
+            recompute_at_theta_n,
+        )
+
+    def _complete_with_size(
+        self,
+        contract: ApproximationContract,
+        size_estimate: SampleSizeEstimate,
+        size_cache_hit: bool,
+        timings: TimingBreakdown,
+        metadata: dict,
+        recompute_at_theta_n: bool,
+    ) -> ApproximateTrainingResult:
+        """Steps 4+ of the workflow, shared by serial and coalesced dispatch."""
         if not size_cache_hit:
             timings.sample_size_search_seconds = size_estimate.estimation_seconds
         final_n = size_estimate.sample_size
@@ -756,4 +850,131 @@ class EstimationSession:
             estimated_minimum_sample_size=final_n,
             timings=timings,
             metadata=metadata,
+        )
+
+    def train_to_many(
+        self,
+        contracts: Sequence[ApproximationContract],
+        *,
+        recompute_at_theta_n: bool = False,
+    ) -> CoalescedTrainOutcome:
+        """Serve a batch of contracts with their size searches fused.
+
+        The coalesced counterpart of calling :meth:`train_to` once per
+        contract: answers are computed first (one shared difference vector),
+        then the *distinct, unsatisfied, not-yet-cached* contracts run one
+        fused lockstep search
+        (:meth:`~repro.core.sample_size.SampleSizeEstimator.estimate_many`)
+        — every active search contributes its round's candidates to a
+        single streamed union pass — and finally each request completes
+        steps 4+ exactly as serial ``train_to`` would (model training,
+        final estimate, metadata), in input order.
+
+        Results are bitwise identical to serial per-contract calls: the
+        fused search evaluates each candidate as its own segment (identical
+        GEMM shapes and block order to a lone evaluation), the sampler's
+        cached base draws make Monte-Carlo vectors order-independent, and
+        duplicated contracts resolve through the same single-flight size
+        cache a serial repeat would hit.  One exception is timing metadata:
+        coalesced members report the shared fused search wall-clock as
+        their search cost.
+
+        The returned :class:`CoalescedTrainOutcome` carries the exact
+        fused/serial pass accounting (zero/zero when nothing needed a
+        search); ``results`` is ordered like ``contracts``.
+        """
+        contracts = list(contracts)
+        if not contracts:
+            return CoalescedTrainOutcome(
+                results=(), fused_search_passes=0, serial_search_passes=0
+            )
+        self._touch()
+
+        requests = []
+        for contract in contracts:
+            timings = self._claim_construction_timings()
+            answer = self.answer(contract)
+            timings.accuracy_estimation_seconds += answer.estimate.estimation_seconds
+            requests.append((contract, answer, timings))
+
+        # The fused search set: distinct (ε, δ) pairs whose answer was
+        # unsatisfied, in arrival order.  Pairs already size-cached are
+        # filtered inside the runner (membership is checked without
+        # touching the hit/miss counters, so accounting matches serial).
+        needing: list[ApproximationContract] = []
+        seen: set[tuple[float, float]] = set()
+        for contract, answer, _ in requests:
+            key = (contract.epsilon, contract.delta)
+            if not answer.satisfied and key not in seen:
+                seen.add(key)
+                needing.append(contract)
+
+        fused_passes = 0
+        serial_passes = 0
+        resolved: dict[tuple[float, float], SampleSizeEstimate] = {}
+        cache_hits: dict[tuple[float, float], bool] = {}
+
+        for contract in needing:
+            size_key = (contract.epsilon, contract.delta)
+
+            def run_fused(pivot: ApproximationContract = contract):
+                nonlocal fused_passes, serial_passes
+                pivot_key = (pivot.epsilon, pivot.delta)
+                if pivot_key in resolved:
+                    # An earlier leader's fused batch already covered this
+                    # pair; hand its estimate to the cache.
+                    return resolved[pivot_key]
+                batch = [
+                    candidate
+                    for candidate in needing
+                    if (candidate.epsilon, candidate.delta) == pivot_key
+                    or (
+                        (candidate.epsilon, candidate.delta) not in resolved
+                        and (candidate.epsilon, candidate.delta)
+                        not in self._size_cache
+                    )
+                ]
+                outcome = self._size_estimator.estimate_many(
+                    self.initial_model.theta,
+                    n0=self._n0,
+                    N=self._N,
+                    contracts=batch,
+                    statistics=self._statistics,
+                    sampler=self._parameter_sampler,
+                    skip_lower_probe=True,
+                    probe_batch=self._probe_batch,
+                )
+                fused_passes += outcome.fused_passes
+                serial_passes += outcome.serial_passes
+                for member, estimate in zip(batch, outcome.estimates):
+                    resolved[(member.epsilon, member.delta)] = estimate
+                return resolved[pivot_key]
+
+            estimate, hit = self._size_cache.get_or_compute(size_key, run_fused)
+            resolved[size_key] = estimate
+            cache_hits[size_key] = hit
+
+        results = []
+        for contract, answer, timings in requests:
+            metadata = {"statistics_method": self.statistics_method.value}
+            if answer.satisfied:
+                results.append(
+                    self._initial_model_result(contract, answer, timings, metadata)
+                )
+                continue
+            size_key = (contract.epsilon, contract.delta)
+            results.append(
+                self._complete_with_size(
+                    contract,
+                    resolved[size_key],
+                    cache_hits[size_key],
+                    timings,
+                    metadata,
+                    recompute_at_theta_n,
+                )
+            )
+        return CoalescedTrainOutcome(
+            results=tuple(results),
+            fused_search_passes=fused_passes,
+            serial_search_passes=serial_passes,
         )

@@ -26,6 +26,8 @@ _EXPORTS = {
     "iter_holdout_blocks": "repro.evaluation.streaming",
     "streaming_prediction_differences": "repro.evaluation.streaming",
     "streaming_pairwise_prediction_differences": "repro.evaluation.streaming",
+    "streaming_fanout_pairwise_prediction_differences": "repro.evaluation.streaming",
+    "streaming_pass_count": "repro.evaluation.streaming",
     "SweepRecord": "repro.evaluation.experiments",
     "run_accuracy_sweep": "repro.evaluation.experiments",
     "run_baseline_comparison": "repro.evaluation.experiments",

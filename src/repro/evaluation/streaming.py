@@ -66,6 +66,35 @@ from repro.models.base import DiffAccumulator, ModelClassSpec
 #: executor backends accepted by :class:`StreamingConfig`.
 STREAMING_BACKENDS = ("threads", "processes")
 
+# Global streamed-pass counter: one tick per stream_accumulate() call that
+# actually consumes holdout blocks (parameter-space metrics and the
+# materialised fallback never stream and never count).  The coalescing
+# serving tier's "passes saved" accounting is defined against this counter:
+# tests and the bench_coalesced_serving gate measure fused-vs-serial
+# executions by diffing it, so it must tick exactly once per pass no matter
+# how many fan-out segments the pass carries.
+_PASS_COUNTER_LOCK = threading.Lock()
+_STREAMING_PASSES = 0
+
+
+def _count_streaming_pass() -> None:
+    global _STREAMING_PASSES
+    with _PASS_COUNTER_LOCK:
+        _STREAMING_PASSES += 1
+
+
+def streaming_pass_count() -> int:
+    """Process-lifetime count of streamed passes over any block source.
+
+    Monotonic and thread-safe; diff two readings around a workload to count
+    the holdout passes it cost.  Counts *passes*, not blocks and not
+    segments: a fan-out pass evaluating many candidate segments in one
+    block sweep counts once — that is precisely the economy the
+    request-coalescing tier exists to create.
+    """
+    with _PASS_COUNTER_LOCK:
+        return _STREAMING_PASSES
+
 
 @runtime_checkable
 class BlockSource(Protocol):
@@ -233,6 +262,64 @@ class _StreamTask:
         )
 
 
+class FanoutDiffAccumulator(DiffAccumulator):
+    """One block sweep folded into many independent sub-accumulators.
+
+    The cross-caller coalescing primitive: each part is a complete
+    per-segment accumulator (one per candidate sample size, k pairs each),
+    and every holdout block is folded into all of them before the next
+    block is read — so the union of many callers' candidate evaluations
+    costs one pass over the data instead of one pass per caller.
+
+    Determinism contract: each part sees exactly the blocks, block order
+    and per-part parameter stack it would have seen running alone (the
+    family closures are segment-local — ``predict_many`` runs per part
+    with identical shapes either way), so the demultiplexed results are
+    bitwise identical to serial per-segment passes.  ``finalize`` returns
+    the *list* of per-part results, in part order.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+    @property
+    def needs_holdout_blocks(self) -> bool:
+        return any(part.needs_holdout_blocks for part in self.parts)
+
+    def update(self, block: Dataset) -> None:
+        for part in self.parts:
+            part.update(block)
+
+    def merge(self, other: "FanoutDiffAccumulator") -> None:
+        for mine, theirs in zip(self.parts, other.parts):
+            mine.merge(theirs)
+
+    def finalize(self) -> list:
+        return [part.finalize() for part in self.parts]
+
+
+@dataclass(frozen=True)
+class _FanoutStreamTask:
+    """Picklable recipe bundling several diff tasks into one block sweep.
+
+    All member tasks must share one block source (the session holdout); the
+    fan-out accumulator is simply each member's own accumulator driven in
+    lockstep, so process workers rebuild and merge exactly as they do for a
+    single task.
+    """
+
+    tasks: tuple[_StreamTask, ...]
+
+    @property
+    def source(self) -> "Dataset | BlockSource":
+        return self.tasks[0].source
+
+    def make_accumulator(self) -> FanoutDiffAccumulator:
+        return FanoutDiffAccumulator([task.make_accumulator() for task in self.tasks])
+
+
 def _run_block_range(task: StreamTask, bounds: list[tuple[int, int]]):
     """Worker body (both backends): one fresh accumulator over one range.
 
@@ -319,6 +406,7 @@ def stream_accumulate(task: StreamTask, config: StreamingConfig):
         # fallback: nothing to shard.
         return first.finalize()
 
+    _count_streaming_pass()
     blocks = as_block_source(task.source)
     bounds = blocks.block_bounds(config.block_rows)
     if config.n_workers <= 1 or len(bounds) <= 1:
@@ -414,3 +502,39 @@ def streaming_pairwise_prediction_differences(
         ),
         config,
     )
+
+
+def streaming_fanout_pairwise_prediction_differences(
+    spec: ModelClassSpec,
+    segments: "list[tuple[np.ndarray, np.ndarray]]",
+    dataset: "Dataset | BlockSource",
+    config: StreamingConfig | None = None,
+) -> list[np.ndarray]:
+    """Evaluate several independent pairwise-diff segments in one pass.
+
+    ``segments`` is a list of ``(Thetas_a, Thetas_b)`` parameter-batch
+    pairs — in the sample-size search, one k-pair segment per candidate
+    size, possibly pooled across *many concurrent callers*.  The holdout is
+    swept exactly once (one :func:`streaming_pass_count` tick) and every
+    block is folded into each segment's own accumulator, so the per-segment
+    results are bitwise identical to running
+    :func:`streaming_pairwise_prediction_differences` per segment — same
+    per-segment GEMM shapes, same block order, same merge order — while the
+    data-movement cost is shared.  Returns one difference vector per
+    segment, in segment order.
+    """
+    config = config or DEFAULT_STREAMING_CONFIG
+    tasks = tuple(
+        _StreamTask(
+            spec=spec,
+            kind="pairwise",
+            Thetas_a=np.asarray(thetas_a, dtype=np.float64),
+            Thetas_b=np.asarray(thetas_b, dtype=np.float64),
+            source=dataset,
+        )
+        for thetas_a, thetas_b in segments
+    )
+    if not tasks:
+        return []
+    results = stream_accumulate(_FanoutStreamTask(tasks=tasks), config)
+    return [np.asarray(result, dtype=np.float64) for result in results]

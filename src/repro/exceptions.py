@@ -49,3 +49,18 @@ class DataError(BlinkMLError):
 
 class StatisticsError(BlinkMLError):
     """Raised when the H/J statistics cannot be computed or factorised."""
+
+
+class ServingError(BlinkMLError):
+    """Raised by the coalescing serving tier (closed batcher, timed-out wait)."""
+
+
+class ServingOverloadError(ServingError):
+    """Raised when admission control load-sheds a request.
+
+    The serving front-end bounds its per-session queues; a submission that
+    would exceed the bound — or that arrives while the registry's byte
+    budget is hot and the stricter hot-admission bound is exceeded — fails
+    fast with this error instead of queueing unboundedly.  Callers should
+    treat it as retryable backpressure.
+    """

@@ -1,0 +1,469 @@
+"""Per-session request coalescing: one dispatch serves a window of callers.
+
+The economics this tier exists for: a session's dominant serving cost is
+the streamed holdout pass behind each sample-size-search round, and
+concurrent *distinct* (ε, δ) contracts each pay their own rounds even
+though the candidate evaluations could share every pass.  A
+:class:`ContractBatcher` sits in front of one
+:class:`~repro.core.session.EstimationSession` and
+
+* collects concurrent ``answer()`` / ``train_to()`` submissions for a
+  short batching window (``window_ms``, capped at ``max_batch`` requests);
+* dedupes identical requests — same kind, same (ε, δ), same flags — into
+  single-flight followers (counted in ``coalesced_requests``; the
+  session's own single-flight caches guarantee followers get the leader's
+  bitwise-identical result);
+* dispatches the distinct survivors as *one* fused evaluation:
+  :meth:`~repro.core.session.EstimationSession.answer_many` for answers
+  (one shared difference vector) and
+  :meth:`~repro.core.session.EstimationSession.train_to_many` for training
+  requests (one lockstep fused size search — every active search's
+  candidates ride one streamed union pass per round);
+* demultiplexes the per-request results back to the waiting callers,
+  bitwise identical to what each serial call would have returned.
+
+Backpressure is a bounded queue: a submission finding ``max_queue``
+requests already waiting — or rejected by the pluggable ``admission``
+policy (the service wires registry byte-budget pressure through it) — is
+load-shed immediately with
+:class:`~repro.exceptions.ServingOverloadError` instead of queueing
+unboundedly.
+
+If a fused dispatch raises, the batcher falls back to serial per-request
+execution so one poisoned contract (e.g. a validation error) fails only
+its own caller, not everyone who shared the window.
+
+Thread model: submissions may come from any thread (the asyncio service
+calls through an executor); a single daemon dispatcher thread per batcher
+owns the batching loop, started lazily on first submission and joined by
+:meth:`ContractBatcher.close`.  All counters are guarded by the batcher
+condition variable and exposed as an immutable :class:`BatcherStats`
+snapshot, which the service aggregates and the registry rolls into
+``registry.stats().serving``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.config import (
+    DEFAULT_COALESCE_MAX_BATCH,
+    DEFAULT_COALESCE_MAX_QUEUE,
+    DEFAULT_COALESCE_WINDOW_MS,
+)
+from repro.core.contract import ApproximationContract
+from repro.core.result import ApproximateTrainingResult
+from repro.core.session import SessionAnswer
+from repro.exceptions import BlinkMLError, ServingError, ServingOverloadError
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """Immutable coalescing counters (per batcher, or service-aggregated).
+
+    Attributes
+    ----------
+    batches:
+        Dispatches executed (each served one batching window).
+    requests:
+        Requests completed through those dispatches.
+    coalesced_requests:
+        Requests that were in-window duplicates of another request (same
+        kind, contract and flags) — followers that rode a leader's
+        evaluation instead of paying their own.
+    answer_requests / train_requests:
+        The per-kind split of ``requests``.
+    fused_passes / serial_passes:
+        Exact size-search pass accounting summed over every fused
+        ``train_to_many`` dispatch (see
+        :class:`~repro.core.session.CoalescedTrainOutcome`): rounds
+        actually executed versus what the same contracts would have cost
+        serially.  ``passes_saved`` is their difference — exact, because
+        each member search follows the identical bracket trajectory fused
+        or serial.
+    load_shed:
+        Submissions rejected by backpressure (queue full or admission
+        policy) with :class:`~repro.exceptions.ServingOverloadError`.
+    max_queue_depth:
+        High-water mark of requests waiting in the queue.
+    window_slots:
+        ``batches × max_batch`` — the denominator of ``window_occupancy``.
+    queue_wait_seconds / max_queue_wait_seconds:
+        Total and worst time requests spent queued before their dispatch
+        started.
+    """
+
+    batches: int = 0
+    requests: int = 0
+    coalesced_requests: int = 0
+    answer_requests: int = 0
+    train_requests: int = 0
+    fused_passes: int = 0
+    serial_passes: int = 0
+    load_shed: int = 0
+    max_queue_depth: int = 0
+    window_slots: int = 0
+    queue_wait_seconds: float = 0.0
+    max_queue_wait_seconds: float = 0.0
+
+    @property
+    def passes_saved(self) -> int:
+        """Streamed size-search passes coalescing avoided (exact)."""
+        return self.serial_passes - self.fused_passes
+
+    @property
+    def window_occupancy(self) -> float:
+        """Mean fraction of the batch capacity each dispatch actually filled."""
+        return self.requests / self.window_slots if self.window_slots else 0.0
+
+    @property
+    def mean_queue_wait_seconds(self) -> float:
+        return self.queue_wait_seconds / self.requests if self.requests else 0.0
+
+    def merge(self, other: "BatcherStats") -> "BatcherStats":
+        """Aggregate two snapshots (sums; maxima for the high-water marks)."""
+        return BatcherStats(
+            batches=self.batches + other.batches,
+            requests=self.requests + other.requests,
+            coalesced_requests=self.coalesced_requests + other.coalesced_requests,
+            answer_requests=self.answer_requests + other.answer_requests,
+            train_requests=self.train_requests + other.train_requests,
+            fused_passes=self.fused_passes + other.fused_passes,
+            serial_passes=self.serial_passes + other.serial_passes,
+            load_shed=self.load_shed + other.load_shed,
+            max_queue_depth=max(self.max_queue_depth, other.max_queue_depth),
+            window_slots=self.window_slots + other.window_slots,
+            queue_wait_seconds=self.queue_wait_seconds + other.queue_wait_seconds,
+            max_queue_wait_seconds=max(
+                self.max_queue_wait_seconds, other.max_queue_wait_seconds
+            ),
+        )
+
+
+class _Request:
+    """One waiting caller: its ask, its completion event, its outcome."""
+
+    __slots__ = (
+        "kind",
+        "contract",
+        "recompute",
+        "event",
+        "result",
+        "error",
+        "enqueued_at",
+    )
+
+    def __init__(self, kind: str, contract: ApproximationContract, recompute: bool):
+        self.kind = kind
+        self.contract = contract
+        self.recompute = recompute
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.monotonic()
+
+    def dedupe_key(self) -> tuple:
+        return (self.kind, self.contract, self.recompute)
+
+
+class ContractBatcher:
+    """Coalesces concurrent contract requests against one session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.core.session.EstimationSession` every batch is
+        dispatched against.
+    window_ms:
+        How long the dispatcher holds the first request of a batch open
+        for more arrivals (0 disables the wait: each dispatch takes
+        whatever is queued the moment it wakes).  A couple of milliseconds
+        is far below a streamed search round, so the added latency is
+        noise next to the passes it saves.
+    max_batch:
+        Most requests one dispatch may serve; arrivals beyond it wait for
+        the next window.
+    max_queue:
+        Backpressure bound: a submission finding this many requests
+        already queued is load-shed with
+        :class:`~repro.exceptions.ServingOverloadError`.
+    admission:
+        Optional ``callable(queue_depth) -> bool`` consulted on every
+        submission *before* the queue bound; returning False load-sheds.
+        The serving front-end uses it to tighten admission while the
+        registry byte budget is hot.
+    name:
+        Label used in error messages (the service passes the session key).
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        window_ms: float = DEFAULT_COALESCE_WINDOW_MS,
+        max_batch: int = DEFAULT_COALESCE_MAX_BATCH,
+        max_queue: int = DEFAULT_COALESCE_MAX_QUEUE,
+        admission=None,
+        name: str = "session",
+    ):
+        if window_ms < 0:
+            raise BlinkMLError(f"batcher: window_ms must be >= 0, got {window_ms}")
+        if max_batch < 1:
+            raise BlinkMLError(f"batcher: max_batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise BlinkMLError(f"batcher: max_queue must be >= 1, got {max_queue}")
+        self._session = session
+        self._window_seconds = float(window_ms) / 1000.0
+        self._max_batch = int(max_batch)
+        self._max_queue = int(max_queue)
+        self._admission = admission
+        self._name = str(name)
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._inflight = 0
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        # Counters (all guarded by the condition variable).
+        self._batches = 0
+        self._requests = 0
+        self._coalesced = 0
+        self._answer_requests = 0
+        self._train_requests = 0
+        self._fused_passes = 0
+        self._serial_passes = 0
+        self._load_shed = 0
+        self._max_queue_depth = 0
+        self._window_slots = 0
+        self._queue_wait_seconds = 0.0
+        self._max_queue_wait_seconds = 0.0
+
+    @property
+    def session(self):
+        """The session this batcher dispatches against."""
+        return self._session
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    @property
+    def max_queue(self) -> int:
+        return self._max_queue
+
+    # ------------------------------------------------------------------
+    # Submission surface
+    # ------------------------------------------------------------------
+    def answer(
+        self, contract: ApproximationContract, timeout: float | None = None
+    ) -> SessionAnswer:
+        """Coalesced :meth:`EstimationSession.answer` — blocks for the result."""
+        return self._submit("answer", contract, False, timeout)
+
+    def train_to(
+        self,
+        contract: ApproximationContract,
+        *,
+        recompute_at_theta_n: bool = False,
+        timeout: float | None = None,
+    ) -> ApproximateTrainingResult:
+        """Coalesced :meth:`EstimationSession.train_to` — blocks for the result."""
+        return self._submit("train", contract, bool(recompute_at_theta_n), timeout)
+
+    def _submit(
+        self,
+        kind: str,
+        contract: ApproximationContract,
+        recompute: bool,
+        timeout: float | None,
+    ):
+        request = _Request(kind, contract, recompute)
+        with self._cond:
+            if self._closed:
+                raise ServingError(f"batcher for {self._name!r} is closed")
+            depth = len(self._queue)
+            if depth >= self._max_queue or (
+                self._admission is not None and not self._admission(depth)
+            ):
+                self._load_shed += 1
+                raise ServingOverloadError(
+                    f"batcher for {self._name!r} shed a {kind} request "
+                    f"(queue depth {depth}, bound {self._max_queue})"
+                )
+            self._queue.append(request)
+            self._max_queue_depth = max(self._max_queue_depth, depth + 1)
+            self._ensure_dispatcher_locked()
+            self._cond.notify_all()
+        if not request.event.wait(timeout):
+            raise ServingError(
+                f"batcher for {self._name!r}: {kind} request timed out "
+                f"after {timeout} s (still queued or executing)"
+            )
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def _ensure_dispatcher_locked(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"repro-batcher-{self._name}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                # Batching window: the first request holds the window open
+                # so concurrent callers can join; a full batch or close()
+                # dispatches immediately.
+                deadline = time.monotonic() + self._window_seconds
+                while len(self._queue) < self._max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self._max_batch))
+                ]
+                self._inflight += 1
+            try:
+                self._execute(batch)
+            finally:
+                for request in batch:
+                    request.event.set()
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def _execute(self, batch: list[_Request]) -> None:
+        started = time.monotonic()
+        waits = [started - request.enqueued_at for request in batch]
+        duplicates = Counter(request.dedupe_key() for request in batch)
+        answers = [request for request in batch if request.kind == "answer"]
+        trains = [request for request in batch if request.kind == "train"]
+        fused = serial = 0
+        try:
+            if answers:
+                results = self._session.answer_many(
+                    [request.contract for request in answers]
+                )
+                for request, result in zip(answers, results):
+                    request.result = result
+            # recompute_at_theta_n is a per-request flag; fuse per flag value
+            # (mixing them in one train_to_many would change members' results).
+            for recompute in (False, True):
+                group = [r for r in trains if r.recompute is recompute]
+                if not group:
+                    continue
+                outcome = self._session.train_to_many(
+                    [request.contract for request in group],
+                    recompute_at_theta_n=recompute,
+                )
+                for request, result in zip(group, outcome.results):
+                    request.result = result
+                fused += outcome.fused_search_passes
+                serial += outcome.serial_search_passes
+        except Exception:
+            # Fused dispatch failed (e.g. one contract fails validation):
+            # retry each unresolved request serially so only the offending
+            # caller sees its error.  Deterministic caches make the retry
+            # identical to a first-time serial call.
+            for request in batch:
+                if request.result is not None:
+                    continue
+                try:
+                    if request.kind == "answer":
+                        request.result = self._session.answer(request.contract)
+                    else:
+                        request.result = self._session.train_to(
+                            request.contract,
+                            recompute_at_theta_n=request.recompute,
+                        )
+                except Exception as exc:  # noqa: BLE001 - handed to the caller
+                    request.error = exc
+        with self._cond:
+            self._batches += 1
+            self._requests += len(batch)
+            self._window_slots += self._max_batch
+            self._coalesced += sum(count - 1 for count in duplicates.values())
+            self._answer_requests += len(answers)
+            self._train_requests += len(trains)
+            self._fused_passes += fused
+            self._serial_passes += serial
+            self._queue_wait_seconds += sum(waits)
+            self._max_queue_wait_seconds = max(
+                self._max_queue_wait_seconds, max(waits, default=0.0)
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Block until every request enqueued so far has completed."""
+        with self._cond:
+            while self._queue or self._inflight:
+                self._cond.wait(timeout=0.05)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting submissions; drain the queue, then stop the dispatcher.
+
+        Requests already queued are still served (the window is cut short);
+        submissions after close raise :class:`~repro.exceptions.ServingError`.
+        Idempotent.
+        """
+        with self._cond:
+            self._closed = True
+            thread = self._thread
+            self._cond.notify_all()
+        if wait and thread is not None and thread is not threading.current_thread():
+            thread.join()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __enter__(self) -> "ContractBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> BatcherStats:
+        """An immutable snapshot of the coalescing counters."""
+        with self._cond:
+            return BatcherStats(
+                batches=self._batches,
+                requests=self._requests,
+                coalesced_requests=self._coalesced,
+                answer_requests=self._answer_requests,
+                train_requests=self._train_requests,
+                fused_passes=self._fused_passes,
+                serial_passes=self._serial_passes,
+                load_shed=self._load_shed,
+                max_queue_depth=self._max_queue_depth,
+                window_slots=self._window_slots,
+                queue_wait_seconds=self._queue_wait_seconds,
+                max_queue_wait_seconds=self._max_queue_wait_seconds,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats()
+        return (
+            f"ContractBatcher({self._name!r}, batches={snapshot.batches}, "
+            f"requests={snapshot.requests}, "
+            f"coalesced={snapshot.coalesced_requests}, "
+            f"passes_saved={snapshot.passes_saved})"
+        )

@@ -1,0 +1,418 @@
+"""Asyncio serving front-end: coalescing batchers over a session registry.
+
+:class:`CoalescingService` is the deployment-facing tier.  It composes the
+pieces below it into one request path:
+
+* a :class:`~repro.core.registry.SessionRegistry` owns the (model,
+  dataset) fleet under its global byte budget;
+* one :class:`~repro.serving.batcher.ContractBatcher` per registry key
+  coalesces that key's concurrent contracts into fused dispatches;
+* asyncio entry points (:meth:`CoalescingService.answer`,
+  :meth:`CoalescingService.train_to`) run the blocking batcher waits on an
+  executor so an event-loop server can await thousands of in-flight
+  contracts while the batchers fuse them underneath.
+
+**Admission control.**  Every submission passes the batcher's bounded
+queue; on top of that the service tightens admission while the registry's
+byte pool is *hot* (used bytes at or above
+``hot_bytes_fraction × max_total_bytes``): new requests are then admitted
+only while the key's queue is shallower than one batching window, so a
+saturated fleet sheds load (raising
+:class:`~repro.exceptions.ServingOverloadError`, which callers should
+treat as retryable) instead of growing queues without bound while every
+cache behind them is already thrashing.  The budget check memoises the
+registry stats snapshot for 100 ms so admission stays O(1) per request.
+
+**Housekeeping.**  A daemon thread runs off the request path every
+``housekeeping_seconds``: a traffic-weighted
+:meth:`~repro.core.registry.SessionRegistry.rebalance` with
+``rebalance_drift`` hysteresis (shares only move when traffic genuinely
+shifted), idle-session eviction after ``idle_evict_seconds``, and closing
+batchers whose session the registry no longer owns (evicted or
+invalidated) so a later request constructs a fresh pair.
+
+**Observability.**  :meth:`batching_stats` merges every batcher's
+:class:`~repro.serving.batcher.BatcherStats` and is attached to the
+registry via
+:meth:`~repro.core.registry.SessionRegistry.attach_serving_stats`, so one
+``service.stats()`` call reports fleet occupancy, byte usage *and* the
+coalescing counters (``stats().serving``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.config import (
+    DEFAULT_COALESCE_MAX_BATCH,
+    DEFAULT_COALESCE_MAX_QUEUE,
+    DEFAULT_COALESCE_WINDOW_MS,
+    DEFAULT_SERVICE_HOT_BYTES_FRACTION,
+    DEFAULT_SERVICE_HOUSEKEEPING_SECONDS,
+    DEFAULT_SERVICE_IDLE_EVICT_SECONDS,
+    DEFAULT_SERVICE_REBALANCE_DRIFT,
+)
+from repro.core.contract import ApproximationContract
+from repro.core.registry import RegistryStats, SessionRegistry
+from repro.core.result import ApproximateTrainingResult
+from repro.core.session import SessionAnswer
+from repro.exceptions import ServingError
+from repro.serving.batcher import BatcherStats, ContractBatcher
+
+
+class CoalescingService:
+    """Coalescing, budget-aware serving front-end over a session fleet.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.core.registry.SessionRegistry` to serve from
+        (``None`` constructs one with the defaults).  The service attaches
+        its :meth:`batching_stats` provider to it, so
+        ``registry.stats().serving`` reports the coalescing counters.
+    window_ms / max_batch / max_queue:
+        Per-key :class:`~repro.serving.batcher.ContractBatcher` parameters
+        (see that class).
+    housekeeping_seconds:
+        Period of the background housekeeping thread (rebalance + idle
+        eviction + stale-batcher cleanup).  ``start_housekeeping=False``
+        disables the thread; :meth:`housekeep_once` can then be driven
+        manually (tests, external schedulers).
+    idle_evict_seconds:
+        Sessions idle longer than this are evicted by housekeeping
+        (0 disables idle eviction).
+    rebalance_drift:
+        Hysteresis passed to :meth:`SessionRegistry.rebalance` — periodic
+        rebalances apply only when some member's share would move by more
+        than this relative fraction.
+    hot_bytes_fraction:
+        The pool-usage fraction at which admission tightens.  Fractions
+        >= 1 with a bounded pool effectively disable tightening (the
+        registry keeps usage below the pool structurally).
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry | None = None,
+        *,
+        window_ms: float = DEFAULT_COALESCE_WINDOW_MS,
+        max_batch: int = DEFAULT_COALESCE_MAX_BATCH,
+        max_queue: int = DEFAULT_COALESCE_MAX_QUEUE,
+        housekeeping_seconds: float = DEFAULT_SERVICE_HOUSEKEEPING_SECONDS,
+        idle_evict_seconds: float = DEFAULT_SERVICE_IDLE_EVICT_SECONDS,
+        rebalance_drift: float = DEFAULT_SERVICE_REBALANCE_DRIFT,
+        hot_bytes_fraction: float = DEFAULT_SERVICE_HOT_BYTES_FRACTION,
+        start_housekeeping: bool = True,
+    ):
+        self.registry = registry if registry is not None else SessionRegistry()
+        self._window_ms = float(window_ms)
+        self._max_batch = int(max_batch)
+        self._max_queue = int(max_queue)
+        self._housekeeping_seconds = float(housekeeping_seconds)
+        self._idle_evict_seconds = float(idle_evict_seconds)
+        self._rebalance_drift = float(rebalance_drift)
+        self._hot_bytes_fraction = float(hot_bytes_fraction)
+        self._lock = threading.Lock()
+        self._batchers: dict[object, ContractBatcher] = {}
+        self._closed = False
+        # Memoised budget-pressure probe: registry.stats() walks the whole
+        # fleet, far too heavy per request, so admission reads a snapshot
+        # at most once per 100 ms.
+        self._hot_checked_at = float("-inf")
+        self._hot = False
+        # Retired stats so closed batchers' history survives in aggregates.
+        self._retired_stats = BatcherStats()
+        # The async entry points park blocking waits here.  Each wait is an
+        # enqueue plus an event sleep (the fused dispatch runs on the
+        # batcher's own thread), so waiters are cheap — but the pool must
+        # be wider than a batching window, or the windows themselves get
+        # serialised behind executor capacity.  asyncio's default executor
+        # sizes by CPU count, which on small hosts is narrower than one
+        # window and silently splits batches.
+        self._waiters = ThreadPoolExecutor(
+            max_workers=max(32, 4 * self._max_batch),
+            thread_name_prefix="repro-serving-wait",
+        )
+        self.registry.attach_serving_stats(self.batching_stats)
+        self._stop = threading.Event()
+        self._housekeeper: threading.Thread | None = None
+        if start_housekeeping:
+            self._housekeeper = threading.Thread(
+                target=self._housekeeping_loop,
+                name="repro-serving-housekeeping",
+                daemon=True,
+            )
+            self._housekeeper.start()
+
+    # ------------------------------------------------------------------
+    # Batcher resolution
+    # ------------------------------------------------------------------
+    def batcher(
+        self,
+        key: object,
+        spec=None,
+        train=None,
+        holdout=None,
+        **session_kwargs,
+    ) -> ContractBatcher:
+        """The live batcher for ``key``, creating session + batcher if needed.
+
+        With ``spec``/``train``/``holdout`` the session is resolved through
+        :meth:`SessionRegistry.get_or_create` (constructing it on first
+        use, fingerprint-checking the data on every call); without them the
+        key must already be live in the registry.  A batcher whose session
+        the registry has since replaced (fingerprint invalidation, evict +
+        re-create) is closed and rebuilt around the current session, so
+        stale sessions are never served through a cached batcher.
+        """
+        if self._closed:
+            raise ServingError("serving: service is closed")
+        if spec is not None:
+            session = self.registry.get_or_create(
+                key, spec, train, holdout, **session_kwargs
+            )
+        else:
+            session = self.registry.get(key)
+            if session is None:
+                raise ServingError(
+                    f"serving: no live session for key {key!r}; pass "
+                    "spec/train/holdout to construct one"
+                )
+        with self._lock:
+            if self._closed:
+                raise ServingError("serving: service is closed")
+            batcher = self._batchers.get(key)
+            if batcher is not None and batcher.session is not session:
+                self._retire_locked(key, batcher)
+                batcher = None
+            if batcher is None:
+                batcher = ContractBatcher(
+                    session,
+                    window_ms=self._window_ms,
+                    max_batch=self._max_batch,
+                    max_queue=self._max_queue,
+                    admission=self._admission,
+                    name=str(key),
+                )
+                self._batchers[key] = batcher
+            return batcher
+
+    def _retire_locked(self, key: object, batcher: ContractBatcher) -> None:
+        """Drop a batcher from the map, folding its counters into history."""
+        self._retired_stats = self._retired_stats.merge(batcher.stats())
+        del self._batchers[key]
+        # close() drains the old batcher's queue on its own dispatcher
+        # thread; don't join it while holding the service lock.
+        batcher.close(wait=False)
+
+    # ------------------------------------------------------------------
+    # Blocking entry points
+    # ------------------------------------------------------------------
+    def answer_sync(
+        self,
+        key: object,
+        contract: ApproximationContract,
+        *,
+        timeout: float | None = None,
+        **resolve_kwargs,
+    ) -> SessionAnswer:
+        """Coalesced ``answer()`` for ``key``'s session; blocks for the result."""
+        return self.batcher(key, **resolve_kwargs).answer(contract, timeout=timeout)
+
+    def train_to_sync(
+        self,
+        key: object,
+        contract: ApproximationContract,
+        *,
+        recompute_at_theta_n: bool = False,
+        timeout: float | None = None,
+        **resolve_kwargs,
+    ) -> ApproximateTrainingResult:
+        """Coalesced ``train_to()`` for ``key``'s session; blocks for the result."""
+        return self.batcher(key, **resolve_kwargs).train_to(
+            contract, recompute_at_theta_n=recompute_at_theta_n, timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Asyncio entry points
+    # ------------------------------------------------------------------
+    async def answer(
+        self,
+        key: object,
+        contract: ApproximationContract,
+        *,
+        timeout: float | None = None,
+        **resolve_kwargs,
+    ) -> SessionAnswer:
+        """Awaitable coalesced ``answer()``.
+
+        The blocking batcher wait runs on the service's waiter pool (sized
+        past the batching window, so concurrent awaits against one key all
+        land in one window and are fused).  Raises
+        :class:`~repro.exceptions.ServingOverloadError` when load-shed.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._waiters,
+            lambda: self.answer_sync(key, contract, timeout=timeout, **resolve_kwargs),
+        )
+
+    async def train_to(
+        self,
+        key: object,
+        contract: ApproximationContract,
+        *,
+        recompute_at_theta_n: bool = False,
+        timeout: float | None = None,
+        **resolve_kwargs,
+    ) -> ApproximateTrainingResult:
+        """Awaitable coalesced ``train_to()`` (see :meth:`answer`)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._waiters,
+            lambda: self.train_to_sync(
+                key,
+                contract,
+                recompute_at_theta_n=recompute_at_theta_n,
+                timeout=timeout,
+                **resolve_kwargs,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admission(self, queue_depth: int) -> bool:
+        """Per-submission admission policy handed to every batcher.
+
+        Normal operation admits anything below the batcher's own
+        ``max_queue`` bound (the batcher enforces that itself).  While the
+        byte pool is hot, admission tightens to one batching window per
+        key: the fleet is already evicting useful cache entries, so
+        letting queues grow past what the next dispatch can absorb only
+        multiplies the thrash.
+        """
+        if self._budget_hot():
+            return queue_depth < self._max_batch
+        return True
+
+    def _budget_hot(self) -> bool:
+        pool = self.registry.max_total_bytes
+        if pool is None or self._hot_bytes_fraction <= 0:
+            return False
+        now = time.monotonic()
+        with self._lock:
+            if now - self._hot_checked_at < 0.1:
+                return self._hot
+            self._hot_checked_at = now
+        hot = self.registry.stats().bytes >= pool * self._hot_bytes_fraction
+        with self._lock:
+            self._hot = hot
+        return hot
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def _housekeeping_loop(self) -> None:
+        while not self._stop.wait(self._housekeeping_seconds):
+            try:
+                self.housekeep_once()
+            except Exception:  # pragma: no cover - keep the loop alive
+                pass
+
+    def housekeep_once(self) -> dict[str, object]:
+        """One housekeeping round; returns what it did (for tests/operators).
+
+        Off the request path: periodic traffic-weighted rebalance (with
+        drift hysteresis), idle-session eviction, and closing batchers
+        whose session the registry no longer owns.
+        """
+        rebalanced = self.registry.rebalance(min_drift=self._rebalance_drift)
+        evicted = 0
+        if self._idle_evict_seconds > 0:
+            evicted = self.registry.evict_idle(self._idle_evict_seconds)
+        dropped = self._drop_stale_batchers()
+        return {
+            "rebalanced": rebalanced,
+            "sessions_evicted": evicted,
+            "batchers_dropped": dropped,
+        }
+
+    def _drop_stale_batchers(self) -> int:
+        with self._lock:
+            stale = [
+                (key, batcher)
+                for key, batcher in self._batchers.items()
+                if self.registry.get(key) is not batcher.session
+            ]
+            for key, batcher in stale:
+                self._retire_locked(key, batcher)
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def batching_stats(self) -> BatcherStats:
+        """Every batcher's counters (live + retired) merged into one snapshot."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+            merged = self._retired_stats
+        for batcher in batchers:
+            merged = merged.merge(batcher.stats())
+        return merged
+
+    def stats(self) -> RegistryStats:
+        """The registry snapshot, with :attr:`RegistryStats.serving` populated."""
+        return self.registry.stats()
+
+    def flush(self) -> None:
+        """Block until every queued request in every batcher has completed."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.flush()
+
+    def close(self) -> None:
+        """Stop housekeeping, drain and close every batcher.  Idempotent.
+
+        The registry (and its sessions) stays usable — the service owns
+        only the coalescing tier on top of it — but the serving stats
+        provider is detached.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.items())
+            self._batchers.clear()
+            for _, batcher in batchers:
+                self._retired_stats = self._retired_stats.merge(batcher.stats())
+        self._stop.set()
+        if self._housekeeper is not None:
+            self._housekeeper.join()
+        for _, batcher in batchers:
+            batcher.close()
+        self._waiters.shutdown(wait=False)
+
+    def __enter__(self) -> "CoalescingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "CoalescingService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.batching_stats()
+        return (
+            f"CoalescingService(keys={len(self._batchers)}, "
+            f"batches={snapshot.batches}, requests={snapshot.requests}, "
+            f"passes_saved={snapshot.passes_saved})"
+        )

@@ -188,6 +188,28 @@ class TestAdaptiveProbeBatching:
                 count = adaptive_probe_count(span, batch)
                 assert (count + 1) ** fixed_rounds >= span
 
+    def test_rejects_probe_batch_below_one(self):
+        for bad in (0, -1, -100):
+            with pytest.raises(SampleSizeError, match="probe_batch"):
+                adaptive_probe_count(10, bad)
+
+    def test_resolved_bracket_probes_nothing(self):
+        # span <= 1 means low and high are adjacent (or equal): there is no
+        # interior point left, whatever the batch ceiling.
+        for span in (1, 0, -3):
+            for batch in (1, 2, 7):
+                assert adaptive_probe_count(span, batch) == 0
+
+    def test_width_two_bracket_has_one_midpoint(self):
+        for batch in (1, 2, 16, 10_000):
+            assert adaptive_probe_count(2, batch) == 1
+
+    def test_probe_batch_larger_than_span_caps_at_interior(self):
+        # A ceiling wider than the bracket stacks exactly the interior
+        # points (resolving in one pass), never phantom candidates.
+        for span in range(2, 12):
+            assert adaptive_probe_count(span, 10_000) == span - 1
+
     def test_adaptive_batched_search_matches_bisection_with_fewer_probes(
         self, initial_model_setup
     ):
@@ -230,3 +252,127 @@ class TestAdaptiveProbeBatching:
         assert all(1 <= size <= 3 for size in bracket_rounds)
         assert bracket_rounds[0] == 3
         assert min(bracket_rounds) < 3
+
+
+class TestFusedLockstepSearch:
+    """estimate_many: lockstep fused search ≡ serial searches, fewer passes."""
+
+    CONTRACTS = [
+        ApproximationContract(epsilon=0.02, delta=0.05),
+        ApproximationContract(epsilon=0.03, delta=0.05),
+        ApproximationContract(epsilon=0.05, delta=0.05),
+        ApproximationContract(epsilon=0.03, delta=0.10),
+    ]
+
+    def test_matches_serial_estimates_exactly(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits, k=32)
+        N = splits.train.n_rows
+        # Serial baseline: one shared sampler, as a session would hold
+        # (cached base draws make the vectors order-independent).
+        serial_sampler = ParameterSampler(stats, rng=np.random.default_rng(17))
+        rounds_per_search = []
+        serial = []
+        for contract in self.CONTRACTS:
+            original = estimator.contract_satisfied_batch
+            rounds = 0
+
+            def spy(*args, _original=original, **kwargs):
+                nonlocal rounds
+                rounds += 1
+                return _original(*args, **kwargs)
+
+            estimator.contract_satisfied_batch = spy
+            try:
+                serial.append(
+                    estimator.estimate(
+                        model.theta, n0, N, contract, stats,
+                        sampler=serial_sampler,
+                        skip_lower_probe=True, probe_batch=3,
+                    )
+                )
+            finally:
+                del estimator.contract_satisfied_batch
+            rounds_per_search.append(rounds)
+
+        fused = estimator.estimate_many(
+            model.theta, n0, N, self.CONTRACTS, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(17)),
+            skip_lower_probe=True, probe_batch=3,
+        )
+        assert len(fused.estimates) == len(self.CONTRACTS)
+        for lone, member in zip(serial, fused.estimates):
+            assert member.sample_size == lone.sample_size
+            assert member.feasible == lone.feasible
+            assert member.probed_sizes == lone.probed_sizes
+            assert member.n_probability_evaluations == lone.n_probability_evaluations
+        # Exact accounting: serial cost is each member's own round count;
+        # the fused run shares rounds, so it can only be cheaper.
+        assert fused.serial_passes == sum(rounds_per_search)
+        assert fused.fused_passes < fused.serial_passes
+        assert fused.passes_saved == fused.serial_passes - fused.fused_passes
+
+    def test_duplicate_contracts_cost_nothing_extra(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits, k=32)
+        N = splits.train.n_rows
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        lone = estimator.estimate_many(
+            model.theta, n0, N, [contract], stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(21)),
+            skip_lower_probe=True, probe_batch=3,
+        )
+        tripled = estimator.estimate_many(
+            model.theta, n0, N, [contract] * 3, stats,
+            sampler=ParameterSampler(stats, rng=np.random.default_rng(21)),
+            skip_lower_probe=True, probe_batch=3,
+        )
+        # Identical contracts schedule identical candidates: the union pass
+        # absorbs them, so the fused cost does not grow with multiplicity.
+        assert tripled.fused_passes == lone.fused_passes
+        assert tripled.serial_passes == 3 * lone.serial_passes
+        for member in tripled.estimates:
+            assert member.sample_size == lone.estimates[0].sample_size
+            assert member.probed_sizes == lone.estimates[0].probed_sizes
+
+    def test_empty_and_invalid_inputs(self, initial_model_setup):
+        spec, splits, model, stats, n0 = initial_model_setup
+        estimator = make_estimator(spec, splits, k=32)
+        N = splits.train.n_rows
+        empty = estimator.estimate_many(model.theta, n0, N, [], stats)
+        assert empty.estimates == ()
+        assert (empty.fused_passes, empty.serial_passes) == (0, 0)
+        contract = ApproximationContract(epsilon=0.03, delta=0.05)
+        with pytest.raises(SampleSizeError):
+            estimator.estimate_many(model.theta, 0, N, [contract], stats)
+        with pytest.raises(SampleSizeError):
+            estimator.estimate_many(
+                model.theta, n0, N, [contract], stats, probe_batch=0
+            )
+
+
+class TestProbeBatchBoundaryValidation:
+    """probe_batch is validated with a clear error at every entry layer."""
+
+    def test_coordinator_rejects_bad_probe_batch(self):
+        from repro.core.coordinator import BlinkML
+
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        with pytest.raises(SampleSizeError, match="probe_batch must be at least 1"):
+            BlinkML(spec, probe_batch=0)
+        with pytest.raises(SampleSizeError, match="probe_batch"):
+            BlinkML(spec, probe_batch=-2)
+
+    def test_session_rejects_bad_probe_batch(self):
+        from repro.core.session import EstimationSession
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        y = (rng.uniform(size=30) < 0.5).astype(int)
+        data = Dataset(X, y)
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        # Raises before any model is trained.
+        with pytest.raises(SampleSizeError, match="probe_batch must be at least 1"):
+            EstimationSession(
+                spec, data, data, initial_sample_size=10, probe_batch=0
+            )

@@ -1,0 +1,635 @@
+"""Tests for the request-coalescing serving tier (repro.serving).
+
+Batcher mechanics (windows, dedup, backpressure, lifecycle) run against a
+stub session so they are fast and fully deterministic; the coalescing
+*guarantee* — a batch of concurrent mixed contracts completes in strictly
+fewer streamed passes than serial execution with bitwise-identical
+per-caller results, and exact ``passes_saved`` accounting — is exercised
+against real :class:`EstimationSession`\\ s on a small synthetic workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.caching import CacheStats
+from repro.core.contract import ApproximationContract
+from repro.core.registry import SessionRegistry
+from repro.core.session import CoalescedTrainOutcome, EstimationSession
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.evaluation.streaming import streaming_pass_count
+from repro.exceptions import BlinkMLError, ServingError, ServingOverloadError
+from repro.models.logistic_regression import LogisticRegressionSpec
+from repro.serving import BatcherStats, CoalescingService, ContractBatcher
+
+SPEC = LogisticRegressionSpec(regularization=1e-3)
+
+#: B = 8 mixed contracts: five distinct (ε, δ) pairs plus three duplicates.
+CONTRACTS = [
+    ApproximationContract(epsilon=0.010, delta=0.05),
+    ApproximationContract(epsilon=0.012, delta=0.05),
+    ApproximationContract(epsilon=0.010, delta=0.05),
+    ApproximationContract(epsilon=0.015, delta=0.05),
+    ApproximationContract(epsilon=0.012, delta=0.05),
+    ApproximationContract(epsilon=0.020, delta=0.05),
+    ApproximationContract(epsilon=0.010, delta=0.05),
+    ApproximationContract(epsilon=0.018, delta=0.05),
+]
+N_DISTINCT = len({(c.epsilon, c.delta) for c in CONTRACTS})
+
+
+@pytest.fixture(scope="module")
+def splits():
+    return train_holdout_test_split(
+        higgs_like(n_rows=2_500, n_features=10, seed=13),
+        SplitSpec(holdout_fraction=0.2, test_fraction=0.1),
+        rng=np.random.default_rng(13),
+    )
+
+
+def make_session(splits, seed: int = 0) -> EstimationSession:
+    return EstimationSession(
+        SPEC,
+        splits.train,
+        splits.holdout,
+        initial_sample_size=250,
+        n_parameter_samples=24,
+        rng=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(splits):
+    """Serial reference run: per-result outputs plus measured streamed passes."""
+    session = make_session(splits)
+    before = streaming_pass_count()
+    results = [session.train_to(contract) for contract in CONTRACTS]
+    return results, streaming_pass_count() - before
+
+
+def assert_bitwise_identical(serial_result, coalesced_result):
+    assert coalesced_result.sample_size == serial_result.sample_size
+    assert np.array_equal(coalesced_result.model.theta, serial_result.model.theta)
+    assert coalesced_result.estimated_epsilon == serial_result.estimated_epsilon
+    assert (
+        coalesced_result.metadata["size_search_probes"]
+        == serial_result.metadata["size_search_probes"]
+    )
+
+
+# ----------------------------------------------------------------------
+# The coalescing guarantee (real sessions)
+# ----------------------------------------------------------------------
+class TestCoalescedIdentity:
+    def test_train_to_many_identical_with_fewer_passes(self, splits, serial_baseline):
+        serial_results, serial_passes = serial_baseline
+        session = make_session(splits)
+        before = streaming_pass_count()
+        outcome = session.train_to_many(CONTRACTS)
+        fused_passes = streaming_pass_count() - before
+        assert isinstance(outcome, CoalescedTrainOutcome)
+        assert len(outcome.results) == len(CONTRACTS)
+        # Strictly fewer streamed passes than the serial run...
+        assert fused_passes < serial_passes
+        # ...and passes_saved is *exact*: the answer-phase passes are equal
+        # on both sides (same caches), so the measured delta is entirely
+        # the fused search's saving.
+        assert serial_passes - fused_passes == outcome.passes_saved
+        assert outcome.passes_saved > 0
+        for serial_result, fused_result in zip(serial_results, outcome.results):
+            assert_bitwise_identical(serial_result, fused_result)
+
+    def test_answer_many_matches_serial_answers(self, splits):
+        session = make_session(splits)
+        fused = session.answer_many(CONTRACTS)
+        reference = make_session(splits)
+        for contract, answer in zip(CONTRACTS, fused):
+            lone = reference.answer(contract)
+            assert answer.satisfied == lone.satisfied
+            assert answer.estimate.epsilon == lone.estimate.epsilon
+
+    def test_threads_through_one_batcher_identical_to_serial(
+        self, splits, serial_baseline
+    ):
+        serial_results, serial_passes = serial_baseline
+        session = make_session(splits)
+        # max_batch = B and a generous window guarantee a single dispatch:
+        # the window closes early the moment the batch fills.
+        batcher = ContractBatcher(
+            session, window_ms=5_000, max_batch=len(CONTRACTS), name="identity"
+        )
+        barrier = threading.Barrier(len(CONTRACTS))
+        results: list = [None] * len(CONTRACTS)
+        errors: list = []
+
+        def worker(index: int, contract: ApproximationContract) -> None:
+            barrier.wait()
+            try:
+                results[index] = batcher.train_to(contract)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        before = streaming_pass_count()
+        threads = [
+            threading.Thread(target=worker, args=(i, c))
+            for i, c in enumerate(CONTRACTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        measured = streaming_pass_count() - before
+        batcher.close()
+        assert not errors
+        for serial_result, batched_result in zip(serial_results, results):
+            assert_bitwise_identical(serial_result, batched_result)
+        stats = batcher.stats()
+        assert stats.batches == 1
+        assert stats.requests == len(CONTRACTS)
+        assert stats.window_occupancy == 1.0
+        assert stats.coalesced_requests == len(CONTRACTS) - N_DISTINCT
+        # Exact accounting again, measured end to end through the batcher.
+        assert serial_passes - measured == stats.passes_saved
+        assert measured < serial_passes
+        assert stats.passes_saved > 0
+
+
+# ----------------------------------------------------------------------
+# Batcher mechanics (stub session)
+# ----------------------------------------------------------------------
+class StubSession:
+    """Deterministic session facade for exercising batcher plumbing."""
+
+    def __init__(self, gate: threading.Event | None = None):
+        self.gate = gate
+        self.executing = threading.Event()
+        self.calls: list[tuple] = []
+
+    def _wait(self):
+        self.executing.set()
+        if self.gate is not None:
+            self.gate.wait()
+
+    def answer_many(self, contracts):
+        self._wait()
+        self.calls.append(("answer_many", tuple(contracts)))
+        return [("answer", contract) for contract in contracts]
+
+    def train_to_many(self, contracts, *, recompute_at_theta_n=False):
+        self._wait()
+        self.calls.append(("train_to_many", tuple(contracts), recompute_at_theta_n))
+        return CoalescedTrainOutcome(
+            results=tuple(
+                ("train", contract, recompute_at_theta_n) for contract in contracts
+            ),
+            fused_search_passes=1,
+            serial_search_passes=len(contracts),
+        )
+
+    def answer(self, contract):
+        return ("answer", contract)
+
+    def train_to(self, contract, *, recompute_at_theta_n=False):
+        return ("train", contract, recompute_at_theta_n)
+
+
+C1 = ApproximationContract(epsilon=0.05, delta=0.05)
+C2 = ApproximationContract(epsilon=0.07, delta=0.05)
+
+
+class TestContractBatcherMechanics:
+    def test_parameter_validation(self):
+        with pytest.raises(BlinkMLError):
+            ContractBatcher(StubSession(), window_ms=-1)
+        with pytest.raises(BlinkMLError):
+            ContractBatcher(StubSession(), max_batch=0)
+        with pytest.raises(BlinkMLError):
+            ContractBatcher(StubSession(), max_queue=0)
+
+    def test_mixed_batch_routes_and_demultiplexes(self):
+        session = StubSession()
+        with ContractBatcher(session, window_ms=100, max_batch=4) as batcher:
+            outputs = [None] * 4
+            specs = [("answer", C1), ("train", C1), ("answer", C2), ("train", C2)]
+
+            def worker(index):
+                kind, contract = specs[index]
+                if kind == "answer":
+                    outputs[index] = batcher.answer(contract)
+                else:
+                    outputs[index] = batcher.train_to(contract)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outputs[0] == ("answer", C1)
+            assert outputs[1] == ("train", C1, False)
+            assert outputs[2] == ("answer", C2)
+            assert outputs[3] == ("train", C2, False)
+            stats = batcher.stats()
+            assert stats.batches == 1
+            assert (stats.answer_requests, stats.train_requests) == (2, 2)
+            assert (stats.fused_passes, stats.serial_passes) == (1, 2)
+
+    def test_recompute_flag_fuses_per_flag_value(self):
+        session = StubSession()
+        with ContractBatcher(session, window_ms=100, max_batch=2) as batcher:
+            outputs = [None, None]
+
+            def worker(index, recompute):
+                outputs[index] = batcher.train_to(
+                    C1, recompute_at_theta_n=recompute
+                )
+
+            threads = [
+                threading.Thread(target=worker, args=(0, False)),
+                threading.Thread(target=worker, args=(1, True)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outputs[0] == ("train", C1, False)
+            assert outputs[1] == ("train", C1, True)
+            fused_calls = [c for c in session.calls if c[0] == "train_to_many"]
+            assert sorted(call[2] for call in fused_calls) == [False, True]
+
+    def test_load_shed_at_max_queue(self):
+        gate = threading.Event()
+        session = StubSession(gate=gate)
+        batcher = ContractBatcher(session, window_ms=0, max_batch=1, max_queue=2)
+        try:
+            first = threading.Thread(target=lambda: batcher.answer(C1))
+            first.start()
+            assert session.executing.wait(5)  # request 1 popped, executing
+            waiters = [
+                threading.Thread(target=lambda: batcher.answer(C1))
+                for _ in range(2)
+            ]
+            for thread in waiters:
+                thread.start()
+            deadline = time.monotonic() + 5
+            while len(batcher._queue) < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            with pytest.raises(ServingOverloadError):
+                batcher.answer(C2)
+            assert batcher.stats().load_shed == 1
+        finally:
+            gate.set()
+            batcher.close()
+        assert batcher.stats().requests == 3  # the shed request never ran
+
+    def test_admission_policy_sheds(self):
+        batcher = ContractBatcher(StubSession(), admission=lambda depth: False)
+        with pytest.raises(ServingOverloadError):
+            batcher.answer(C1)
+        assert batcher.stats().load_shed == 1
+        batcher.close()
+
+    def test_timeout_raises_serving_error(self):
+        gate = threading.Event()
+        batcher = ContractBatcher(StubSession(gate=gate), window_ms=0)
+        try:
+            with pytest.raises(ServingError, match="timed out"):
+                batcher.answer(C1, timeout=0.05)
+        finally:
+            gate.set()
+            batcher.close()
+
+    def test_close_rejects_new_serves_queued(self):
+        session = StubSession()
+        batcher = ContractBatcher(session, window_ms=100, max_batch=8)
+        result_box = []
+        thread = threading.Thread(
+            target=lambda: result_box.append(batcher.answer(C1))
+        )
+        thread.start()
+        time.sleep(0.02)  # let the submission enter the window
+        batcher.close()  # cuts the window short, drains, joins
+        thread.join()
+        assert result_box == [("answer", C1)]
+        assert batcher.closed
+        with pytest.raises(ServingError, match="closed"):
+            batcher.answer(C2)
+        batcher.close()  # idempotent
+
+    def test_flush_waits_for_inflight(self):
+        gate = threading.Event()
+        session = StubSession(gate=gate)
+        batcher = ContractBatcher(session, window_ms=0)
+        thread = threading.Thread(target=lambda: batcher.answer(C1))
+        thread.start()
+        assert session.executing.wait(5)
+        flushed = threading.Event()
+
+        def flusher():
+            batcher.flush()
+            flushed.set()
+
+        threading.Thread(target=flusher).start()
+        assert not flushed.wait(0.1)  # still blocked on the in-flight batch
+        gate.set()
+        assert flushed.wait(5)
+        thread.join()
+        batcher.close()
+
+    def test_serial_fallback_isolates_poisoned_request(self):
+        class PoisonedSession(StubSession):
+            def train_to_many(self, contracts, *, recompute_at_theta_n=False):
+                raise RuntimeError("fused dispatch exploded")
+
+            def train_to(self, contract, *, recompute_at_theta_n=False):
+                if contract == C2:
+                    raise KeyError("bad contract")
+                return ("train", contract, recompute_at_theta_n)
+
+        batcher = ContractBatcher(PoisonedSession(), window_ms=100, max_batch=2)
+        outcomes: dict[str, object] = {}
+
+        def good():
+            outcomes["good"] = batcher.train_to(C1)
+
+        def bad():
+            try:
+                batcher.train_to(C2)
+            except KeyError as exc:
+                outcomes["bad"] = exc
+
+        threads = [threading.Thread(target=good), threading.Thread(target=bad)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batcher.close()
+        # The poisoned member fails alone; its window-mate still succeeds.
+        assert outcomes["good"] == ("train", C1, False)
+        assert isinstance(outcomes["bad"], KeyError)
+
+    def test_stats_merge(self):
+        a = BatcherStats(
+            batches=2, requests=6, coalesced_requests=1, fused_passes=3,
+            serial_passes=9, window_slots=8, max_queue_depth=4,
+            queue_wait_seconds=0.5, max_queue_wait_seconds=0.3,
+        )
+        b = BatcherStats(
+            batches=1, requests=2, load_shed=1, window_slots=4,
+            max_queue_depth=2, queue_wait_seconds=0.1,
+            max_queue_wait_seconds=0.4,
+        )
+        merged = a.merge(b)
+        assert merged.batches == 3
+        assert merged.requests == 8
+        assert merged.passes_saved == 6
+        assert merged.load_shed == 1
+        assert merged.max_queue_depth == 4
+        assert merged.max_queue_wait_seconds == 0.4
+        assert merged.window_occupancy == pytest.approx(8 / 12)
+        assert merged.mean_queue_wait_seconds == pytest.approx(0.6 / 8)
+        assert BatcherStats().window_occupancy == 0.0
+        assert BatcherStats().mean_queue_wait_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# Registry integration: serving stats roll-up + rebalance hysteresis
+# ----------------------------------------------------------------------
+class FakeSession:
+    """Just enough session surface for registry-level tests."""
+
+    def __init__(self, spec, train, holdout, **kwargs):
+        self.budget_history: list[int] = []
+        self._last_used_at = time.monotonic()
+
+    def resize_cache_budget(self, total_bytes: int) -> None:
+        self.budget_history.append(int(total_bytes))
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        return {}
+
+    @property
+    def last_used_at(self) -> float:
+        return self._last_used_at
+
+    @property
+    def idle_seconds(self) -> float:
+        return time.monotonic() - self._last_used_at
+
+    def _touch(self) -> None:
+        self._last_used_at = time.monotonic()
+
+
+class FakeData:
+    n_rows = 10
+
+    def content_digest(self) -> str:
+        return "digest"
+
+
+class TestRegistryServingIntegration:
+    def test_attach_serving_stats_rolls_into_stats(self):
+        registry = SessionRegistry(session_factory=FakeSession, min_session_bytes=1)
+        assert registry.stats().serving is None
+        sentinel = BatcherStats(batches=3)
+        registry.attach_serving_stats(lambda: sentinel)
+        assert registry.stats().serving is sentinel
+        registry.attach_serving_stats(None)
+        assert registry.stats().serving is None
+        with pytest.raises(BlinkMLError, match="callable"):
+            registry.attach_serving_stats("not callable")
+
+    def test_rebalance_hysteresis_skips_noise(self):
+        registry = SessionRegistry(
+            session_factory=FakeSession,
+            min_session_bytes=1,
+            max_total_bytes=1_000,
+        )
+        data = FakeData()
+        a = registry.get_or_create("a", SPEC, data, data)
+        b = registry.get_or_create("b", SPEC, data, data)
+        applied_before = (len(a.budget_history), len(b.budget_history))
+        # Zero traffic since the last rebalance: every proposed share is
+        # unchanged, so any positive drift threshold skips the apply.
+        assert registry.rebalance(min_drift=0.10) is False
+        assert (len(a.budget_history), len(b.budget_history)) == applied_before
+        # min_drift=0 (the membership-change path) always applies.
+        assert registry.rebalance() is True
+        assert len(a.budget_history) == applied_before[0] + 1
+
+
+# ----------------------------------------------------------------------
+# CoalescingService (asyncio front-end, admission, housekeeping)
+# ----------------------------------------------------------------------
+class FakeRegistry:
+    """Scriptable registry facade for service-level unit tests."""
+
+    def __init__(self, max_total_bytes=None, bytes_used=0):
+        self.max_total_bytes = max_total_bytes
+        self.bytes_used = bytes_used
+        self.sessions: dict[object, object] = {}
+        self.rebalance_calls: list[float] = []
+        self.evict_calls: list[float] = []
+        self.provider = None
+
+    def attach_serving_stats(self, provider):
+        self.provider = provider
+
+    def get_or_create(self, key, spec, train, holdout, **kwargs):
+        return self.sessions.setdefault(key, StubSession())
+
+    def get(self, key):
+        return self.sessions.get(key)
+
+    def rebalance(self, min_drift=0.0):
+        self.rebalance_calls.append(min_drift)
+        return False
+
+    def evict_idle(self, idle_seconds):
+        self.evict_calls.append(idle_seconds)
+        return 0
+
+    def stats(self):
+        serving = self.provider() if self.provider is not None else None
+
+        class _Stats:
+            bytes = self.bytes_used
+
+        snapshot = _Stats()
+        snapshot.serving = serving
+        return snapshot
+
+
+class TestCoalescingService:
+    def test_async_round_trip_coalesces(self, splits, serial_baseline):
+        serial_results, _ = serial_baseline
+        registry = SessionRegistry()
+        with CoalescingService(
+            registry,
+            window_ms=50,
+            max_batch=len(CONTRACTS),
+            start_housekeeping=False,
+        ) as service:
+
+            async def drive():
+                return await asyncio.gather(
+                    *[
+                        service.train_to(
+                            "pair",
+                            contract,
+                            spec=SPEC,
+                            train=splits.train,
+                            holdout=splits.holdout,
+                            initial_sample_size=250,
+                            n_parameter_samples=24,
+                            rng=0,
+                        )
+                        for contract in CONTRACTS
+                    ]
+                )
+
+            results = asyncio.run(drive())
+            for serial_result, served in zip(serial_results, results):
+                assert_bitwise_identical(serial_result, served)
+            stats = service.batching_stats()
+            assert stats.requests == len(CONTRACTS)
+            assert stats.coalesced_requests > 0 or stats.batches > 1
+            # The registry snapshot carries the same counters.
+            assert registry.stats().serving.requests == len(CONTRACTS)
+
+    def test_requires_spec_or_live_session(self):
+        service = CoalescingService(FakeRegistry(), start_housekeeping=False)
+        with pytest.raises(ServingError, match="no live session"):
+            service.answer_sync("absent", C1)
+        service.close()
+
+    def test_admission_tightens_when_budget_hot(self):
+        # Pool 100 bytes, 95 used, hot fraction 0.9 → hot.
+        registry = FakeRegistry(max_total_bytes=100, bytes_used=95)
+        service = CoalescingService(
+            registry,
+            window_ms=0,
+            max_batch=1,
+            max_queue=100,
+            start_housekeeping=False,
+        )
+        assert service._budget_hot() is True
+        gate = threading.Event()
+        stub = StubSession(gate=gate)
+        registry.sessions["k"] = stub
+        batcher = service.batcher("k", spec=SPEC, train=None, holdout=None)
+        try:
+            first = threading.Thread(target=lambda: batcher.answer(C1))
+            first.start()
+            assert stub.executing.wait(5)
+            second = threading.Thread(target=lambda: batcher.answer(C1))
+            second.start()  # depth 0 < max_batch: admitted, waits
+            deadline = time.monotonic() + 5
+            while len(batcher._queue) < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            # Hot + one window's worth already queued → shed, far below
+            # the 100-deep queue bound.
+            with pytest.raises(ServingOverloadError):
+                batcher.answer(C2)
+        finally:
+            gate.set()
+            service.close()
+
+    def test_budget_hot_disabled_without_pool(self):
+        service = CoalescingService(
+            FakeRegistry(max_total_bytes=None, bytes_used=10**9),
+            start_housekeeping=False,
+        )
+        assert service._budget_hot() is False
+        service.close()
+
+    def test_housekeeping_rebalances_evicts_and_drops_stale(self):
+        registry = FakeRegistry()
+        registry.sessions["k"] = StubSession()
+        service = CoalescingService(
+            registry,
+            start_housekeeping=False,
+            idle_evict_seconds=60.0,
+            rebalance_drift=0.25,
+        )
+        batcher = service.batcher("k", spec=SPEC, train=None, holdout=None)
+        batcher.answer(C1)
+        report = service.housekeep_once()
+        assert registry.rebalance_calls == [0.25]
+        assert registry.evict_calls == [60.0]
+        assert report["batchers_dropped"] == 0
+        assert service.batcher("k") is batcher
+        # Replace the session under the key: housekeeping must drop the
+        # stale batcher but keep its counters in the aggregate.
+        registry.sessions["k"] = StubSession()
+        report = service.housekeep_once()
+        assert report["batchers_dropped"] == 1
+        fresh = service.batcher("k")
+        assert fresh is not batcher
+        assert service.batching_stats().requests == 1  # retired history kept
+        service.close()
+
+    def test_background_housekeeping_thread_runs(self):
+        registry = FakeRegistry()
+        service = CoalescingService(registry, housekeeping_seconds=0.02)
+        deadline = time.monotonic() + 5
+        while not registry.rebalance_calls:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.close()
+
+    def test_close_is_idempotent_and_final(self):
+        service = CoalescingService(FakeRegistry(), start_housekeeping=False)
+        service.close()
+        service.close()
+        with pytest.raises(ServingError, match="closed"):
+            service.batcher("k", spec=SPEC, train=None, holdout=None)
