@@ -13,6 +13,7 @@ from repro.baselines.base import BaselineRunResult, SampleSizeBaseline
 from repro.core.contract import ApproximationContract
 from repro.data.dataset import Dataset
 from repro.exceptions import SampleSizeError
+from repro.models.base import ModelClassSpec
 
 
 class FixedRatioBaseline(SampleSizeBaseline):
@@ -20,7 +21,13 @@ class FixedRatioBaseline(SampleSizeBaseline):
 
     policy_name = "fixed_ratio"
 
-    def __init__(self, spec, ratio: float = 0.01, seed: int | None = None, optimizer: str | None = None):
+    def __init__(
+        self,
+        spec: ModelClassSpec,
+        ratio: float = 0.01,
+        seed: int | None = None,
+        optimizer: str | None = None,
+    ):
         super().__init__(spec, seed=seed, optimizer=optimizer)
         if not 0.0 < ratio <= 1.0:
             raise SampleSizeError("ratio must lie in (0, 1]")

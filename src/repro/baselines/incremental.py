@@ -24,6 +24,7 @@ from repro.core.contract import ApproximationContract
 from repro.core.statistics import StatisticsMethod, compute_statistics
 from repro.data.dataset import Dataset
 from repro.data.sampling import UniformSampler
+from repro.models.base import ModelClassSpec
 
 
 class IncrementalEstimatorBaseline(SampleSizeBaseline):
@@ -33,7 +34,7 @@ class IncrementalEstimatorBaseline(SampleSizeBaseline):
 
     def __init__(
         self,
-        spec,
+        spec: ModelClassSpec,
         step_scale: int = 1000,
         n_parameter_samples: int = 64,
         seed: int | None = None,

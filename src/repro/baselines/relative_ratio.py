@@ -12,6 +12,7 @@ from repro.baselines.base import BaselineRunResult, SampleSizeBaseline
 from repro.core.contract import ApproximationContract
 from repro.data.dataset import Dataset
 from repro.exceptions import SampleSizeError
+from repro.models.base import ModelClassSpec
 
 
 class RelativeRatioBaseline(SampleSizeBaseline):
@@ -19,7 +20,13 @@ class RelativeRatioBaseline(SampleSizeBaseline):
 
     policy_name = "relative_ratio"
 
-    def __init__(self, spec, scale: float = 0.10, seed: int | None = None, optimizer: str | None = None):
+    def __init__(
+        self,
+        spec: ModelClassSpec,
+        scale: float = 0.10,
+        seed: int | None = None,
+        optimizer: str | None = None,
+    ):
         super().__init__(spec, seed=seed, optimizer=optimizer)
         if not 0.0 < scale <= 1.0:
             raise SampleSizeError("scale must lie in (0, 1]")

@@ -40,12 +40,16 @@ def _env_int(name: str, default: int, minimum: int = 0) -> int:
         return default
     return value if value >= minimum else default
 
-def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
+def _env_float(
+    name: str, default: float, minimum: float = 0.0, maximum: float | None = None
+) -> float:
     """Float default overridable via an environment variable.
 
-    Same philosophy as :func:`_env_int`: invalid values — non-numbers or
-    anything below ``minimum`` — fall back to the built-in default rather
-    than failing import.
+    Same philosophy as :func:`_env_int`: invalid values — non-numbers,
+    anything below ``minimum`` or (when given) above ``maximum`` — fall
+    back to the built-in default rather than failing import.  ``maximum``
+    exists for the fraction-valued knobs (confidence, δ, split fractions)
+    whose whole valid range is an interval.
     """
     raw = os.environ.get(name)
     if raw is None:
@@ -54,7 +58,11 @@ def _env_float(name: str, default: float, minimum: float = 0.0) -> float:
         value = float(raw)
     except ValueError:
         return default
-    return value if value >= minimum else default
+    if value < minimum:
+        return default
+    if maximum is not None and value > maximum:
+        return default
+    return value
 
 
 def _env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
@@ -71,25 +79,41 @@ def _env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
     return raw if raw in choices else default
 
 
-DEFAULT_INITIAL_SAMPLE_SIZE = 10_000
-DEFAULT_NUM_PARAMETER_SAMPLES = 128
-DEFAULT_CONFIDENCE_SLACK = 0.95
-DEFAULT_FINITE_DIFFERENCE_EPS = 1e-6
-DEFAULT_HOLDOUT_FRACTION = 0.1
-DEFAULT_TEST_FRACTION = 0.2
-DEFAULT_RANDOM_SEED = 0
+# Paper-default statistical knobs.  Like every other DEFAULT_* below they
+# are env-overridable (same-named variables), so experiments can retune the
+# Monte-Carlo budget or the initial-sample size without code changes; the
+# bounds mirror each knob's valid range, and out-of-range values fall back
+# to the built-in default rather than failing import.
+DEFAULT_INITIAL_SAMPLE_SIZE = _env_int("DEFAULT_INITIAL_SAMPLE_SIZE", 10_000, minimum=1)
+DEFAULT_NUM_PARAMETER_SAMPLES = _env_int(
+    "DEFAULT_NUM_PARAMETER_SAMPLES", 128, minimum=2
+)
+DEFAULT_CONFIDENCE_SLACK = _env_float(
+    "DEFAULT_CONFIDENCE_SLACK", 0.95, minimum=0.0, maximum=1.0
+)
+DEFAULT_FINITE_DIFFERENCE_EPS = _env_float("DEFAULT_FINITE_DIFFERENCE_EPS", 1e-6)
+DEFAULT_HOLDOUT_FRACTION = _env_float(
+    "DEFAULT_HOLDOUT_FRACTION", 0.1, minimum=0.0, maximum=1.0
+)
+DEFAULT_TEST_FRACTION = _env_float(
+    "DEFAULT_TEST_FRACTION", 0.2, minimum=0.0, maximum=1.0
+)
+DEFAULT_RANDOM_SEED = _env_int("DEFAULT_RANDOM_SEED", 0, minimum=0)
 
 # The contract's default violation probability δ (the paper's experiments
 # use 0.05 throughout).  Every place a default δ appears — the contract
 # dataclass, ``BlinkML.train_with_accuracy``, the sklearn wrappers, the
-# experiment runners — reads this constant.
-DEFAULT_DELTA = 0.05
+# experiment runners — reads this constant.  Env-overridable; values
+# outside (0, 1) fall back (the boundary values would fail
+# :func:`validate_delta` at contract-construction time anyway).
+DEFAULT_DELTA = _env_float("DEFAULT_DELTA", 0.05, minimum=0.0, maximum=1.0)
 
 # Streaming sharded holdout evaluation (repro.evaluation.streaming).  The
 # holdout is processed in row blocks of this size so the per-candidate
 # prediction block stays O(k · block) instead of O(k · n_holdout);
 # 8192 rows × 128 candidates × 8 bytes ≈ 8 MB per in-flight block.
-DEFAULT_HOLDOUT_BLOCK_ROWS = 8_192
+# Env-overridable.
+DEFAULT_HOLDOUT_BLOCK_ROWS = _env_int("DEFAULT_HOLDOUT_BLOCK_ROWS", 8_192, minimum=1)
 # 0 or 1 means serial block processing; larger values fan contiguous block
 # ranges out across that many threads (NumPy releases the GIL inside the
 # per-block GEMMs).  Overridable via the DEFAULT_STREAMING_WORKERS
@@ -210,8 +234,10 @@ def validate_delta(delta: float) -> float:
     return float(delta)
 
 # Optimiser defaults.  The paper uses BFGS for d < 100 and L-BFGS otherwise
-# (Section 5.1); the coordinator applies the same switch.
+# (Section 5.1); the coordinator applies the same switch.  The DEFAULT_*
+# knobs are env-overridable like everything above; the dimension threshold
+# is a paper constant, not a deployment knob, and stays fixed.
 BFGS_DIMENSION_THRESHOLD = 100
-DEFAULT_MAX_ITERATIONS = 500
-DEFAULT_GRADIENT_TOLERANCE = 1e-6
-DEFAULT_LBFGS_MEMORY = 10
+DEFAULT_MAX_ITERATIONS = _env_int("DEFAULT_MAX_ITERATIONS", 500, minimum=1)
+DEFAULT_GRADIENT_TOLERANCE = _env_float("DEFAULT_GRADIENT_TOLERANCE", 1e-6)
+DEFAULT_LBFGS_MEMORY = _env_int("DEFAULT_LBFGS_MEMORY", 10, minimum=1)

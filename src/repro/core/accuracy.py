@@ -37,6 +37,7 @@ from repro.core.statistics import ModelStatistics
 from repro.data.dataset import Dataset
 from repro.evaluation.streaming import StreamingConfig, streaming_prediction_differences
 from repro.exceptions import ContractError
+from repro.linalg.utils import freeze
 from repro.models.base import ModelClassSpec
 
 
@@ -70,8 +71,7 @@ class AccuracyEstimate:
     def __post_init__(self) -> None:
         # Hand out a read-only view regardless of what was passed in; see
         # the attribute docstring for the aliasing contract.
-        differences = np.asarray(self.sampled_differences, dtype=np.float64).view()
-        differences.flags.writeable = False
+        differences = freeze(np.asarray(self.sampled_differences, dtype=np.float64).view())
         object.__setattr__(self, "sampled_differences", differences)
 
     @property
@@ -109,7 +109,7 @@ class ModelAccuracyEstimator:
         self._n_parameter_samples = n_parameter_samples
         self._streaming = streaming
 
-    def sorted_differences(
+    def sorted_differences(  # repro-lint: returns-frozen
         self,
         theta_n: np.ndarray,
         n: int,
@@ -140,8 +140,7 @@ class ModelAccuracyEstimator:
                     dtype=np.float64,
                 )
             )
-        differences.flags.writeable = False
-        return differences
+        return freeze(differences)
 
     def estimate(
         self,

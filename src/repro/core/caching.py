@@ -158,17 +158,17 @@ class LRUCache:
         self._validate_bound("max_entries", max_entries, name=name)
         self._validate_bound("max_bytes", max_bytes, name=name)
         self.name = name
-        self.max_entries = max_entries
-        self.max_bytes = max_bytes
+        self.max_entries = max_entries  # guarded-by: _lock
+        self.max_bytes = max_bytes  # guarded-by: _lock
         self._sizeof = sizeof or default_sizeof
         self._on_evict = on_evict
         self._lock = threading.RLock()
-        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
-        self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._inflight: dict[Hashable, _InFlight] = {}
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()  # guarded-by: _lock
+        self._bytes = 0  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._inflight: dict[Hashable, _InFlight] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Plain mapping operations
@@ -314,7 +314,7 @@ class LRUCache:
             for key, value in evicted:
                 self._on_evict(key, value)
 
-    def _store(self, key: Hashable, value: Any) -> list[tuple[Hashable, Any]]:
+    def _store(self, key: Hashable, value: Any) -> list[tuple[Hashable, Any]]:  # repro-lint: holds=_lock
         """Insert under the lock; returns the entries evicted to make room."""
         nbytes = max(0, int(self._sizeof(value)))
         old = self._entries.pop(key, None)
@@ -324,7 +324,7 @@ class LRUCache:
         self._bytes += nbytes
         return self._evict_to_bounds()
 
-    def _evict_to_bounds(self) -> list[tuple[Hashable, Any]]:
+    def _evict_to_bounds(self) -> list[tuple[Hashable, Any]]:  # repro-lint: holds=_lock
         """Evict LRU-first until both bounds hold (lock held by caller).
 
         At least one entry is always retained so a single value larger than

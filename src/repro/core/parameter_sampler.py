@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.statistics import ModelStatistics
 from repro.exceptions import StatisticsError
+from repro.linalg.utils import freeze
 
 
 class ParameterSampler:
@@ -56,7 +57,7 @@ class ParameterSampler:
         # them); the lock serialises cache growth and RNG consumption so
         # concurrent callers cannot tear the grow-in-place update or
         # interleave draws from the shared generator.
-        self._base_cache: dict[str, np.ndarray] = {}
+        self._base_cache: dict[str, np.ndarray] = {}  # guarded-by: _lock  # repro-lint: frozen-attr
         self._lock = threading.RLock()
 
     @property
@@ -105,8 +106,9 @@ class ParameterSampler:
             if have < count:
                 z = self._rng.standard_normal(size=(count - have, covariance.rank))
                 fresh = covariance.apply(z)
-                cached = fresh if cached is None else np.concatenate([cached, fresh], axis=0)
-                cached.flags.writeable = False
+                cached = freeze(
+                    fresh if cached is None else np.concatenate([cached, fresh], axis=0)
+                )
                 self._base_cache[tag] = cached
             if cached.shape[0] == count:
                 # Return the block itself (not a view of it) so repeated

@@ -73,7 +73,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.config import (
     DEFAULT_REGISTRY_CACHE_BYTES,
@@ -267,7 +269,7 @@ class SessionRegistry:
         max_total_bytes: int | None = DEFAULT_REGISTRY_CACHE_BYTES,
         min_session_bytes: int = DEFAULT_REGISTRY_MIN_SESSION_BYTES,
         rebalance_policy: str = "traffic",
-        session_factory=EstimationSession,
+        session_factory: Callable[..., EstimationSession] = EstimationSession,
     ):
         if rebalance_policy not in REBALANCE_POLICIES:
             raise BlinkMLError(
@@ -291,14 +293,17 @@ class SessionRegistry:
         self.rebalance_policy = rebalance_policy
         self._session_factory = session_factory
         self._lock = threading.RLock()
-        self._members: dict[object, _Member] = {}
-        self._inflight: dict[object, _InFlight] = {}
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
-        self._fingerprint_invalidations = 0
-        self._refreshes = 0
+        self._members: dict[object, _Member] = {}  # guarded-by: _lock
+        self._inflight: dict[object, _InFlight] = {}  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
+        self._fingerprint_invalidations = 0  # guarded-by: _lock
+        self._refreshes = 0  # guarded-by: _lock
+        # Plain atomic reference swap; stats() reads it lock-free by design
+        # (providers may take their own locks), so it is intentionally not
+        # in the guarded-by table above.
         self._serving_stats_provider = None
 
     # ------------------------------------------------------------------
@@ -362,7 +367,7 @@ class SessionRegistry:
         spec: ModelClassSpec,
         train: Dataset | ShardedDataset,
         holdout: Dataset | ShardedDataset,
-        **session_kwargs,
+        **session_kwargs: Any,
     ) -> EstimationSession:
         """Return the live session for ``key``, constructing it if needed.
 
@@ -538,7 +543,7 @@ class SessionRegistry:
                 self._rebalance_locked()
             return len(stale)
 
-    def _evict_to_capacity_locked(self, protect: object) -> None:
+    def _evict_to_capacity_locked(self, protect: object) -> None:  # repro-lint: holds=_lock
         """Evict longest-idle members until within capacity (lock held).
 
         ``protect`` (the key just admitted) is never the victim, so a
@@ -558,7 +563,7 @@ class SessionRegistry:
             del self._members[victim]
             self._evictions += 1
 
-    def _rebalance_locked(self, min_drift: float = 0.0) -> bool:
+    def _rebalance_locked(self, min_drift: float = 0.0) -> bool:  # repro-lint: holds=_lock
         """Re-split the byte pool across the current members (lock held).
 
         ``"even"`` assigns every member ``pool // N``.  ``"traffic"``
@@ -617,7 +622,7 @@ class SessionRegistry:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def attach_serving_stats(self, provider) -> None:
+    def attach_serving_stats(self, provider: Callable[[], object] | None) -> None:
         """Roll a serving front-end's stats snapshot into :meth:`stats`.
 
         ``provider`` is a zero-argument callable returning any snapshot

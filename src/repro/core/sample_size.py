@@ -432,7 +432,9 @@ class SampleSizeEstimator:
         fused_passes = 0
         serial_passes = 0
 
-        def evaluate(active: list[tuple["_LockstepSearch", list[int]]]):
+        def evaluate(
+            active: list[tuple["_LockstepSearch", list[int]]],
+        ) -> list[list[bool]]:
             """One fused round: union pass, per-search demultiplexed outcomes."""
             nonlocal fused_passes, serial_passes
             fused_passes += 1

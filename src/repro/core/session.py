@@ -70,6 +70,7 @@ from repro.data.sampling import UniformSampler
 from repro.data.store import ShardedDataset
 from repro.evaluation.streaming import StreamingConfig
 from repro.exceptions import BlinkMLError, DataError, SampleSizeError
+from repro.linalg.utils import freeze
 from repro.models.base import ModelClassSpec, TrainedModel
 
 
@@ -263,9 +264,9 @@ class EstimationSession:
         self._streaming = streaming
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
-        self._N = train.n_rows
+        self._N = train.n_rows  # guarded-by: _refresh_lock
         self._n0 = min(int(initial_sample_size), self._N)
-        self._data_sampler = UniformSampler(train, rng=self._rng)
+        self._data_sampler = UniformSampler(train, rng=self._rng)  # guarded-by: _refresh_lock
 
         # Step 1: initial model m_0 on D0 (once per session).
         start = time.perf_counter()
@@ -281,10 +282,10 @@ class EstimationSession:
         # full train source — with a sharded store this persists per-shard
         # sidecar summaries, which is what makes refresh() after an append
         # O(new shards) instead of a cold rebuild.
-        self._statistics = self._compute_scope_statistics(
+        self._statistics = self._compute_scope_statistics(  # guarded-by: _refresh_lock
             initial_model.theta, initial_data
         )
-        self._parameter_sampler = ParameterSampler(self._statistics, rng=self._rng)
+        self._parameter_sampler = ParameterSampler(self._statistics, rng=self._rng)  # guarded-by: _refresh_lock
         self._accuracy_estimator = ModelAccuracyEstimator(
             spec, holdout, n_parameter_samples=n_parameter_samples, streaming=streaming
         )
@@ -300,7 +301,7 @@ class EstimationSession:
         # never in the model cache — so eviction can never lose it
         # (_train_cached short-circuits n == n0 before consulting the cache).
         self._initial_model = initial_model
-        self._diff_cache = LRUCache(
+        self._diff_cache = LRUCache(  # repro-lint: frozen-cache
             "diff",
             max_entries=diff_cache_entries,
             max_bytes=diff_cache_bytes,
@@ -315,15 +316,15 @@ class EstimationSession:
         # Shared read-only zeros vector for the degenerate n >= N estimate:
         # the full model differs from itself by exactly zero, so there is
         # nothing to sample and nothing worth a per-n cache entry.
-        zeros = np.zeros(self._n_parameter_samples, dtype=np.float64)
-        zeros.flags.writeable = False
-        self._full_data_differences = zeros
+        self._full_data_differences = freeze(  # repro-lint: frozen-attr
+            np.zeros(self._n_parameter_samples, dtype=np.float64)
+        )
         # The session-construction costs (initial training, statistics) are
         # reported in the first train_to() result only; later results from
         # the same session report them as zero so aggregating timings across
         # contracts does not double-count the amortised one-time work.  The
         # lock makes the claim-once race-free under concurrent train_to().
-        self._construction_costs_reported = False
+        self._construction_costs_reported = False  # guarded-by: _construction_costs_lock
         self._construction_costs_lock = threading.Lock()
         # Serving-time bookkeeping for the cross-session registry
         # (repro.core.registry): when this session last served a request
@@ -333,10 +334,14 @@ class EstimationSession:
         # Standing contracts: every (ε, δ) this session has been asked,
         # insertion-ordered, so refresh() can re-answer them against grown
         # data.  Guarded by its own lock (answer() runs from thread pools).
-        self._standing_contracts: dict[ApproximationContract, None] = {}
+        self._standing_contracts: dict[ApproximationContract, None] = {}  # guarded-by: _standing_contracts_lock
         self._standing_contracts_lock = threading.Lock()
         # refresh() is serialized: concurrent refreshes would race the
-        # sampler / statistics swaps against each other.
+        # sampler / statistics swaps against each other.  The swapped state
+        # itself — N, the nested sampler, the statistics and the parameter
+        # sampler derived from them — may therefore only be *mutated* under
+        # this lock (reads are lock-free: each is an atomic reference swap
+        # and every serving path tolerates either the old or new snapshot).
         self._refresh_lock = threading.Lock()
 
     def _compute_scope_statistics(
@@ -478,8 +483,10 @@ class EstimationSession:
         key = (self._theta_digest(theta), n, self._N)
         return self._diff_cache.get_or_compute(
             key,
-            lambda: self._accuracy_estimator.sorted_differences(
-                theta, n, self._N, self._parameter_sampler
+            lambda: freeze(
+                self._accuracy_estimator.sorted_differences(
+                    theta, n, self._N, self._parameter_sampler
+                )
             ),
         )
 
@@ -917,7 +924,9 @@ class EstimationSession:
         for contract in needing:
             size_key = (contract.epsilon, contract.delta)
 
-            def run_fused(pivot: ApproximationContract = contract):
+            def run_fused(
+                pivot: ApproximationContract = contract,
+            ) -> SampleSizeEstimate:
                 nonlocal fused_passes, serial_passes
                 pivot_key = (pivot.epsilon, pivot.delta)
                 if pivot_key in resolved:

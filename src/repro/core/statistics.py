@@ -56,7 +56,7 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -129,7 +129,7 @@ class ModelStatistics:
 # ----------------------------------------------------------------------
 # Digests keying the statistics sidecars
 # ----------------------------------------------------------------------
-def _stable_value_bytes(value) -> bytes:
+def _stable_value_bytes(value: object) -> bytes:
     if isinstance(value, np.ndarray):
         array = np.ascontiguousarray(value)
         return repr((array.dtype.str, array.shape)).encode() + array.tobytes()
@@ -316,7 +316,9 @@ class _StatisticsTask:
     probe_eps: float
     source: "Dataset | BlockSource"
 
-    def make_accumulator(self):
+    def make_accumulator(
+        self,
+    ) -> "GradientMomentAccumulator | ProbeGradientAccumulator | BlockHessianAccumulator":
         if self.method is StatisticsMethod.CLOSED_FORM:
             return BlockHessianAccumulator(self.spec, self.theta)
         if self.method is StatisticsMethod.INVERSE_GRADIENTS:
@@ -429,7 +431,7 @@ def _merge_summaries(summaries: list[MomentSummary]) -> MomentSummary:
     return merged
 
 
-def _is_store_source(source) -> bool:
+def _is_store_source(source: object) -> bool:
     """Duck-typed detection of a statistics-index-capable store source.
 
     Checked structurally (``statistics_index()`` + ``manifest``) so this
@@ -442,7 +444,7 @@ def _is_store_source(source) -> bool:
 
 def _store_backed_summary(
     task: _StatisticsTask,
-    source,
+    source: Any,
     config: StreamingConfig,
     persist: bool,
 ) -> tuple[MomentSummary, int, int]:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import DataError
+from repro.linalg.utils import freeze
 
 
 # ----------------------------------------------------------------------
@@ -34,13 +35,19 @@ def content_hasher() -> "hashlib.blake2b":
     return hashlib.blake2b(digest_size=16)
 
 
-def hash_feature_header(hasher, shape: tuple, dtype) -> None:
+def hash_feature_header(
+    hasher: "hashlib.blake2b", shape: tuple, dtype: "np.typing.DTypeLike"
+) -> None:
     """Feed the feature matrix's shape/dtype header (precedes the X bytes)."""
     hasher.update(str(tuple(shape)).encode())
     hasher.update(np.dtype(dtype).str.encode())
 
 
-def hash_label_header(hasher, shape: tuple | None, dtype=None) -> None:
+def hash_label_header(
+    hasher: "hashlib.blake2b",
+    shape: tuple | None,
+    dtype: "np.typing.DTypeLike" = None,
+) -> None:
     """Feed the label header (follows the X bytes, precedes the y bytes).
 
     ``shape=None`` marks an unsupervised dataset (no y bytes follow).
@@ -85,8 +92,7 @@ class Dataset:
         # training data.  (np.asarray avoids copying, so the freeze also
         # applies to a float64 array the caller passed in; mutate a .copy()
         # instead.)
-        X.flags.writeable = False
-        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "X", freeze(X))
         if self.y is not None:
             y = np.asarray(self.y)
             if y.ndim != 1:
@@ -95,8 +101,7 @@ class Dataset:
                 raise DataError(
                     f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
                 )
-            y.flags.writeable = False
-            object.__setattr__(self, "y", y)
+            object.__setattr__(self, "y", freeze(y))
 
     # ------------------------------------------------------------------
     # Basic properties

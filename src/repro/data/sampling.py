@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import DataError
+from repro.linalg.utils import freeze
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
     from repro.data.store import ShardedDataset
@@ -69,7 +70,7 @@ class UniformSampler:
         # serialises every other consumption of the shared generator
         # (sample / sample_indices), so concurrent callers cannot interleave
         # its bit-stream mid-draw.
-        self._permutation: np.ndarray | None = None
+        self._permutation: np.ndarray | None = None  # guarded-by: _rng_lock  # repro-lint: frozen-attr
         self._rng_lock = threading.Lock()
 
     @property
@@ -86,8 +87,7 @@ class UniformSampler:
             with self._rng_lock:
                 permutation = self._permutation
                 if permutation is None:
-                    permutation = self._rng.permutation(self._dataset.n_rows)
-                    permutation.flags.writeable = False
+                    permutation = freeze(self._rng.permutation(self._dataset.n_rows))
                     self._permutation = permutation
         return permutation
 

@@ -269,7 +269,7 @@ class ShardStoreWriter:
         return self._store
 
     @staticmethod
-    def _owned(block: np.ndarray, source) -> np.ndarray:
+    def _owned(block: np.ndarray, source: np.ndarray) -> np.ndarray:
         """A buffer-safe version of ``block`` (which was converted from ``source``).
 
         The dtype/contiguity conversions below are no-ops for already
@@ -448,7 +448,7 @@ class ShardStoreWriter:
     def __enter__(self) -> "ShardStoreWriter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         if exc_type is None:
             self.close()
 
@@ -714,7 +714,7 @@ class ShardedDataset:
         self._name = store.manifest.name if name is None else name
         self._memmaps: OrderedDict[int, tuple[np.ndarray, np.ndarray | None]] = (
             OrderedDict()
-        )
+        )  # guarded-by: _memmap_lock
         self._memmap_lock = threading.Lock()
 
     # ------------------------------------------------------------------

@@ -29,6 +29,8 @@ scale.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -285,7 +287,7 @@ _GENERATORS = {
 }
 
 
-def make_dataset(name: str, n_rows: int, seed: int | None = 0, **kwargs) -> Dataset:
+def make_dataset(name: str, n_rows: int, seed: int | None = 0, **kwargs: Any) -> Dataset:
     """Build one of the named synthetic workloads.
 
     Parameters

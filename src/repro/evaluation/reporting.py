@@ -34,7 +34,7 @@ def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None) 
     if columns is None:
         columns = list(rows[0].keys())
 
-    def render(value) -> str:
+    def render(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.4g}"
         return str(value)

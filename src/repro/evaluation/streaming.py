@@ -46,11 +46,11 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -74,7 +74,7 @@ STREAMING_BACKENDS = ("threads", "processes")
 # executions by diffing it, so it must tick exactly once per pass no matter
 # how many fan-out segments the pass carries.
 _PASS_COUNTER_LOCK = threading.Lock()
-_STREAMING_PASSES = 0
+_STREAMING_PASSES = 0  # guarded-by: _PASS_COUNTER_LOCK
 
 
 def _count_streaming_pass() -> None:
@@ -235,7 +235,7 @@ class StreamTask(Protocol):
     @property
     def source(self) -> "Dataset | BlockSource": ...
 
-    def make_accumulator(self): ...
+    def make_accumulator(self) -> DiffAccumulator: ...
 
 
 @dataclass(frozen=True)
@@ -281,7 +281,7 @@ class FanoutDiffAccumulator(DiffAccumulator):
 
     __slots__ = ("parts",)
 
-    def __init__(self, parts):
+    def __init__(self, parts: Iterable[DiffAccumulator]):
         self.parts = list(parts)
 
     @property
@@ -320,7 +320,7 @@ class _FanoutStreamTask:
         return FanoutDiffAccumulator([task.make_accumulator() for task in self.tasks])
 
 
-def _run_block_range(task: StreamTask, bounds: list[tuple[int, int]]):
+def _run_block_range(task: StreamTask, bounds: list[tuple[int, int]]) -> DiffAccumulator:
     """Worker body (both backends): one fresh accumulator over one range.
 
     Top-level so the process backend can pickle it; with a sharded source
@@ -358,7 +358,7 @@ def _process_context() -> multiprocessing.context.BaseContext:
 #: streamed evaluation — one train_to() contract alone runs dozens — so
 #: pools are created lazily and reused for the life of the process;
 #: concurrent.futures' own exit hook joins them at interpreter shutdown.
-_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}
+_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}  # guarded-by: _PROCESS_POOLS_LOCK
 _PROCESS_POOLS_LOCK = threading.Lock()
 
 
@@ -389,7 +389,7 @@ def _split_ranges(
     return [[bounds[i] for i in split] for split in splits if split.size]
 
 
-def stream_accumulate(task: StreamTask, config: StreamingConfig):
+def stream_accumulate(task: StreamTask, config: StreamingConfig) -> Any:
     """Run one accumulator (or one per worker) over the task's block source.
 
     The generic executor core behind every streamed fold in the system: the

@@ -26,6 +26,7 @@ from repro.linalg.moments import (
     summary_kind,
 )
 from repro.linalg.utils import (
+    freeze,
     symmetrize,
     safe_cholesky,
     sample_multivariate_normal,
@@ -33,6 +34,7 @@ from repro.linalg.utils import (
 )
 
 __all__ = [
+    "freeze",
     "FactoredCovariance",
     "GradientMomentSummary",
     "ProbeMomentSummary",

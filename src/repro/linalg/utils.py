@@ -7,6 +7,26 @@ import numpy as np
 from repro.exceptions import StatisticsError
 
 
+def freeze(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only in place and return it.
+
+    The single blessed way the codebase publishes an immutable ndarray —
+    cached difference vectors, sampler base draws, dataset columns, the
+    nested-sampling permutation.  Aliasing bugs where one caller's in-place
+    edit corrupted another caller's cached view were fixed one at a time in
+    PRs 2–3; routing every publication through this helper lets the
+    invariant linter (REP002, see ``docs/invariants.md``) verify the
+    discipline mechanically instead of by reviewer memory.
+
+    Freezing is idempotent, and intentionally *in place* rather than on a
+    copy: the point is that the caller's own reference is read-only too,
+    so no writable alias of a published array survives.  Callers that need
+    a writable version afterwards must ``.copy()``.
+    """
+    array.flags.writeable = False  # repro-lint: disable=REP002 (the one blessed writeable-flag site; every other module must call freeze())
+    return array
+
+
 def symmetrize(matrix: np.ndarray) -> np.ndarray:
     """Return the symmetric part ``(A + Aᵀ) / 2`` of a square matrix.
 

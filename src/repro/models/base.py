@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -87,7 +89,12 @@ class BlockSumDiffAccumulator(DiffAccumulator):
     the grand totals ``(sums, n_rows)`` to the final differences.
     """
 
-    def __init__(self, n_candidates: int, block_sums, reduce):
+    def __init__(
+        self,
+        n_candidates: int,
+        block_sums: Callable[[Dataset], np.ndarray] | None,
+        reduce: Callable[[np.ndarray, int], np.ndarray] | None,
+    ):
         if n_candidates < 1:
             raise ModelSpecError("need at least one candidate parameter vector")
         self._sums = np.zeros(int(n_candidates), dtype=np.float64)
@@ -165,7 +172,7 @@ class PrecomputedDiffAccumulator(DiffAccumulator):
         return self._values
 
 
-def holdout_label_scale(dataset, family: str) -> float:
+def holdout_label_scale(dataset: Any, family: str) -> float:
     """Label standard deviation normalising a regression diff metric.
 
     One implementation for every normalised regression family (linear,
@@ -196,7 +203,7 @@ def holdout_label_scale(dataset, family: str) -> float:
     return scale if scale > 0 else 1.0
 
 
-def materialize_if_sharded(dataset) -> Dataset:
+def materialize_if_sharded(dataset: Any) -> Dataset:
     """An in-memory :class:`Dataset` for ``dataset``, whatever it is.
 
     Block sources (e.g. :class:`repro.data.store.ShardedDataset`) expose a
@@ -598,7 +605,7 @@ class ModelClassSpec(ABC):
         dataset: Dataset,
         method: str | None = None,
         theta0: np.ndarray | None = None,
-        **optimizer_kwargs,
+        **optimizer_kwargs: Any,
     ) -> TrainedModel:
         """Train on ``dataset`` and return a :class:`TrainedModel`.
 

@@ -6,6 +6,8 @@ the paper uses (Lin, LR, ME, PPCA); this module resolves them.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.exceptions import ModelSpecError
 from repro.models.base import ModelClassSpec
 from repro.models.linear_regression import LinearRegressionSpec
@@ -32,7 +34,7 @@ def available_models() -> list[str]:
     return ["lin", "lr", "me", "poisson", "ppca"]
 
 
-def get_model_spec(name: str, **kwargs) -> ModelClassSpec:
+def get_model_spec(name: str, **kwargs: Any) -> ModelClassSpec:
     """Instantiate a model class specification by name.
 
     Parameters

@@ -10,6 +10,8 @@ of the library) goes through.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.config import BFGS_DIMENSION_THRESHOLD
@@ -29,7 +31,7 @@ _METHODS = {
 }
 
 
-def optimizer_for_dimension(dimension: int, **kwargs):
+def optimizer_for_dimension(dimension: int, **kwargs: Any) -> BFGS | LBFGS:
     """Return a BFGS instance for small d and an L-BFGS instance otherwise."""
     if dimension < BFGS_DIMENSION_THRESHOLD:
         return BFGS(**kwargs)
@@ -40,7 +42,7 @@ def minimize(
     objective: Objective,
     theta0: np.ndarray,
     method: str | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> OptimizationResult:
     """Minimise ``objective`` starting from ``theta0``.
 

@@ -47,7 +47,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.config import (
     DEFAULT_COALESCE_MAX_BATCH,
@@ -56,7 +58,7 @@ from repro.config import (
 )
 from repro.core.contract import ApproximationContract
 from repro.core.result import ApproximateTrainingResult
-from repro.core.session import SessionAnswer
+from repro.core.session import EstimationSession, SessionAnswer
 from repro.exceptions import BlinkMLError, ServingError, ServingOverloadError
 
 
@@ -161,7 +163,7 @@ class _Request:
         self.contract = contract
         self.recompute = recompute
         self.event = threading.Event()
-        self.result = None
+        self.result: Any = None
         self.error: BaseException | None = None
         self.enqueued_at = time.monotonic()
 
@@ -201,12 +203,12 @@ class ContractBatcher:
 
     def __init__(
         self,
-        session,
+        session: EstimationSession,
         *,
         window_ms: float = DEFAULT_COALESCE_WINDOW_MS,
         max_batch: int = DEFAULT_COALESCE_MAX_BATCH,
         max_queue: int = DEFAULT_COALESCE_MAX_QUEUE,
-        admission=None,
+        admission: Callable[[int], bool] | None = None,
         name: str = "session",
     ):
         if window_ms < 0:
@@ -222,26 +224,26 @@ class ContractBatcher:
         self._admission = admission
         self._name = str(name)
         self._cond = threading.Condition()
-        self._queue: deque[_Request] = deque()
-        self._inflight = 0
-        self._closed = False
-        self._thread: threading.Thread | None = None
+        self._queue: deque[_Request] = deque()  # guarded-by: _cond
+        self._inflight = 0  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        self._thread: threading.Thread | None = None  # guarded-by: _cond
         # Counters (all guarded by the condition variable).
-        self._batches = 0
-        self._requests = 0
-        self._coalesced = 0
-        self._answer_requests = 0
-        self._train_requests = 0
-        self._fused_passes = 0
-        self._serial_passes = 0
-        self._load_shed = 0
-        self._max_queue_depth = 0
-        self._window_slots = 0
-        self._queue_wait_seconds = 0.0
-        self._max_queue_wait_seconds = 0.0
+        self._batches = 0  # guarded-by: _cond
+        self._requests = 0  # guarded-by: _cond
+        self._coalesced = 0  # guarded-by: _cond
+        self._answer_requests = 0  # guarded-by: _cond
+        self._train_requests = 0  # guarded-by: _cond
+        self._fused_passes = 0  # guarded-by: _cond
+        self._serial_passes = 0  # guarded-by: _cond
+        self._load_shed = 0  # guarded-by: _cond
+        self._max_queue_depth = 0  # guarded-by: _cond
+        self._window_slots = 0  # guarded-by: _cond
+        self._queue_wait_seconds = 0.0  # guarded-by: _cond
+        self._max_queue_wait_seconds = 0.0  # guarded-by: _cond
 
     @property
-    def session(self):
+    def session(self) -> EstimationSession:
         """The session this batcher dispatches against."""
         return self._session
 
@@ -278,7 +280,7 @@ class ContractBatcher:
         contract: ApproximationContract,
         recompute: bool,
         timeout: float | None,
-    ):
+    ) -> Any:
         request = _Request(kind, contract, recompute)
         with self._cond:
             if self._closed:
@@ -305,7 +307,7 @@ class ContractBatcher:
             raise request.error
         return request.result
 
-    def _ensure_dispatcher_locked(self) -> None:
+    def _ensure_dispatcher_locked(self) -> None:  # repro-lint: holds=_cond
         if self._thread is None or not self._thread.is_alive():
             self._thread = threading.Thread(
                 target=self._run,
@@ -438,7 +440,7 @@ class ContractBatcher:
     def __enter__(self) -> "ContractBatcher":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def stats(self) -> BatcherStats:

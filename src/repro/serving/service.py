@@ -46,6 +46,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from typing import Any
+
 from repro.config import (
     DEFAULT_COALESCE_MAX_BATCH,
     DEFAULT_COALESCE_MAX_QUEUE,
@@ -59,7 +61,10 @@ from repro.core.contract import ApproximationContract
 from repro.core.registry import RegistryStats, SessionRegistry
 from repro.core.result import ApproximateTrainingResult
 from repro.core.session import SessionAnswer
+from repro.data.dataset import Dataset
+from repro.data.store import ShardedDataset
 from repro.exceptions import ServingError
+from repro.models.base import ModelClassSpec
 from repro.serving.batcher import BatcherStats, ContractBatcher
 
 
@@ -116,15 +121,15 @@ class CoalescingService:
         self._rebalance_drift = float(rebalance_drift)
         self._hot_bytes_fraction = float(hot_bytes_fraction)
         self._lock = threading.Lock()
-        self._batchers: dict[object, ContractBatcher] = {}
-        self._closed = False
+        self._batchers: dict[object, ContractBatcher] = {}  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         # Memoised budget-pressure probe: registry.stats() walks the whole
         # fleet, far too heavy per request, so admission reads a snapshot
         # at most once per 100 ms.
-        self._hot_checked_at = float("-inf")
-        self._hot = False
+        self._hot_checked_at = float("-inf")  # guarded-by: _lock
+        self._hot = False  # guarded-by: _lock
         # Retired stats so closed batchers' history survives in aggregates.
-        self._retired_stats = BatcherStats()
+        self._retired_stats = BatcherStats()  # guarded-by: _lock
         # The async entry points park blocking waits here.  Each wait is an
         # enqueue plus an event sleep (the fused dispatch runs on the
         # batcher's own thread), so waiters are cheap — but the pool must
@@ -153,10 +158,10 @@ class CoalescingService:
     def batcher(
         self,
         key: object,
-        spec=None,
-        train=None,
-        holdout=None,
-        **session_kwargs,
+        spec: ModelClassSpec | None = None,
+        train: Dataset | ShardedDataset | None = None,
+        holdout: Dataset | ShardedDataset | None = None,
+        **session_kwargs: Any,
     ) -> ContractBatcher:
         """The live batcher for ``key``, creating session + batcher if needed.
 
@@ -200,7 +205,7 @@ class CoalescingService:
                 self._batchers[key] = batcher
             return batcher
 
-    def _retire_locked(self, key: object, batcher: ContractBatcher) -> None:
+    def _retire_locked(self, key: object, batcher: ContractBatcher) -> None:  # repro-lint: holds=_lock
         """Drop a batcher from the map, folding its counters into history."""
         self._retired_stats = self._retired_stats.merge(batcher.stats())
         del self._batchers[key]
@@ -217,7 +222,7 @@ class CoalescingService:
         contract: ApproximationContract,
         *,
         timeout: float | None = None,
-        **resolve_kwargs,
+        **resolve_kwargs: Any,
     ) -> SessionAnswer:
         """Coalesced ``answer()`` for ``key``'s session; blocks for the result."""
         return self.batcher(key, **resolve_kwargs).answer(contract, timeout=timeout)
@@ -229,7 +234,7 @@ class CoalescingService:
         *,
         recompute_at_theta_n: bool = False,
         timeout: float | None = None,
-        **resolve_kwargs,
+        **resolve_kwargs: Any,
     ) -> ApproximateTrainingResult:
         """Coalesced ``train_to()`` for ``key``'s session; blocks for the result."""
         return self.batcher(key, **resolve_kwargs).train_to(
@@ -245,7 +250,7 @@ class CoalescingService:
         contract: ApproximationContract,
         *,
         timeout: float | None = None,
-        **resolve_kwargs,
+        **resolve_kwargs: Any,
     ) -> SessionAnswer:
         """Awaitable coalesced ``answer()``.
 
@@ -267,7 +272,7 @@ class CoalescingService:
         *,
         recompute_at_theta_n: bool = False,
         timeout: float | None = None,
-        **resolve_kwargs,
+        **resolve_kwargs: Any,
     ) -> ApproximateTrainingResult:
         """Awaitable coalesced ``train_to()`` (see :meth:`answer`)."""
         loop = asyncio.get_running_loop()
@@ -400,13 +405,13 @@ class CoalescingService:
     def __enter__(self) -> "CoalescingService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     async def __aenter__(self) -> "CoalescingService":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await asyncio.get_running_loop().run_in_executor(None, self.close)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

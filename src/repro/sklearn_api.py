@@ -12,6 +12,8 @@ dependency); they simply follow its calling conventions.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.config import (
@@ -59,7 +61,7 @@ class BlinkMLEstimator:
         n_parameter_samples: int = DEFAULT_NUM_PARAMETER_SAMPLES,
         seed: int | None = None,
         statistics_method: str = "observed_fisher",
-        **model_kwargs,
+        **model_kwargs: Any,
     ):
         self.model = model
         self.accuracy = accuracy
@@ -137,7 +139,7 @@ class BlinkMLEstimator:
         params.update(self.model_kwargs)
         return params
 
-    def set_params(self, **params) -> "BlinkMLEstimator":
+    def set_params(self, **params: Any) -> "BlinkMLEstimator":
         """scikit-learn-compatible parameter update."""
         for key, value in params.items():
             if hasattr(self, key):
@@ -150,7 +152,7 @@ class BlinkMLEstimator:
 class BlinkMLClassifier(BlinkMLEstimator):
     """Approximate classifier (logistic regression or max-entropy)."""
 
-    def __init__(self, model: str = "lr", **kwargs):
+    def __init__(self, model: str = "lr", **kwargs: Any):
         super().__init__(model=model, **kwargs)
 
     def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLClassifier":
@@ -177,7 +179,7 @@ class BlinkMLClassifier(BlinkMLEstimator):
 class BlinkMLRegressor(BlinkMLEstimator):
     """Approximate regressor (linear or Poisson regression)."""
 
-    def __init__(self, model: str = "lin", **kwargs):
+    def __init__(self, model: str = "lin", **kwargs: Any):
         super().__init__(model=model, **kwargs)
 
     def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLRegressor":
@@ -202,7 +204,7 @@ class BlinkMLRegressor(BlinkMLEstimator):
 class BlinkMLTransformer(BlinkMLEstimator):
     """Approximate unsupervised transformer (PPCA)."""
 
-    def __init__(self, model: str = "ppca", **kwargs):
+    def __init__(self, model: str = "ppca", **kwargs: Any):
         super().__init__(model=model, **kwargs)
 
     def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "BlinkMLTransformer":

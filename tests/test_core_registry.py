@@ -77,7 +77,7 @@ class FakeSession:
         self._last_used_at = time.monotonic()
 
 
-@pytest.fixture()
+@pytest.fixture
 def fake_registry():
     def build(**kwargs):
         kwargs.setdefault("session_factory", FakeSession)
@@ -166,7 +166,7 @@ class TrafficFakeSession(FakeSession):
         }
 
 
-@pytest.fixture()
+@pytest.fixture
 def traffic_registry():
     def build(**kwargs):
         kwargs.setdefault("session_factory", TrafficFakeSession)

@@ -138,7 +138,7 @@ class TestReporting:
         lines = table.splitlines()
         assert len(lines) == 4  # header, separator, two rows
         assert "name" in lines[0] and "value" in lines[0]
-        assert len(set(len(line) for line in lines[2:])) >= 1
+        assert len({len(line) for line in lines[2:]}) >= 1
 
     def test_format_table_empty(self):
         assert format_table([]) == "(no rows)"

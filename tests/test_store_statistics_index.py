@@ -40,7 +40,7 @@ from repro.exceptions import DataError
 from repro.models.logistic_regression import LogisticRegressionSpec
 
 
-@pytest.fixture()
+@pytest.fixture
 def store_setup(tmp_path):
     data = higgs_like(n_rows=1_600, n_features=5, seed=71)
     directory = tmp_path / "store"

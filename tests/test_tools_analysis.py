@@ -1,0 +1,761 @@
+"""Tests for the repo-specific invariant linter (``tools.analysis``).
+
+Three layers:
+
+* **fixture mini-packages** — one positive and one negative case per rule,
+  built in ``tmp_path`` so each rule's trigger and its blessed idiom are
+  pinned down independently of the real tree;
+* **deletion detection** — mutate a *real* module (drop a ``freeze()``
+  wrapper, drop a lock ``with`` block) and assert the linter notices,
+  which is the property the tentpole exists for;
+* **the clean-tree gate** — the real repository must produce zero
+  findings, making this test module the enforcement point of every
+  invariant in docs/invariants.md.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.analysis import run_analysis
+from tools.analysis.__main__ import main as analysis_main
+from tools.analysis.context import ModuleContext
+from tools.analysis.rules import (
+    ALL_RULES,
+    rep002_frozen,
+    rep003_locks,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Fixture repo scaffolding
+# ----------------------------------------------------------------------
+BASE_FILES = {
+    "src/repro/__init__.py": '''\
+        """Fixture package."""
+
+        __all__ = ["thing"]
+
+
+        def thing() -> int:
+            return 7
+        ''',
+    "src/repro/config.py": '''\
+        """Fixture config (no knobs)."""
+        ''',
+    "docs/api.md": "# API\n\nThe `thing` helper.\n",
+    "docs/serving.md": "# Serving\n\n(no knobs)\n",
+}
+
+
+def make_repo(tmp_path: Path, files: dict[str, str] | None = None) -> Path:
+    """A minimal analysable tree: base package + per-test overlays."""
+    tree = dict(BASE_FILES)
+    tree.update(files or {})
+    for relpath, source in tree.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def findings_for(root: Path, rule: str | None = None) -> list:
+    findings = run_analysis(root)
+    if rule is not None:
+        findings = [f for f in findings if f.rule == rule]
+    return findings
+
+
+def test_base_fixture_tree_is_clean(tmp_path):
+    assert findings_for(make_repo(tmp_path)) == []
+
+
+# ----------------------------------------------------------------------
+# REP001 — no global NumPy RNG
+# ----------------------------------------------------------------------
+class TestRep001:
+    def test_global_rng_calls_are_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/bad_rng.py": """\
+                    import numpy as np
+
+
+                    def draw() -> np.ndarray:
+                        np.random.seed(0)
+                        return np.random.rand(3)
+                    """
+            },
+        )
+        found = findings_for(root, "REP001")
+        assert len(found) == 2
+        assert all("np.random" in f.message for f in found)
+        assert {f.line for f in found} == {5, 6}
+
+    def test_import_of_global_function_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/bad_import.py": """\
+                    from numpy.random import shuffle  # noqa: F401
+                    """
+            },
+        )
+        assert len(findings_for(root, "REP001")) == 1
+
+    def test_seeded_generators_are_allowed(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/good_rng.py": """\
+                    import numpy as np
+                    from numpy.random import default_rng
+
+
+                    def draw(seed: int) -> np.ndarray:
+                        rng = np.random.default_rng(seed)
+                        other = default_rng(np.random.SeedSequence(seed))
+                        return rng.random(3) + other.random(3)
+                    """
+            },
+        )
+        assert findings_for(root, "REP001") == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — frozen-array discipline
+# ----------------------------------------------------------------------
+class TestRep002:
+    def test_raw_writeable_flag_assignment_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/raw_flag.py": """\
+                    import numpy as np
+
+
+                    def lock_down(a: np.ndarray) -> np.ndarray:
+                        a.flags.writeable = False
+                        return a
+                    """
+            },
+        )
+        found = findings_for(root, "REP002")
+        assert len(found) == 1
+        assert "freeze()" in found[0].message
+
+    def test_frozen_attr_assignment_must_flow_through_freeze(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/frozen_attr.py": """\
+                    import numpy as np
+
+                    from repro.linalg.utils import freeze
+
+
+                    class Holder:
+                        def __init__(self) -> None:
+                            self._vec = None  # repro-lint: frozen-attr
+
+                        def set_good(self, d: np.ndarray) -> None:
+                            self._vec = freeze(np.sort(d))
+
+                        def set_bad(self, d: np.ndarray) -> None:
+                            self._vec = np.sort(d)
+                    """
+            },
+        )
+        found = findings_for(root, "REP002")
+        assert len(found) == 1
+        assert "_vec" in found[0].message
+        assert found[0].line == 14
+
+    def test_frozen_attr_reads_carry_frozenness(self, tmp_path):
+        # Double-checked locking re-reads the attribute; that read is as
+        # frozen as what was stored, so re-assigning it is fine.
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/reread.py": """\
+                    import numpy as np
+
+                    from repro.linalg.utils import freeze
+
+
+                    class Holder:
+                        def __init__(self) -> None:
+                            self._vec = None  # repro-lint: frozen-attr
+
+                        def ensure(self, d: np.ndarray) -> np.ndarray:
+                            cached = self._vec
+                            if cached is None:
+                                cached = freeze(np.sort(d))
+                            self._vec = cached
+                            return cached
+                    """
+            },
+        )
+        assert findings_for(root, "REP002") == []
+
+    def test_frozen_cache_put_and_factory(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/cachey.py": """\
+                    import numpy as np
+
+                    from repro.core.caching import LRUCache
+                    from repro.linalg.utils import freeze
+
+
+                    class Holder:
+                        def __init__(self) -> None:
+                            self._cache = LRUCache("c")  # repro-lint: frozen-cache
+
+                        def put_good(self, key: str, d: np.ndarray) -> None:
+                            self._cache.put(key, freeze(np.sort(d)))
+
+                        def put_bad(self, key: str, d: np.ndarray) -> None:
+                            self._cache.put(key, np.sort(d))
+
+                        def compute_good(self, key: str, d: np.ndarray) -> object:
+                            return self._cache.get_or_compute(
+                                key, lambda: freeze(np.sort(d))
+                            )
+
+                        def compute_bad(self, key: str, d: np.ndarray) -> object:
+                            return self._cache.get_or_compute(
+                                key, lambda: np.sort(d)
+                            )
+                    """
+            },
+        )
+        found = findings_for(root, "REP002")
+        assert len(found) == 2
+        messages = " ".join(f.message for f in found)
+        assert "stored in frozen cache" in messages
+        assert "factory passed to frozen cache" in messages
+
+    def test_returns_frozen_annotation(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/returner.py": """\
+                    import numpy as np
+
+                    from repro.linalg.utils import freeze
+
+
+                    def good(d: np.ndarray) -> np.ndarray:  # repro-lint: returns-frozen
+                        return freeze(np.sort(d))
+
+
+                    def bad(d: np.ndarray) -> np.ndarray:  # repro-lint: returns-frozen
+                        return np.sort(d)
+                    """
+            },
+        )
+        found = findings_for(root, "REP002")
+        assert len(found) == 1
+        assert "`bad`" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# REP003 — lock discipline
+# ----------------------------------------------------------------------
+_LOCKED_CLASS = """\
+    import threading
+
+
+    class Box:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._items: list[int] = []  # guarded-by: _lock
+
+        def add_good(self, value: int) -> None:
+            with self._lock:
+                self._items.append(value)
+
+        def _drain_locked(self) -> list[int]:  # repro-lint: holds=_lock
+            drained = list(self._items)
+            self._items = []
+            return drained
+
+        def add_bad(self, value: int) -> None:
+            self._items.append(value)
+    """
+
+
+class TestRep003:
+    def test_unlocked_mutation_is_flagged(self, tmp_path):
+        root = make_repo(tmp_path, {"src/repro/boxy.py": _LOCKED_CLASS})
+        found = findings_for(root, "REP003")
+        assert len(found) == 1
+        assert "_items" in found[0].message
+        assert found[0].line == 19  # the append in add_bad
+
+    def test_init_and_holds_and_with_are_exempt(self, tmp_path):
+        clean = _LOCKED_CLASS.replace(
+            "        def add_bad(self, value: int) -> None:\n"
+            "            self._items.append(value)\n",
+            "",
+        )
+        assert clean != _LOCKED_CLASS
+        root = make_repo(tmp_path, {"src/repro/boxy.py": clean})
+        assert findings_for(root, "REP003") == []
+
+    def test_module_level_lock_discipline(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/modglobal.py": """\
+                    import threading
+
+                    _LOCK = threading.Lock()
+                    _POOL: dict[int, str] = {}  # guarded-by: _LOCK
+
+
+                    def put_good(key: int, value: str) -> None:
+                        with _LOCK:
+                            _POOL[key] = value
+
+
+                    def put_bad(key: int, value: str) -> None:
+                        _POOL[key] = value
+                    """
+            },
+        )
+        found = findings_for(root, "REP003")
+        assert len(found) == 1
+        assert found[0].line == 13
+
+
+# ----------------------------------------------------------------------
+# REP004 — process-backend picklability
+# ----------------------------------------------------------------------
+class TestRep004:
+    def test_lambda_bound_without_pickle_pair_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/accum.py": """\
+                    class FancyAccumulator:
+                        def configure(self, scale: float) -> None:
+                            self._fn = lambda x: x * scale
+                    """
+            },
+        )
+        found = findings_for(root, "REP004")
+        assert len(found) == 1
+        assert "__getstate__" in found[0].message
+
+    def test_pickle_pair_silences_the_rule(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/accum_ok.py": """\
+                    class FancyAccumulator:
+                        def configure(self, scale: float) -> None:
+                            self._fn = lambda x: x * scale
+
+                        def __getstate__(self) -> dict:
+                            state = dict(self.__dict__)
+                            state["_fn"] = None
+                            return state
+
+                        def __setstate__(self, state: dict) -> None:
+                            self.__dict__.update(state)
+                    """
+            },
+        )
+        assert findings_for(root, "REP004") == []
+
+    def test_non_target_classes_are_ignored(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/plain.py": """\
+                    class Plain:
+                        def configure(self, scale: float) -> None:
+                            self._fn = lambda x: x * scale
+                    """
+            },
+        )
+        assert findings_for(root, "REP004") == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — config-knob parity
+# ----------------------------------------------------------------------
+_KNOB_DOC = """\
+    # Serving
+
+    | knob | default | env-overridable |
+    | --- | --- | --- |
+    | `DEFAULT_FOO` | 3 | **yes** |
+    """
+
+
+class TestRep005:
+    def test_bare_constant_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/config.py": '"""Cfg."""\n\nDEFAULT_FOO = 3\n',
+                "docs/serving.md": _KNOB_DOC,
+            },
+        )
+        found = findings_for(root, "REP005")
+        assert len(found) == 1
+        assert "bare constant" in found[0].message
+
+    def test_env_name_must_match_knob_name(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/config.py": (
+                    '"""Cfg."""\n\nDEFAULT_FOO = _env_int("DEFAULT_BAR", 3)\n'
+                ),
+                "docs/serving.md": _KNOB_DOC,
+            },
+        )
+        found = findings_for(root, "REP005")
+        assert len(found) == 1
+        assert "its own name" in found[0].message
+
+    def test_parity_holds_for_wrapped_and_documented_knob(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/config.py": (
+                    '"""Cfg."""\n\nDEFAULT_FOO = _env_int("DEFAULT_FOO", 3)\n'
+                ),
+                "docs/serving.md": _KNOB_DOC,
+            },
+        )
+        assert findings_for(root, "REP005") == []
+
+    def test_missing_doc_row_and_stale_doc_row(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/config.py": (
+                    '"""Cfg."""\n\nDEFAULT_FOO = _env_int("DEFAULT_FOO", 3)\n'
+                ),
+                "docs/serving.md": """\
+                    # Serving
+
+                    | knob | default | env-overridable |
+                    | --- | --- | --- |
+                    | `DEFAULT_GONE` | 1 | **yes** |
+                    """,
+            },
+        )
+        found = findings_for(root, "REP005")
+        messages = " ".join(f.message for f in found)
+        assert "no row" in messages  # DEFAULT_FOO undocumented
+        assert "does not define it" in messages  # DEFAULT_GONE stale
+
+    def test_doc_row_must_say_yes(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/config.py": (
+                    '"""Cfg."""\n\nDEFAULT_FOO = _env_int("DEFAULT_FOO", 3)\n'
+                ),
+                "docs/serving.md": _KNOB_DOC.replace("**yes**", "no"),
+            },
+        )
+        found = findings_for(root, "REP005")
+        assert len(found) == 1
+        assert "**yes**" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# REP006 — public-API parity
+# ----------------------------------------------------------------------
+class TestRep006:
+    def test_phantom_export_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/__init__.py": """\
+                    \"\"\"Fixture package.\"\"\"
+
+                    __all__ = ["thing", "ghost"]
+
+
+                    def thing() -> int:
+                        return 7
+                    """
+            },
+        )
+        found = findings_for(root, "REP006")
+        # A phantom export is doubly wrong: nothing binds it, and the doc
+        # cannot document it.  Both findings name it.
+        assert len(found) == 2
+        assert all("ghost" in f.message for f in found)
+        assert any("nothing binds it" in f.message for f in found)
+
+    def test_unexported_public_binding_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/__init__.py": """\
+                    \"\"\"Fixture package.\"\"\"
+
+                    __all__ = ["thing"]
+
+
+                    def thing() -> int:
+                        return 7
+
+
+                    def stray() -> int:
+                        return 8
+                    """
+            },
+        )
+        found = findings_for(root, "REP006")
+        assert len(found) == 1
+        assert "stray" in found[0].message
+
+    def test_undocumented_export_is_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/__init__.py": """\
+                    \"\"\"Fixture package.\"\"\"
+
+                    __all__ = ["thing", "helper"]
+
+
+                    def thing() -> int:
+                        return 7
+
+
+                    def helper() -> int:
+                        return 8
+                    """
+            },
+        )
+        found = findings_for(root, "REP006")
+        assert len(found) == 1
+        assert "helper" in found[0].message
+        assert "docs/api.md" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# REP007 — typed-def coverage
+# ----------------------------------------------------------------------
+class TestRep007:
+    def test_unannotated_defs_are_flagged(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/untyped.py": """\
+                    def no_param_type(x) -> int:
+                        return x
+
+
+                    def no_return(x: int):
+                        return x
+
+
+                    def no_star(*args, **kwargs) -> None:
+                        pass
+                    """
+            },
+        )
+        found = findings_for(root, "REP007")
+        assert len(found) == 3
+        by_line = {f.line: f.message for f in found}
+        assert "x" in by_line[1]
+        assert "return annotation" in by_line[5]
+        assert "*args" in by_line[9] and "**kwargs" in by_line[9]
+
+    def test_init_may_omit_return_and_self_is_skipped(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/typed.py": """\
+                    class Thing:
+                        def __init__(self, size: int):
+                            self.size = size
+
+                        def grow(self, by: int) -> int:
+                            self.size += by
+                            return self.size
+
+                        @classmethod
+                        def default(cls) -> "Thing":
+                            return cls(0)
+                    """
+            },
+        )
+        assert findings_for(root, "REP007") == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions (REP000 bookkeeping)
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_disable_with_reason_suppresses_and_is_not_stale(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/suppressed.py": """\
+                    import numpy as np
+
+
+                    def draw() -> None:
+                        np.random.seed(0)  # repro-lint: disable=REP001 (fixture exercising the legacy path)
+                    """
+            },
+        )
+        assert findings_for(root) == []
+
+    def test_disable_without_reason_is_rep000(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/bare_disable.py": """\
+                    import numpy as np
+
+
+                    def draw() -> None:
+                        np.random.seed(0)  # repro-lint: disable=REP001
+                    """
+            },
+        )
+        found = findings_for(root)
+        rules = {f.rule for f in found}
+        # The finding survives AND the bare disable is itself reported.
+        assert rules == {"REP000", "REP001"}
+
+    def test_stale_suppression_is_rep000(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/stale.py": """\
+                    def fine() -> int:  # repro-lint: disable=REP001 (nothing here triggers it)
+                        return 1
+                    """
+            },
+        )
+        found = findings_for(root)
+        assert len(found) == 1
+        assert found[0].rule == "REP000"
+        assert "stale suppression" in found[0].message
+
+    def test_standalone_disable_covers_next_statement(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/standalone.py": """\
+                    import numpy as np
+
+
+                    def draw() -> None:
+                        # repro-lint: disable=REP001 (fixture exercising the legacy path)
+                        np.random.seed(0)
+                    """
+            },
+        )
+        assert findings_for(root) == []
+
+
+# ----------------------------------------------------------------------
+# Deletion detection on REAL modules — the property the linter is for
+# ----------------------------------------------------------------------
+class TestDeletionDetection:
+    def _mutated_module(self, tmp_path, relpath: str, old: str, new: str):
+        source = (REPO_ROOT / relpath).read_text(encoding="utf-8")
+        assert old in source, f"anchor text missing from {relpath}: {old!r}"
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source.replace(old, new, 1), encoding="utf-8")
+        return ModuleContext(tmp_path, path)
+
+    def test_unchanged_real_sampler_is_clean(self, tmp_path):
+        module = self._mutated_module(
+            tmp_path, "src/repro/data/sampling.py", "freeze(", "freeze("
+        )
+        assert list(rep002_frozen.check_module(module)) == []
+
+    def test_deleting_a_freeze_wrapper_is_caught(self, tmp_path):
+        # Drop the freeze() around the sampler's cached permutation — the
+        # exact regression REP002 exists to stop.
+        module = self._mutated_module(
+            tmp_path,
+            "src/repro/data/sampling.py",
+            "freeze(self._rng.permutation(self._dataset.n_rows))",
+            "self._rng.permutation(self._dataset.n_rows)",
+        )
+        found = list(rep002_frozen.check_module(module))
+        assert len(found) >= 1
+        assert any("_permutation" in f.message for f in found)
+
+    def test_unchanged_real_cache_is_clean(self, tmp_path):
+        module = self._mutated_module(
+            tmp_path, "src/repro/core/caching.py", "with self._lock:", "with self._lock:"
+        )
+        assert list(rep003_locks.check_module(module)) == []
+
+    def test_deleting_a_lock_block_is_caught(self, tmp_path):
+        # Replace one lock acquisition with a plain block: the mutations
+        # inside it are now unguarded and REP003 must fire.
+        module = self._mutated_module(
+            tmp_path, "src/repro/core/caching.py", "with self._lock:", "if True:"
+        )
+        found = list(rep003_locks.check_module(module))
+        assert len(found) >= 1
+        assert all(f.rule == "REP003" for f in found)
+
+
+# ----------------------------------------------------------------------
+# The clean-tree gate + CLI
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_repository_is_invariant_clean(self):
+        findings = run_analysis(REPO_ROOT)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"invariant findings on the real tree:\n{rendered}"
+
+    def test_cli_check_passes_on_real_tree(self, capsys):
+        assert analysis_main(["--check"]) == 0
+        assert "invariant lint clean." in capsys.readouterr().out
+
+    def test_cli_lists_every_rule(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.RULE_ID in out
+        assert len(ALL_RULES) == 7
+
+    def test_cli_exits_nonzero_on_findings(self, capsys, monkeypatch, tmp_path):
+        # Point the CLI at a fixture tree by analysing one bad file in
+        # place under the real root is not possible, so go through
+        # run_analysis directly and mirror the CLI contract instead.
+        root = make_repo(
+            tmp_path,
+            {
+                "src/repro/bad.py": "import numpy as np\n\n\ndef d() -> float:\n    return np.random.rand()\n"
+            },
+        )
+        findings = run_analysis(root)
+        assert findings, "expected the fixture violation to be reported"
+
+
+@pytest.mark.parametrize("rule", [r.RULE_ID for r in ALL_RULES])
+def test_every_rule_has_id_and_summary(rule):
+    assert rule.startswith("REP")
+    module = next(r for r in ALL_RULES if r.RULE_ID == rule)
+    assert isinstance(module.SUMMARY, str) and module.SUMMARY

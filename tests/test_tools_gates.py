@@ -1,0 +1,249 @@
+"""Tests for the plain-script CI gates: tools/check_docs.py and
+tools/run_examples.py.
+
+Both are stdlib-only scripts that gate every push; until now they were
+only exercised *by* CI, never tested themselves.  The docs checker is
+tested against fixture Markdown trees (slug rules, link resolution,
+anchor dedup, scheme sanity) plus the real documentation set; the example
+runner is tested against a fixture examples directory with passing,
+failing, and smoke-env-asserting scripts.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from tools import check_docs, run_examples
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# check_docs — slugs and code stripping
+# ----------------------------------------------------------------------
+class TestGithubSlug:
+    def test_basic_lowercase_and_dashes(self):
+        assert check_docs.github_slug("Hello World") == "hello-world"
+
+    def test_punctuation_is_dropped(self):
+        assert check_docs.github_slug("What's new?!") == "whats-new"
+
+    def test_inline_code_keeps_its_text(self):
+        assert check_docs.github_slug("The `freeze()` helper") == "the-freeze-helper"
+
+    def test_linked_heading_uses_link_text(self):
+        assert check_docs.github_slug("[Serving](serving.md) tier") == "serving-tier"
+
+
+class TestStripCode:
+    def test_fences_and_inline_spans_are_removed(self):
+        text = textwrap.dedent(
+            """\
+            before
+            ```python
+            array[0](not_a_link)
+            ```
+            middle `code[1](span)` after
+            """
+        )
+        stripped = check_docs.strip_code(text)
+        assert "not_a_link" not in stripped
+        assert "span" not in stripped
+        assert "before" in stripped and "after" in stripped
+
+
+class TestAnchors:
+    def test_duplicate_headings_dedupe_like_github(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Setup\n\n# Setup\n\n# Setup\n", encoding="utf-8")
+        assert check_docs.anchors_of(doc, {}) == {"setup", "setup-1", "setup-2"}
+
+    def test_headings_inside_fences_are_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real\n\n```\n# not a heading\n```\n", encoding="utf-8")
+        assert check_docs.anchors_of(doc, {}) == {"real"}
+
+
+# ----------------------------------------------------------------------
+# check_docs — link checking over fixture trees
+# ----------------------------------------------------------------------
+def write_docs(tmp_path: Path, files: dict[str, str]) -> dict[str, Path]:
+    out = {}
+    for name, content in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+        out[name] = path
+    return out
+
+
+class TestCheckFile:
+    def test_valid_relative_link_and_anchor(self, tmp_path):
+        docs = write_docs(
+            tmp_path,
+            {
+                "a.md": "# A\n\nSee [b](b.md) and [sec](b.md#the-section).\n",
+                "b.md": "# B\n\n## The Section\n\ntext\n",
+            },
+        )
+        assert check_docs.check_file(docs["a.md"], {}) == []
+
+    def test_broken_file_link(self, tmp_path):
+        docs = write_docs(tmp_path, {"a.md": "[gone](missing.md)\n"})
+        problems = check_docs.check_file(docs["a.md"], {})
+        assert len(problems) == 1
+        assert "missing.md" in problems[0]
+
+    def test_broken_anchor(self, tmp_path):
+        docs = write_docs(
+            tmp_path,
+            {
+                "a.md": "[sec](b.md#no-such-heading)\n",
+                "b.md": "# B\n",
+            },
+        )
+        problems = check_docs.check_file(docs["a.md"], {})
+        assert len(problems) == 1
+        assert "no-such-heading" in problems[0]
+
+    def test_same_file_anchor(self, tmp_path):
+        docs = write_docs(
+            tmp_path,
+            {"a.md": "# Top\n\n[down](#details)\n\n## Details\n\ntext\n"},
+        )
+        assert check_docs.check_file(docs["a.md"], {}) == []
+
+    def test_suspicious_url_scheme(self, tmp_path):
+        docs = write_docs(tmp_path, {"a.md": "[x](javascript:alert(1))\n"})
+        problems = check_docs.check_file(docs["a.md"], {})
+        assert len(problems) == 1
+        assert "scheme" in problems[0]
+
+    def test_https_links_are_not_fetched(self, tmp_path):
+        docs = write_docs(
+            tmp_path, {"a.md": "[paper](https://example.org/blinkml)\n"}
+        )
+        assert check_docs.check_file(docs["a.md"], {}) == []
+
+    def test_links_inside_code_are_ignored(self, tmp_path):
+        docs = write_docs(
+            tmp_path,
+            {"a.md": "Use `[x](missing.md)` literally:\n\n```\n[y](gone.md)\n```\n"},
+        )
+        assert check_docs.check_file(docs["a.md"], {}) == []
+
+
+class TestCheckDocsMain:
+    def test_explicit_good_file_passes(self, tmp_path, capsys):
+        docs = write_docs(tmp_path, {"a.md": "# Fine\n"})
+        assert check_docs.main([str(docs["a.md"])]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_explicit_bad_file_fails(self, tmp_path, capsys):
+        docs = write_docs(tmp_path, {"a.md": "[gone](missing.md)\n"})
+        assert check_docs.main([str(docs["a.md"])]) == 1
+        assert "broken link" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert check_docs.main([str(tmp_path / "absent.md")]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_real_documentation_set_passes(self, capsys):
+        # The no-argument mode is the CI docs gate over README + docs/.
+        assert check_docs.main([]) == 0
+        out = capsys.readouterr().out
+        assert "all links and anchors resolve" in out
+
+
+# ----------------------------------------------------------------------
+# run_examples — discovery and the smoke harness
+# ----------------------------------------------------------------------
+def write_examples(tmp_path: Path, files: dict[str, str]) -> Path:
+    examples = tmp_path / "examples"
+    examples.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "src").mkdir(exist_ok=True)
+    for name, content in files.items():
+        (examples / name).write_text(textwrap.dedent(content), encoding="utf-8")
+    return tmp_path
+
+
+class TestDiscover:
+    def test_underscore_files_are_skipped(self, tmp_path, monkeypatch):
+        root = write_examples(
+            tmp_path, {"demo.py": "", "_helper.py": "", "serving_demo.py": ""}
+        )
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        names = [p.name for p in run_examples.discover([])]
+        assert names == ["demo.py", "serving_demo.py"]
+
+    def test_patterns_filter_by_substring(self, tmp_path, monkeypatch):
+        root = write_examples(
+            tmp_path, {"demo.py": "", "serving_demo.py": "", "store_walk.py": ""}
+        )
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        names = [p.name for p in run_examples.discover(["serving", "store"])]
+        assert names == ["serving_demo.py", "store_walk.py"]
+
+
+class TestRunExamplesMain:
+    def test_passing_examples_and_smoke_env(self, tmp_path, monkeypatch, capsys):
+        root = write_examples(
+            tmp_path,
+            {
+                "ok.py": """\
+                    import os
+                    import sys
+
+                    assert os.environ["REPRO_EXAMPLES_SMOKE"] == "1"
+                    assert any(part.endswith("src") for part in sys.path)
+                    print("fixture example ran")
+                    """
+            },
+        )
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        assert run_examples.main([]) == 0
+        out = capsys.readouterr().out
+        assert "ok   examples/ok.py" in out
+        assert "all 1 examples passed" in out
+
+    def test_failing_example_is_reported_with_output(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        root = write_examples(
+            tmp_path,
+            {
+                "ok.py": "print('fine')\n",
+                "boom.py": """\
+                    print("about to explode")
+                    raise SystemExit(3)
+                    """,
+            },
+        )
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        assert run_examples.main([]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL examples/boom.py (exit 3" in out
+        assert "about to explode" in out  # captured output of the failure
+        assert "1 of 2 examples failed" in out
+
+    def test_no_match_is_an_error(self, tmp_path, monkeypatch, capsys):
+        root = write_examples(tmp_path, {"demo.py": ""})
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        assert run_examples.main(["zzz"]) == 1
+        assert "no examples matched" in capsys.readouterr().err
+
+    def test_timeout_is_enforced(self, tmp_path, monkeypatch, capsys):
+        root = write_examples(
+            tmp_path,
+            {
+                "sleepy.py": """\
+                    import time
+
+                    time.sleep(60)
+                    """
+            },
+        )
+        monkeypatch.setattr(run_examples, "REPO_ROOT", root)
+        assert run_examples.main(["--timeout", "1"]) == 1
+        assert "timed out" in capsys.readouterr().out

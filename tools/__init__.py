@@ -1,0 +1,1 @@
+"""Repository tooling: doc checks, example runners, invariant analysis."""

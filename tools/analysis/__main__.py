@@ -1,0 +1,68 @@
+"""CLI: ``python -m tools.analysis [--check] [paths…]``.
+
+With no paths, analyses ``src/repro`` plus the doc-parity targets.  Exits
+non-zero when any finding survives suppression, so CI can gate on it
+(``--check`` is accepted for explicitness; it is the default behaviour).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.analysis.runner import run_analysis
+from tools.analysis.rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="Repo-specific invariant linter (REP001-REP007).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on findings (the default; kept for CI clarity)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule inventory"
+    )
+    options = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parents[2]
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE_ID}  {rule.SUMMARY}")
+        return 0
+
+    paths: list[Path] | None = None
+    if options.paths:
+        paths = []
+        for raw in options.paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = root / path
+            if path.is_dir():
+                paths.extend(sorted(path.rglob("*.py")))
+            else:
+                paths.append(path)
+
+    findings = run_analysis(root, paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("invariant lint clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,346 @@
+"""Shared analysis context: parsed modules, annotations, suppressions.
+
+Everything the rule modules consume is prepared once per file here:
+
+* the AST (with parent links, so rules can walk *up* from a mutation to
+  the ``with`` blocks enclosing it);
+* the comment map (via :mod:`tokenize`, so comments survive with exact
+  line numbers and trailing/standalone classification);
+* the repo's annotation grammar —
+
+  ============================== =======================================
+  comment                        meaning
+  ============================== =======================================
+  ``# guarded-by: _lock``        the attribute assigned on this statement
+                                 may only be mutated while holding
+                                 ``self._lock`` (REP003)
+  ``# repro-lint: holds=_lock``  on a ``def`` line: every caller holds
+                                 the lock already (``*_locked`` helpers)
+  ``# repro-lint: frozen-attr``  the attribute assigned here must always
+                                 be assigned through ``freeze()`` (REP002)
+  ``# repro-lint: frozen-cache`` the ``LRUCache`` bound here stores
+                                 ndarrays: every ``put`` value / factory
+                                 result must flow through ``freeze()``
+  ``# repro-lint: returns-frozen`` on a ``def`` line: every return value
+                                 must flow through ``freeze()``
+  ============================== =======================================
+
+* the suppression grammar — ``# repro-lint: disable=REP00x (reason)``,
+  trailing the offending statement or standalone on the line above it.
+  The reason is mandatory; a bare disable is reported as ``REP000``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_DISABLE_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*)"
+    r"(?P<reason>\s*\(.*\))?"
+)
+_GUARDED_BY_RE = re.compile(r"guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS_RE = re.compile(r"repro-lint:\s*holds=(?P<lock>[A-Za-z_][A-Za-z0-9_]*)")
+_FROZEN_ATTR_RE = re.compile(r"repro-lint:\s*frozen-attr\b")
+_FROZEN_CACHE_RE = re.compile(r"repro-lint:\s*frozen-cache\b")
+_RETURNS_FROZEN_RE = re.compile(r"repro-lint:\s*returns-frozen\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation: where, which rule, what went wrong."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``disable=`` comment and the lines it covers."""
+
+    rules: tuple[str, ...]
+    reason: str
+    comment_line: int
+    lines: set[int] = field(default_factory=set)
+    used: bool = False
+
+
+class ModuleContext:
+    """One parsed source file plus its comment-derived annotation tables."""
+
+    def __init__(self, root: Path, path: Path):
+        self.root = root
+        self.path = path
+        self.relpath = str(path.relative_to(root))
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+        # line -> full comment text; standalone = nothing but the comment.
+        self.comments: dict[int, str] = {}
+        self.standalone_comments: set[int] = set()
+        self._collect_comments()
+
+        # Simple (non-compound) statements, for comment → statement lookup.
+        self._statements = [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.stmt)
+            and not isinstance(
+                node,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.If,
+                    ast.For,
+                    ast.While,
+                    ast.With,
+                    ast.Try,
+                ),
+            )
+        ]
+        self.functions = [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+        # Annotation tables, filled from the comments.
+        #   (statement, lock_name) for guarded-by
+        self.guarded_statements: list[tuple[ast.stmt, str]] = []
+        #   statements carrying frozen-attr / frozen-cache
+        self.frozen_attr_statements: list[ast.stmt] = []
+        self.frozen_cache_statements: list[ast.stmt] = []
+        #   functions carrying holds= / returns-frozen
+        self.holds_functions: dict[ast.AST, str] = {}
+        self.returns_frozen_functions: set[ast.AST] = set()
+
+        self.suppressions: list[Suppression] = []
+        self.malformed: list[Finding] = []
+        self._parse_annotations()
+
+    # ------------------------------------------------------------------
+    # Comment collection
+    # ------------------------------------------------------------------
+    def _collect_comments(self) -> None:
+        tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+        try:
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                line = token.start[0]
+                self.comments[line] = token.string
+                before = self.source.splitlines()[line - 1][: token.start[1]]
+                if not before.strip():
+                    self.standalone_comments.add(line)
+        except tokenize.TokenError:
+            pass  # unterminated strings etc. — the ast parse already passed
+
+    # ------------------------------------------------------------------
+    # Statement / function lookup by comment line
+    # ------------------------------------------------------------------
+    def statement_at(self, line: int) -> ast.stmt | None:
+        """The innermost simple statement whose span contains ``line``."""
+        best: ast.stmt | None = None
+        for stmt in self._statements:
+            end = stmt.end_lineno or stmt.lineno
+            if stmt.lineno <= line <= end:
+                if best is None or stmt.lineno >= best.lineno:
+                    best = stmt
+        return best
+
+    def statement_after(self, line: int) -> ast.stmt | None:
+        """The first simple statement starting strictly after ``line``."""
+        best: ast.stmt | None = None
+        for stmt in self._statements:
+            if stmt.lineno > line and (best is None or stmt.lineno < best.lineno):
+                best = stmt
+        return best
+
+    def function_at_def_line(self, line: int) -> ast.AST | None:
+        """The function whose signature (def line … first body line) has ``line``."""
+        best: ast.AST | None = None
+        for func in self.functions:
+            first_body = func.body[0].lineno
+            if func.lineno <= line < first_body or line == func.lineno:
+                if best is None or func.lineno >= best.lineno:  # type: ignore[attr-defined]
+                    best = func
+        return best
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    # ------------------------------------------------------------------
+    # Annotation parsing
+    # ------------------------------------------------------------------
+    def _parse_annotations(self) -> None:
+        for line, text in sorted(self.comments.items()):
+            disable = _DISABLE_RE.search(text)
+            if disable:
+                reason = (disable.group("reason") or "").strip()
+                rules = tuple(
+                    r.strip() for r in disable.group("rules").split(",")
+                )
+                if len(reason) < 3:  # at least "(x)"
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "suppression without a reason: write "
+                            "`# repro-lint: disable=REP00x (why this site is safe)`",
+                        )
+                    )
+                else:
+                    suppression = Suppression(
+                        rules=rules,
+                        reason=reason.strip("()").strip(),
+                        comment_line=line,
+                    )
+                    suppression.lines.update(self._suppressed_lines(line))
+                    self.suppressions.append(suppression)
+
+            guarded = _GUARDED_BY_RE.search(text)
+            if guarded:
+                stmt = self.statement_at(line)
+                if stmt is None:
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "guarded-by annotation is not attached to an "
+                            "assignment statement",
+                        )
+                    )
+                else:
+                    self.guarded_statements.append((stmt, guarded.group("lock")))
+
+            holds = _HOLDS_RE.search(text)
+            if holds:
+                func = self.function_at_def_line(line)
+                if func is None:
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "holds= annotation must sit on a def line",
+                        )
+                    )
+                else:
+                    self.holds_functions[func] = holds.group("lock")
+
+            if _FROZEN_ATTR_RE.search(text):
+                stmt = self.statement_at(line)
+                if stmt is None:
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "frozen-attr annotation is not attached to an "
+                            "assignment statement",
+                        )
+                    )
+                else:
+                    self.frozen_attr_statements.append(stmt)
+
+            if _FROZEN_CACHE_RE.search(text):
+                stmt = self.statement_at(line)
+                if stmt is None:
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "frozen-cache annotation is not attached to an "
+                            "assignment statement",
+                        )
+                    )
+                else:
+                    self.frozen_cache_statements.append(stmt)
+
+            if _RETURNS_FROZEN_RE.search(text):
+                func = self.function_at_def_line(line)
+                if func is None:
+                    self.malformed.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            "REP000",
+                            "returns-frozen annotation must sit on a def line",
+                        )
+                    )
+                else:
+                    self.returns_frozen_functions.add(func)
+
+    def _suppressed_lines(self, comment_line: int) -> set[int]:
+        """Lines a ``disable=`` at ``comment_line`` covers.
+
+        Trailing: the whole span of the statement it trails (or the def
+        line it sits on).  Standalone: the whole span of the next
+        statement below it.
+        """
+        if comment_line in self.standalone_comments:
+            stmt = self.statement_after(comment_line)
+        else:
+            stmt = self.statement_at(comment_line)
+            if stmt is None:
+                func = self.function_at_def_line(comment_line)
+                if func is not None:
+                    # Cover the signature lines of the def.
+                    return set(range(func.lineno, func.body[0].lineno))
+        if stmt is None:
+            return {comment_line, comment_line + 1}
+        end = stmt.end_lineno or stmt.lineno
+        return set(range(stmt.lineno, end + 1))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for suppression in self.suppressions:
+            if rule in suppression.rules and line in suppression.lines:
+                suppression.used = True
+                return True
+        return False
+
+
+class RepoContext:
+    """The full analysis target: repo root plus the parsed module set."""
+
+    def __init__(self, root: Path, paths: list[Path] | None = None):
+        self.root = root
+        if paths is None:
+            paths = sorted((root / "src" / "repro").rglob("*.py"))
+        self.modules = [ModuleContext(root, path) for path in paths]
+
+    def module(self, relpath: str) -> ModuleContext | None:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None

@@ -1,0 +1,66 @@
+"""REP001 — no global NumPy RNG state in library code.
+
+Every estimate in the system is a Monte-Carlo quantity and the caches
+(sorted-diff vectors, size-search results, coalesced followers) assume a
+given seed reproduces bitwise-identical draws.  Module-level
+``np.random.*`` calls mutate interpreter-global state behind every
+sampler's back, so library code must go through an explicitly seeded
+``np.random.Generator`` (``default_rng``).  Constructing generators and
+seed machinery is fine; calling the legacy global functions is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.analysis.context import Finding, ModuleContext
+
+RULE_ID = "REP001"
+SUMMARY = "no global NumPy RNG (`np.random.*`) — use seeded Generators"
+
+#: np.random attributes that construct explicit, non-global RNG objects.
+ALLOWED = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def check_module(module: ModuleContext) -> Iterable[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and _is_np_random(node.value):
+            if node.attr not in ALLOWED:
+                yield Finding(
+                    module.relpath,
+                    node.lineno,
+                    RULE_ID,
+                    f"global NumPy RNG use `np.random.{node.attr}`: draw from "
+                    "a seeded np.random.Generator (default_rng) instead",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in ALLOWED:
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        RULE_ID,
+                        f"import of global RNG function "
+                        f"`numpy.random.{alias.name}`: use a seeded "
+                        "Generator instead",
+                    )

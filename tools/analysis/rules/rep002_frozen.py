@@ -1,0 +1,338 @@
+"""REP002 — frozen-array discipline for shared / cached ndarrays.
+
+Arrays that outlive one call and are shared across callers or threads —
+dataset columns, cached sorted-diff vectors, sampler base draws — must be
+frozen through :func:`repro.linalg.utils.freeze` so an accidental in-place
+mutation raises instead of silently corrupting every later reader.  Three
+checks enforce it:
+
+* **raw-flag ban** — any ``….flags.writeable = …`` assignment outside the
+  one blessed site inside ``freeze()`` itself (which carries an explicit
+  suppression) is a violation: ad-hoc flag twiddling is exactly what the
+  helper exists to replace;
+* **frozen-attr** — a statement annotated ``# repro-lint: frozen-attr``
+  registers its attribute: every assignment to that attribute (plain,
+  subscript, or via ``object.__setattr__``) anywhere in the class must
+  flow through ``freeze()``;
+* **frozen-cache** — a statement annotated ``# repro-lint: frozen-cache``
+  registers an ``LRUCache`` attribute: every ``put()`` value and every
+  ``get_or_compute()`` factory bound to it must produce a
+  ``freeze()``-flowing value (factories may be lambdas whose body flows
+  through ``freeze()`` or functions annotated ``# repro-lint:
+  returns-frozen``).
+
+"Flows through freeze" is decided statically within one function: the
+expression is a ``freeze(...)`` call, a name every one of whose local
+assignments flows through freeze, a subscript/slice of such a name, or a
+conditional whose branches all flow.  ``None`` and empty-container
+initialisers are allowed (declaration sites).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.analysis.context import Finding, ModuleContext
+
+RULE_ID = "REP002"
+SUMMARY = "shared ndarrays must be frozen via repro.linalg.utils.freeze()"
+
+
+def _is_freeze_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "freeze":
+        return True
+    return isinstance(func, ast.Attribute) and func.attr == "freeze"
+
+
+def _is_benign_initializer(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    if isinstance(node, (ast.List, ast.Tuple)) and not node.elts:
+        return True
+    return False
+
+
+def frozen_attr_names(module: ModuleContext) -> set[str]:
+    """Attribute names registered frozen (frozen-attr or frozen-cache)."""
+    names: set[str] = set()
+    for stmt in module.frozen_attr_statements + module.frozen_cache_statements:
+        attr = _registered_attr(stmt)
+        if attr is not None:
+            names.add(attr)
+    return names
+
+
+def _is_frozen_attr_read(node: ast.expr, frozen_attrs: set[str]) -> bool:
+    """Reads of registered frozen state carry frozenness invariantly.
+
+    Covers ``self._attr`` (double-checked re-reads under the lock) and
+    ``self._attr.get(key)`` (lookups in a frozen-valued dict).
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in frozen_attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and _is_frozen_attr_read(node.func.value, frozen_attrs)
+    ):
+        return True
+    return False
+
+
+def flows_through_freeze(
+    module: ModuleContext,
+    node: ast.expr,
+    scope: ast.AST | None,
+    frozen_attrs: set[str] = frozenset(),
+) -> bool:
+    """True when ``node`` provably carries a ``freeze()`` result."""
+    if _is_freeze_call(node) or _is_benign_initializer(node):
+        return True
+    if _is_frozen_attr_read(node, frozen_attrs):
+        return True
+    if isinstance(node, ast.IfExp):
+        return flows_through_freeze(
+            module, node.body, scope, frozen_attrs
+        ) and flows_through_freeze(module, node.orelse, scope, frozen_attrs)
+    if isinstance(node, ast.Subscript):
+        return flows_through_freeze(module, node.value, scope, frozen_attrs)
+    if isinstance(node, ast.Name) and scope is not None:
+        assignments = [
+            stmt.value
+            for stmt in ast.walk(scope)
+            if isinstance(stmt, ast.Assign)
+            and stmt.value is not None
+            and any(
+                isinstance(target, ast.Name) and target.id == node.id
+                for target in stmt.targets
+            )
+        ]
+        return bool(assignments) and all(
+            flows_through_freeze(module, value, scope, frozen_attrs)
+            for value in assignments
+        )
+    return False
+
+
+def _registered_attr(stmt: ast.stmt) -> str | None:
+    """The attribute name a frozen-attr/frozen-cache statement declares."""
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                return target.attr
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "__setattr__"
+            and len(call.args) >= 2
+            and isinstance(call.args[1], ast.Constant)
+            and isinstance(call.args[1].value, str)
+        ):
+            return call.args[1].value
+    return None
+
+
+def _attr_assignment_value(
+    node: ast.AST, attr: str
+) -> tuple[int, ast.expr] | None:
+    """(line, value) when ``node`` assigns ``self.attr`` / ``self.attr[…]``."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            base = target
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == attr
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                return node.lineno, node.value
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        base = node.target
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == attr
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            return node.lineno, node.value
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and len(node.args) >= 3
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value == attr
+        ):
+            return node.lineno, node.args[2]
+    return None
+
+
+def _check_frozen_attrs(module: ModuleContext) -> Iterable[Finding]:
+    frozen_attrs = frozen_attr_names(module)
+    for stmt in module.frozen_attr_statements:
+        attr = _registered_attr(stmt)
+        if attr is None:
+            yield Finding(
+                module.relpath,
+                stmt.lineno,
+                RULE_ID,
+                "frozen-attr annotation on a statement that assigns no "
+                "attribute",
+            )
+            continue
+        # Scope: the whole class the declaration lives in (or the module).
+        scope: ast.AST = module.enclosing_class(stmt) or module.tree
+        for node in ast.walk(scope):
+            found = _attr_assignment_value(node, attr)
+            if found is None:
+                continue
+            line, value = found
+            func_scope = module.enclosing_function(node)
+            if not flows_through_freeze(module, value, func_scope, frozen_attrs):
+                yield Finding(
+                    module.relpath,
+                    line,
+                    RULE_ID,
+                    f"assignment to frozen attribute `{attr}` does not flow "
+                    "through freeze(); wrap the value in "
+                    "repro.linalg.utils.freeze()",
+                )
+
+
+def _factory_is_frozen(
+    module: ModuleContext,
+    factory: ast.expr,
+    scope: ast.AST | None,
+    frozen_attrs: set[str],
+) -> bool:
+    if isinstance(factory, ast.Lambda):
+        return flows_through_freeze(module, factory.body, scope, frozen_attrs)
+    # A named function: accept when its def carries returns-frozen.
+    name = None
+    if isinstance(factory, ast.Name):
+        name = factory.id
+    elif isinstance(factory, ast.Attribute):
+        name = factory.attr
+    if name is not None:
+        for func in module.returns_frozen_functions:
+            if getattr(func, "name", None) == name:
+                return True
+    return False
+
+
+def _check_frozen_caches(module: ModuleContext) -> Iterable[Finding]:
+    frozen_attrs = frozen_attr_names(module)
+    for stmt in module.frozen_cache_statements:
+        attr = _registered_attr(stmt)
+        if attr is None:
+            yield Finding(
+                module.relpath,
+                stmt.lineno,
+                RULE_ID,
+                "frozen-cache annotation on a statement that assigns no "
+                "attribute",
+            )
+            continue
+        scope: ast.AST = module.enclosing_class(stmt) or module.tree
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == attr
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+            ):
+                continue
+            func_scope = module.enclosing_function(node)
+            if func.attr == "put" and len(node.args) >= 2:
+                if not flows_through_freeze(
+                    module, node.args[1], func_scope, frozen_attrs
+                ):
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        RULE_ID,
+                        f"value stored in frozen cache `{attr}` does not "
+                        "flow through freeze()",
+                    )
+            elif func.attr == "get_or_compute" and len(node.args) >= 2:
+                if not _factory_is_frozen(
+                    module, node.args[1], func_scope, frozen_attrs
+                ):
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        RULE_ID,
+                        f"factory passed to frozen cache `{attr}` must "
+                        "produce a freeze()-flowing value (lambda over "
+                        "freeze(...) or a returns-frozen function)",
+                    )
+
+
+def _check_returns_frozen(module: ModuleContext) -> Iterable[Finding]:
+    frozen_attrs = frozen_attr_names(module)
+    for func in module.returns_frozen_functions:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if module.enclosing_function(node) is not func:
+                    continue  # belongs to a nested function
+                if not flows_through_freeze(module, node.value, func, frozen_attrs):
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        RULE_ID,
+                        f"`{getattr(func, 'name', '?')}` is annotated "
+                        "returns-frozen but this return value does not flow "
+                        "through freeze()",
+                    )
+
+
+def _check_raw_flag_writes(module: ModuleContext) -> Iterable[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags"
+            ):
+                yield Finding(
+                    module.relpath,
+                    node.lineno,
+                    RULE_ID,
+                    "raw `.flags.writeable` assignment: use "
+                    "repro.linalg.utils.freeze() instead",
+                )
+
+
+def check_module(module: ModuleContext) -> Iterable[Finding]:
+    yield from _check_raw_flag_writes(module)
+    yield from _check_frozen_attrs(module)
+    yield from _check_frozen_caches(module)
+    yield from _check_returns_frozen(module)

@@ -1,0 +1,163 @@
+"""REP003 — lock discipline for annotated shared state.
+
+The threaded modules (caches, session, registry, batcher, service,
+streaming pools) register their shared attributes with trailing
+``# guarded-by: _lock`` comments on the declaring assignment.  This rule
+checks every *mutation* of a registered attribute — plain assignment,
+augmented assignment, ``del``, subscript stores, and calls to mutating
+container methods — and requires it to sit inside a ``with self._lock:``
+block (or ``with _LOCK:`` for module-level globals).
+
+Exemptions, matching the repo's happens-before conventions:
+
+* ``__init__`` and ``__setstate__`` — construction precedes publication,
+  so the object is still thread-private;
+* functions annotated ``# repro-lint: holds=_lock`` on their def line —
+  the ``*_locked`` helper convention where every caller already holds it.
+
+Reads are deliberately not checked: several modules use
+mutate-under-lock / lock-free-read on atomic references, and that choice
+is documented at the declaration site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.analysis.context import Finding, ModuleContext
+
+RULE_ID = "REP003"
+SUMMARY = "guarded-by attributes may only be mutated under their lock"
+
+#: container/deque/dict/set methods that mutate the receiver in place.
+MUTATING_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "move_to_end",
+    "rotate",
+    "sort",
+    "reverse",
+}
+
+EXEMPT_FUNCTIONS = {"__init__", "__setstate__", "__new__"}
+
+
+def _base_name(node: ast.expr) -> tuple[str | None, str] | None:
+    """Decompose ``self.attr`` → ("self", attr) or bare ``NAME`` → (None, NAME)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return ("self", node.attr)
+    if isinstance(node, ast.Name):
+        return (None, node.id)
+    return None
+
+
+def _strip_subscripts(node: ast.expr) -> ast.expr:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _mutations(tree: ast.AST) -> Iterable[tuple[ast.AST, tuple[str | None, str]]]:
+    """Yield (node, (receiver, name)) for every mutation in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                ref = _base_name(_strip_subscripts(target))
+                if ref is not None:
+                    yield node, ref
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            ref = _base_name(_strip_subscripts(node.target))
+            if ref is not None:
+                yield node, ref
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                ref = _base_name(_strip_subscripts(target))
+                if ref is not None:
+                    yield node, ref
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+                ref = _base_name(_strip_subscripts(func.value))
+                if ref is not None:
+                    yield node, ref
+
+
+def _with_locks(module: ModuleContext, node: ast.AST) -> set[tuple[str | None, str]]:
+    """Locks held at ``node``: every enclosing ``with`` item's reference."""
+    held: set[tuple[str | None, str]] = set()
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                expr = item.context_expr
+                # Accept `with lock:` and `with lock_factory():` forms.
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                ref = _base_name(expr)
+                if ref is not None:
+                    held.add(ref)
+        current = module.parents.get(current)
+    return held
+
+
+def _registered(module: ModuleContext) -> Iterable[tuple[ast.stmt, str | None, str, str]]:
+    """(declaration, receiver, attr, lock) for every guarded-by annotation."""
+    for stmt, lock in module.guarded_statements:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            ref = _base_name(_strip_subscripts(target))
+            if ref is not None:
+                yield stmt, ref[0], ref[1], lock
+
+
+def check_module(module: ModuleContext) -> Iterable[Finding]:
+    for declaration, receiver, attr, lock in _registered(module):
+        if receiver == "self":
+            scope: ast.AST = module.enclosing_class(declaration) or module.tree
+            lock_ref: tuple[str | None, str] = ("self", lock)
+        else:
+            scope = module.tree
+            lock_ref = (None, lock)
+
+        for node, ref in _mutations(scope):
+            if ref != (receiver, attr):
+                continue
+            func = module.enclosing_function(node)
+            if func is None:
+                continue  # module/class body: definition-time, pre-publication
+            if getattr(func, "name", "") in EXEMPT_FUNCTIONS:
+                continue
+            if module.holds_functions.get(func) == lock:
+                continue
+            if lock_ref in _with_locks(module, node):
+                continue
+            yield Finding(
+                module.relpath,
+                node.lineno,
+                RULE_ID,
+                f"mutation of `{attr}` (guarded-by {lock}) outside "
+                f"`with {'self.' if receiver == 'self' else ''}{lock}:`",
+            )

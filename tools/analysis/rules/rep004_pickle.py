@@ -1,0 +1,110 @@
+"""REP004 — process-backend picklability of accumulators and summaries.
+
+The ``processes`` streaming backend pickles accumulators (and their moment
+summaries) across the pool boundary.  Closures and lambdas bound to
+instance attributes do not pickle, so an accumulator class that stores one
+must define the ``__getstate__``/``__setstate__`` pair that strips the
+callables for transport and restores the instance as a merge-only partial
+(the :class:`repro.models.base.BlockSumDiffAccumulator` idiom).
+
+The rule targets every class whose own name or any base name ends in
+``Accumulator`` or ``Summary``.  In a class without the getstate/setstate
+pair it flags ``self.x = <callable>`` bindings where the value is
+statically a callable: a lambda, a nested ``def``'s name, or a parameter
+annotated ``Callable``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from tools.analysis.context import Finding, ModuleContext
+
+RULE_ID = "REP004"
+SUMMARY = "accumulators/summaries must not bind unpicklable callables"
+
+_TARGET_SUFFIXES = ("Accumulator", "Summary")
+
+
+def _is_target_class(node: ast.ClassDef) -> bool:
+    names = [node.name]
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return any(name.endswith(_TARGET_SUFFIXES) for name in names)
+
+
+def _defines_pickle_pair(node: ast.ClassDef) -> bool:
+    defined = {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return "__getstate__" in defined and "__setstate__" in defined
+
+
+def _callable_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names whose annotation mentions Callable."""
+    names: set[str] = set()
+    args = list(func.args.posonlyargs) + list(func.args.args) + list(
+        func.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.annotation is None:
+            continue
+        try:
+            rendered = ast.unparse(arg.annotation)
+        except Exception:
+            continue
+        if "Callable" in rendered:
+            names.add(arg.arg)
+    return names
+
+
+def _nested_def_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(func)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not func
+    }
+
+
+def check_module(module: ModuleContext) -> Iterable[Finding]:
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef) or not _is_target_class(cls):
+            continue
+        if _defines_pickle_pair(cls):
+            continue
+        for func in cls.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            callable_names = _callable_params(func) | _nested_def_names(func)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                binds_self_attr = any(
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    for target in node.targets
+                )
+                if not binds_self_attr:
+                    continue
+                value = node.value
+                is_callable_value = isinstance(value, ast.Lambda) or (
+                    isinstance(value, ast.Name) and value.id in callable_names
+                )
+                if is_callable_value:
+                    yield Finding(
+                        module.relpath,
+                        node.lineno,
+                        RULE_ID,
+                        f"`{cls.name}` binds a callable to an instance "
+                        "attribute without a __getstate__/__setstate__ pair: "
+                        "the processes backend cannot pickle it (see "
+                        "BlockSumDiffAccumulator for the transport idiom)",
+                    )

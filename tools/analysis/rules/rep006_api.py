@@ -1,0 +1,102 @@
+"""REP006 — public-API parity between ``repro.__init__`` and docs/api.md.
+
+The top-level namespace is the advertised API.  Three checks keep it
+honest:
+
+* every ``__all__`` entry must actually be bound at module level in
+  ``repro/__init__.py`` (no phantom exports);
+* every name imported at module level of ``repro/__init__.py`` must be
+  listed in ``__all__`` (imports into the top-level namespace *are* API —
+  either export them or move them out);
+* every ``__all__`` entry (dunders aside) must appear in docs/api.md as a
+  backticked name, so the reference never silently lags the surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from tools.analysis.context import Finding, RepoContext
+
+RULE_ID = "REP006"
+SUMMARY = "repro.__init__ exports and docs/api.md stay in lockstep"
+
+_INIT_RELPATH = "src/repro/__init__.py"
+_DOC_RELPATH = "docs/api.md"
+
+
+def check_repo(repo: RepoContext) -> Iterable[Finding]:
+    module = repo.module(_INIT_RELPATH)
+    if module is None:
+        yield Finding(_INIT_RELPATH, 1, RULE_ID, "package __init__ not analysed")
+        return
+
+    bound: dict[str, int] = {}
+    exported: dict[str, int] = {}
+    all_line = 1
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bound[name] = stmt.lineno
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound[stmt.name] = stmt.lineno
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    bound[target.id] = stmt.lineno
+                    if target.id == "__all__":
+                        all_line = stmt.lineno
+                        if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                            for element in stmt.value.elts:
+                                if isinstance(
+                                    element, ast.Constant
+                                ) and isinstance(element.value, str):
+                                    exported[element.value] = element.lineno
+
+    if not exported:
+        yield Finding(
+            _INIT_RELPATH, all_line, RULE_ID, "no literal __all__ list found"
+        )
+        return
+
+    for name, lineno in exported.items():
+        if name not in bound and not name.startswith("__"):
+            yield Finding(
+                _INIT_RELPATH,
+                lineno,
+                RULE_ID,
+                f"__all__ exports `{name}` but nothing binds it at module "
+                "level",
+            )
+    for name, lineno in bound.items():
+        if name.startswith("_"):
+            continue
+        if name not in exported:
+            yield Finding(
+                _INIT_RELPATH,
+                lineno,
+                RULE_ID,
+                f"module-level binding `{name}` is missing from __all__ "
+                "(export it or make it private)",
+            )
+
+    doc_path = repo.root / _DOC_RELPATH
+    if not doc_path.exists():
+        yield Finding(_DOC_RELPATH, 1, RULE_ID, "API reference document missing")
+        return
+    doc_text = doc_path.read_text(encoding="utf-8")
+    for name, lineno in exported.items():
+        if name.startswith("__"):
+            continue
+        # A span may wrap across lines (bulleted signatures) or be a fenced
+        # code block, so newlines are allowed inside the backticks.
+        if not re.search(rf"`[^`]*\b{re.escape(name)}\b[^`]*`", doc_text):
+            yield Finding(
+                _INIT_RELPATH,
+                lineno,
+                RULE_ID,
+                f"exported name `{name}` is not documented in {_DOC_RELPATH}",
+            )

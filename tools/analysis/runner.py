@@ -1,0 +1,60 @@
+"""Drives every rule over a repo and folds in suppressions.
+
+The pipeline: build a :class:`~tools.analysis.context.RepoContext` (parse
+each file once), run every per-module rule and every repo-level rule,
+drop findings covered by a valid ``disable=`` comment, then append the
+bookkeeping findings — malformed annotations/suppressions (``REP000``)
+and unused suppressions (a disable nothing triggers is stale and must be
+deleted, or it will silently mask a future regression).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.analysis.context import Finding, RepoContext
+from tools.analysis.rules import ALL_RULES
+
+
+def run_analysis(
+    root: Path | str, paths: list[Path] | None = None
+) -> list[Finding]:
+    """All unsuppressed findings for the tree rooted at ``root``."""
+    repo = RepoContext(Path(root), paths)
+    findings: list[Finding] = []
+
+    for rule in ALL_RULES:
+        check_module = getattr(rule, "check_module", None)
+        if check_module is not None:
+            for module in repo.modules:
+                for finding in check_module(module):
+                    if not module.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        check_repo = getattr(rule, "check_repo", None)
+        if check_repo is not None:
+            repo_findings = list(check_repo(repo))
+            for finding in repo_findings:
+                module = repo.module(finding.path)
+                if module is not None and module.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    continue
+                findings.append(finding)
+
+    for module in repo.modules:
+        findings.extend(module.malformed)
+        for suppression in module.suppressions:
+            if not suppression.used:
+                findings.append(
+                    Finding(
+                        module.relpath,
+                        suppression.comment_line,
+                        "REP000",
+                        "stale suppression: "
+                        f"disable={','.join(suppression.rules)} matched no "
+                        "finding — delete it",
+                    )
+                )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
