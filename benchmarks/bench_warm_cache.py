@@ -1,0 +1,217 @@
+"""Benchmark: the cross-process warm cache tier across simulated restarts.
+
+A serving process answers a repeat (ε, δ) contract from its in-memory
+caches — but those die with the process.  The warm tier
+(``repro.data.store.warm_cache``) persists the two expensive artifacts
+(sorted difference vectors, size-search results) as digest-verified
+``.npz`` entries in a shared directory, so a *restarted* process answers
+the same contracts with **zero streamed holdout passes** and bitwise
+identical results.
+
+The benchmark spawns three genuinely separate processes against one warm
+directory:
+
+1. **cold** — empty directory; serves the contract stream, pays the full
+   streamed-pass cost, publishes warm entries on the way out;
+2. **warm restart** — a fresh interpreter, same directory; must serve the
+   identical stream with zero streamed passes and bitwise-identical
+   results (model θ, sample size, ε estimate);
+3. **tampered restart** — every warm entry has a byte flipped first; the
+   tier must quarantine the corrupt entries and transparently recompute,
+   again bitwise identical — corruption costs passes, never answers.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_warm_cache.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.contract import ApproximationContract
+from repro.core.session import EstimationSession
+from repro.data.splits import SplitSpec, train_holdout_test_split
+from repro.data.synthetic import higgs_like
+from repro.evaluation.streaming import streaming_pass_count
+from repro.models.logistic_regression import LogisticRegressionSpec
+
+
+def serve_worker(warm_dir, config, queue):
+    """Spawn target: one serving process against a shared warm directory.
+
+    Rebuilds the deterministic workload from ``config``, serves the
+    contract stream, and reports result rows, the streamed-pass delta
+    around serving (construction excluded), wall time, and tier counters.
+    """
+    rows_n, features, initial, k, contracts = config
+    splits = train_holdout_test_split(
+        higgs_like(n_rows=rows_n, n_features=features, seed=13),
+        SplitSpec(holdout_fraction=0.2, test_fraction=0.1),
+        rng=np.random.default_rng(9),
+    )
+    session = EstimationSession(
+        LogisticRegressionSpec(regularization=1e-3),
+        splits.train,
+        splits.holdout,
+        warm_cache=warm_dir,
+        rng=0,
+        n_parameter_samples=k,
+        initial_sample_size=initial,
+    )
+    passes_before = streaming_pass_count()
+    start = time.perf_counter()
+    rows = []
+    for epsilon, delta in contracts:
+        result = session.train_to(ApproximationContract(epsilon, delta))
+        rows.append(
+            (
+                result.model.theta.tobytes(),
+                float(result.estimated_epsilon),
+                int(result.sample_size),
+            )
+        )
+    seconds = time.perf_counter() - start
+    passes = streaming_pass_count() - passes_before
+    tier = session.warm_cache
+    tier.flush()
+    stats = tier.stats()
+    queue.put((rows, passes, seconds, stats.writes, stats.quarantined))
+
+
+def run_process(warm_dir, config):
+    """Run one serving generation in its own interpreter (a true restart)."""
+    ctx = multiprocessing.get_context("spawn")
+    queue = ctx.Queue()
+    worker = ctx.Process(target=serve_worker, args=(warm_dir, config, queue))
+    worker.start()
+    outcome = queue.get(timeout=600)
+    worker.join(timeout=600)
+    if worker.exitcode != 0:
+        raise RuntimeError(f"serving worker exited with code {worker.exitcode}")
+    return outcome
+
+
+def tamper(warm_dir):
+    """Flip one byte in every published warm entry; return how many."""
+    paths = glob.glob(os.path.join(warm_dir, "warm-*.npz"))
+    for path in paths:
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+    return len(paths)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=20_000)
+    parser.add_argument("--features", type=int, default=16)
+    parser.add_argument("--initial", type=int, default=1_000, help="initial sample n0")
+    parser.add_argument("--k", type=int, default=48, help="parameter samples")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast configuration for CI (2.5k rows, k=24)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless the warm restart serves with zero streamed "
+            "passes, every generation is bitwise identical, and tampered "
+            "entries are quarantined and recomputed"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows, args.features = 2_500, 10
+        args.initial, args.k = 250, 24
+
+    contracts = ((0.015, 0.05), (0.010, 0.05), (0.015, 0.05))
+    config = (args.rows, args.features, args.initial, args.k, contracts)
+
+    with tempfile.TemporaryDirectory(prefix="repro-warm-bench-") as warm_dir:
+        cold_rows, cold_passes, cold_s, cold_writes, _ = run_process(warm_dir, config)
+        entries = len(glob.glob(os.path.join(warm_dir, "warm-*.npz")))
+        warm_rows, warm_passes, warm_s, _, warm_quarantined = run_process(
+            warm_dir, config
+        )
+        tampered_entries = tamper(warm_dir)
+        tam_rows, tam_passes, tam_s, _, tam_quarantined = run_process(
+            warm_dir, config
+        )
+
+    warm_identical = warm_rows == cold_rows
+    tampered_identical = tam_rows == cold_rows
+
+    print(
+        f"{len(contracts)} contracts over higgs_like({args.rows}x{args.features}), "
+        f"n0={args.initial}, k={args.k}, {entries} warm entries "
+        f"({cold_writes} writes)"
+    )
+    header = f"{'generation':<20}{'passes':>8}{'seconds':>9}{'identical':>11}{'quarantined':>13}"
+    print(header)
+    print("-" * len(header))
+    for label, passes, seconds, identical, quarantined in (
+        ("cold (empty dir)", cold_passes, cold_s, True, 0),
+        ("warm restart", warm_passes, warm_s, warm_identical, warm_quarantined),
+        ("tampered restart", tam_passes, tam_s, tampered_identical, tam_quarantined),
+    ):
+        print(
+            f"{label:<20}{passes:>8}{seconds:>9.2f}"
+            f"{str(identical):>11}{quarantined:>13}"
+        )
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"warm restart: {cold_passes} -> {warm_passes} streamed passes "
+        f"({speedup:.1f}x serving speedup); tampering {tampered_entries} "
+        f"entries cost {tam_passes} recompute passes, never a wrong answer"
+    )
+
+    if args.check:
+        failures = []
+        if cold_passes <= 0:
+            failures.append("cold generation streamed no passes (workload trivial?)")
+        if cold_writes < 2 or entries < 2:
+            failures.append(
+                f"cold generation published {entries} entries "
+                f"({cold_writes} writes); expected the diff + size artifacts"
+            )
+        if warm_passes != 0:
+            failures.append(
+                f"warm restart streamed {warm_passes} passes (expected zero)"
+            )
+        if not warm_identical:
+            failures.append("warm restart results differ from the cold run")
+        if warm_quarantined:
+            failures.append(
+                f"warm restart quarantined {warm_quarantined} healthy entries"
+            )
+        if tam_quarantined < 1:
+            failures.append("tampered entries were not quarantined")
+        if tam_passes <= 0:
+            failures.append("tampered restart recomputed nothing")
+        if not tampered_identical:
+            failures.append("tampered restart surfaced a wrong answer")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: restart served {len(contracts)} contracts with zero streamed "
+            f"passes, bitwise identical; {tam_quarantined} corrupt entries "
+            "quarantined and recomputed correctly"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,7 @@ from repro.data import (
     ShardedDataset,
     train_holdout_test_split,
 )
+from repro.data.store import WarmCacheStats, WarmCacheTier
 from repro.exceptions import (
     BlinkMLError,
     ContractError,
@@ -115,6 +116,8 @@ __all__ = [
     "Dataset",
     "ShardStore",
     "ShardedDataset",
+    "WarmCacheStats",
+    "WarmCacheTier",
     "train_holdout_test_split",
     "BlinkMLError",
     "ContractError",

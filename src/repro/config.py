@@ -65,6 +65,20 @@ def _env_float(
     return value
 
 
+def _env_str(name: str, default: str) -> str:
+    """Free-form string default overridable via an environment variable.
+
+    Unlike :func:`_env_choice` the value space is open (filesystem paths,
+    directory names), so the only normalisation is whitespace stripping.
+    An empty string is meaningful — it spells "feature disabled" for the
+    warm-cache directory knob — and passes through unchanged.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip()
+
+
 def _env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
     """String default overridable via an environment variable.
 
@@ -182,6 +196,23 @@ DEFAULT_REGISTRY_CACHE_BYTES = _env_int(
 DEFAULT_REGISTRY_MIN_SESSION_BYTES = _env_int(
     "DEFAULT_REGISTRY_MIN_SESSION_BYTES", 1024 * 1024, minimum=1
 )
+
+# Cross-process warm cache tier (repro.data.store.warm_cache).  When the
+# directory knob is non-empty, sessions persist their sorted-difference
+# vectors and size-search results as digest-keyed .npz entries under it,
+# so a restarted process — or a co-located serving process sharing the
+# directory — answers a repeat contract with zero streamed passes.  The
+# empty default disables the tier.  Deployments may also set the runtime
+# alias REPRO_WARM_CACHE_DIR (read at session construction by
+# repro.data.store.warm_cache.default_warm_cache_dir, so tests and CI can
+# retarget the directory without re-importing this module).  MAX_BYTES
+# bounds the directory via mtime-GC after each write; WRITE_BEHIND != 0
+# publishes entries from a background thread (0 = synchronous writes).
+DEFAULT_WARM_CACHE_DIR = _env_str("DEFAULT_WARM_CACHE_DIR", "")
+DEFAULT_WARM_CACHE_MAX_BYTES = _env_int(
+    "DEFAULT_WARM_CACHE_MAX_BYTES", 1024 * 1024 * 1024, minimum=1
+)
+DEFAULT_WARM_CACHE_WRITE_BEHIND = _env_int("DEFAULT_WARM_CACHE_WRITE_BEHIND", 1)
 
 # How many candidate sample sizes the sample-size search evaluates per
 # stacked Monte-Carlo pass (ROADMAP "batched two-stage probes").  1 keeps

@@ -40,11 +40,28 @@ import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Protocol
 
 import numpy as np
 
 from repro.exceptions import BlinkMLError
+
+
+class WarmTier(Protocol):
+    """A second, slower cache tier probed beneath :meth:`LRUCache.get_or_compute`.
+
+    The protocol the cross-process warm cache adapters implement (see
+    :mod:`repro.data.store.warm_cache`): ``load`` returns the value for a
+    cache key or ``None`` (a warm miss — including any verification
+    failure; the tier must never surface an unverified value), ``store``
+    publishes a freshly computed value (may be asynchronous / best-effort).
+    Both are called outside the cache lock, on the computing thread, so
+    implementations may take their own locks and do I/O freely.
+    """
+
+    def load(self, key: Hashable) -> Any | None: ...  # pragma: no cover - protocol
+
+    def store(self, key: Hashable, value: Any) -> None: ...  # pragma: no cover - protocol
 
 
 @dataclass(frozen=True)
@@ -139,6 +156,15 @@ class LRUCache:
         satisfy the bounds (inserts and :meth:`resize` shrinks).  Called
         *outside* the cache lock, so it may touch other locks freely; it is
         not called for :meth:`clear` or same-key replacement.
+    warm_tier:
+        Optional second tier (:class:`WarmTier`) probed by
+        :meth:`get_or_compute` between an in-memory miss and the compute
+        function: miss → ``warm_tier.load(key)`` → compute → write-behind
+        ``warm_tier.store(key, value)``.  A warm load publishes into this
+        cache and reports ``hit=True`` (the call ran no compute), exactly
+        like a single-flight follower; both hooks run outside the cache
+        lock on the computing thread.  Plain :meth:`get`/:meth:`put` never
+        touch the warm tier.
 
     Both bounds are enforced on every insert by evicting least-recently-used
     entries; ``get``/``get_or_compute`` refresh recency.  All operations are
@@ -154,6 +180,7 @@ class LRUCache:
         max_bytes: int | None = None,
         sizeof: Callable[[Any], int] | None = None,
         on_evict: Callable[[Hashable, Any], None] | None = None,
+        warm_tier: WarmTier | None = None,
     ):
         self._validate_bound("max_entries", max_entries, name=name)
         self._validate_bound("max_bytes", max_bytes, name=name)
@@ -162,6 +189,7 @@ class LRUCache:
         self.max_bytes = max_bytes  # guarded-by: _lock
         self._sizeof = sizeof or default_sizeof
         self._on_evict = on_evict
+        self._warm_tier = warm_tier
         self._lock = threading.RLock()
         self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()  # guarded-by: _lock
         self._bytes = 0  # guarded-by: _lock
@@ -222,6 +250,13 @@ class LRUCache:
         must use this flag rather than diffing the public counters, which
         other threads advance concurrently.
 
+        With a ``warm_tier`` configured, the leader probes it before
+        computing: a verified warm entry is published into this cache and
+        returned with ``hit=True`` (zero compute ran — the defining fact
+        the flag reports), and a fresh compute result is handed to
+        ``warm_tier.store`` after local publication so other processes can
+        reuse it.
+
         If ``compute`` raises, the error propagates to the computing thread
         *and* to every thread waiting on the same key; nothing is cached, so
         a later request retries the computation.
@@ -249,6 +284,30 @@ class LRUCache:
                 self._hits += 1
             return flight.value, True
 
+        if self._warm_tier is not None:
+            try:
+                warm_value = self._warm_tier.load(key)
+            except BaseException as exc:
+                # A raising warm tier must release the in-flight marker or
+                # every follower deadlocks (adapters are expected to map
+                # corruption to a miss; this path is for genuine bugs).
+                flight.error = exc
+                with self._lock:
+                    del self._inflight[key]
+                flight.event.set()
+                raise
+            if warm_value is not None:
+                flight.value = warm_value
+                warm_evicted: list[tuple[Hashable, Any]] = []
+                try:
+                    with self._lock:
+                        del self._inflight[key]
+                        self._hits += 1
+                        warm_evicted = self._store(key, warm_value)
+                finally:
+                    flight.event.set()
+                self._fire_evictions(warm_evicted)
+                return warm_value, True
         try:
             value = compute()
         except BaseException as exc:
@@ -271,6 +330,11 @@ class LRUCache:
             # forever.  The value simply is not cached; the leader re-raises.
             flight.event.set()
         self._fire_evictions(evicted)
+        if self._warm_tier is not None:
+            # Write-behind publication for other processes; best-effort by
+            # contract (the adapter may enqueue, drop under pressure, or
+            # write synchronously — never block the answer on durability).
+            self._warm_tier.store(key, value)
         return value, False
 
     # ------------------------------------------------------------------

@@ -71,6 +71,7 @@ freely.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections.abc import Callable
@@ -86,6 +87,7 @@ from repro.core.caching import CacheStats, _InFlight
 from repro.core.session import EstimationSession, SessionRefresh
 from repro.data.dataset import Dataset
 from repro.data.store import ShardedDataset
+from repro.data.store.warm_cache import WarmCacheStats, WarmCacheTier, resolve_warm_cache
 from repro.exceptions import BlinkMLError
 from repro.models.base import ModelClassSpec
 
@@ -148,6 +150,11 @@ class RegistryStats:
     #: :class:`~repro.serving.service.CoalescingService`.  Typed loosely so
     #: the core registry stays import-free of the serving package.
     serving: object | None = None
+    #: snapshot of the registry's shared cross-process warm tier
+    #: (:class:`~repro.data.store.warm_cache.WarmCacheStats`: warm hits,
+    #: misses, quarantined entries, on-disk bytes), or ``None`` when no
+    #: warm tier is configured.
+    warm: WarmCacheStats | None = None
 
     @property
     def requests(self) -> int:
@@ -260,6 +267,15 @@ class SessionRegistry:
     session_factory:
         Callable with :class:`EstimationSession`'s signature used to
         construct members (injectable for tests).
+    warm_cache:
+        Cross-process warm tier shared by *every* member session
+        (:class:`~repro.data.store.warm_cache.WarmCacheTier`): a tier
+        instance, a directory path, ``None``/``True`` to consult
+        ``REPRO_WARM_CACHE_DIR`` / ``DEFAULT_WARM_CACHE_DIR`` (disabled
+        when unset), or ``False`` to force cold construction.  When a tier
+        resolves it is injected into every ``get_or_create`` construction
+        (explicit ``warm_cache`` in ``session_kwargs`` wins) and its
+        counters are reported as :attr:`RegistryStats.warm`.
     """
 
     def __init__(
@@ -270,6 +286,7 @@ class SessionRegistry:
         min_session_bytes: int = DEFAULT_REGISTRY_MIN_SESSION_BYTES,
         rebalance_policy: str = "traffic",
         session_factory: Callable[..., EstimationSession] = EstimationSession,
+        warm_cache: WarmCacheTier | str | os.PathLike[str] | bool | None = None,
     ):
         if rebalance_policy not in REBALANCE_POLICIES:
             raise BlinkMLError(
@@ -292,6 +309,13 @@ class SessionRegistry:
         self.min_session_bytes = int(min_session_bytes)
         self.rebalance_policy = rebalance_policy
         self._session_factory = session_factory
+        # Resolved once: every member session shares this one tier (one
+        # writer thread, one stats surface) instead of each resolving its
+        # own.  None when neither argument nor environment enables it.  An
+        # explicit ``False`` is remembered separately: member sessions must
+        # be forced cold too, or they would re-resolve the environment.
+        self._warm_disabled = warm_cache is False
+        self._warm_cache = resolve_warm_cache(warm_cache)
         self._lock = threading.RLock()
         self._members: dict[object, _Member] = {}  # guarded-by: _lock
         self._inflight: dict[object, _InFlight] = {}  # guarded-by: _lock
@@ -411,6 +435,14 @@ class SessionRegistry:
             # serves it only on a fingerprint match.
 
         try:
+            if self._warm_cache is not None:
+                # Injected only when a tier actually resolved, so factories
+                # without the parameter (injected test fakes) keep working
+                # in warm-disabled runs; an explicit caller value wins.
+                session_kwargs.setdefault("warm_cache", self._warm_cache)
+            elif self._warm_disabled:
+                # Registry-level opt-out beats the environment for members.
+                session_kwargs.setdefault("warm_cache", False)
             session = self._session_factory(spec, train, holdout, **session_kwargs)
         except BaseException as exc:
             flight.error = exc
@@ -622,6 +654,11 @@ class SessionRegistry:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def warm_cache(self) -> WarmCacheTier | None:
+        """The fleet-shared cross-process warm tier (``None`` = disabled)."""
+        return self._warm_cache
+
     def attach_serving_stats(self, provider: Callable[[], object] | None) -> None:
         """Roll a serving front-end's stats snapshot into :meth:`stats`.
 
@@ -675,6 +712,11 @@ class SessionRegistry:
                 per_session=per_session,
                 refreshes=self._refreshes,
                 serving=serving,
+                warm=(
+                    None
+                    if self._warm_cache is None
+                    else self._warm_cache.stats()
+                ),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

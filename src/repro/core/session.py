@@ -39,10 +39,12 @@ session directly and call :meth:`EstimationSession.answer` /
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
-from collections.abc import Sequence
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
+from typing import cast
 
 import numpy as np
 
@@ -64,10 +66,25 @@ from repro.core.guarantees import conservative_upper_bound
 from repro.core.parameter_sampler import ParameterSampler
 from repro.core.result import ApproximateTrainingResult, TimingBreakdown
 from repro.core.sample_size import SampleSizeEstimate, SampleSizeEstimator
-from repro.core.statistics import ModelStatistics, StatisticsMethod, compute_statistics
+from repro.core.statistics import (
+    ModelStatistics,
+    StatisticsMethod,
+    compute_statistics,
+    spec_digest,
+)
 from repro.data.dataset import Dataset
 from repro.data.sampling import UniformSampler
 from repro.data.store import ShardedDataset
+from repro.data.store.warm_cache import (
+    DIFF_KIND,
+    SIZE_KIND,
+    WarmCacheStats,
+    WarmCacheTier,
+    array_digest,
+    diff_entry_key,
+    resolve_warm_cache,
+    size_entry_key,
+)
 from repro.evaluation.streaming import StreamingConfig
 from repro.exceptions import BlinkMLError, DataError, SampleSizeError
 from repro.linalg.utils import freeze
@@ -216,6 +233,20 @@ class EstimationSession:
         LRU bounds for the three session caches (``None`` = unbounded);
         defaults come from :mod:`repro.config`.  The initial model m_0 is
         pinned outside the model cache and can never be evicted.
+    warm_cache:
+        Optional cross-process warm tier
+        (:class:`~repro.data.store.warm_cache.WarmCacheTier`) persisted
+        beneath the diff and size caches: an in-memory miss probes the
+        tier's digest-keyed ``.npz`` artifacts before computing, and fresh
+        computes are written behind, so a restarted process answers repeat
+        contracts with zero streamed passes.  Accepts a tier instance, a
+        directory path (shared per-path within the process), ``None`` /
+        ``True`` to consult ``REPRO_WARM_CACHE_DIR`` /
+        ``DEFAULT_WARM_CACHE_DIR`` (disabled when unset), or ``False`` to
+        force the cold path regardless of environment.  Entry keys fold in
+        the spec / holdout / θ digests *and* a digest of the sampler's base
+        draws, so equal keys imply bitwise-identical Monte-Carlo inputs —
+        a warm hit returns exactly the bytes a cold compute would produce.
     """
 
     def __init__(
@@ -237,6 +268,7 @@ class EstimationSession:
         diff_cache_bytes: int | None = DEFAULT_SESSION_DIFF_CACHE_BYTES,
         model_cache_entries: int | None = DEFAULT_SESSION_MODEL_CACHE_ENTRIES,
         size_cache_entries: int | None = DEFAULT_SESSION_SIZE_CACHE_ENTRIES,
+        warm_cache: WarmCacheTier | str | os.PathLike[str] | bool | None = None,
     ):
         if holdout.n_rows == 0:
             raise DataError("holdout set must not be empty")
@@ -301,18 +333,30 @@ class EstimationSession:
         # never in the model cache — so eviction can never lose it
         # (_train_cached short-circuits n == n0 before consulting the cache).
         self._initial_model = initial_model
+        # Warm tier beneath the diff and size caches: digest-keyed on-disk
+        # artifacts shared across restarts and co-located processes.  Keys
+        # fold in a digest of the sampler's base draws — building a key
+        # *draws* those frozen blocks, which keeps RNG consumption identical
+        # between a warm hit and the cold compute it replaces.
+        self._warm_cache = resolve_warm_cache(warm_cache)
+        self._spec_digest = spec_digest(spec)
         self._diff_cache = LRUCache(  # repro-lint: frozen-cache
             "diff",
             max_entries=diff_cache_entries,
             max_bytes=diff_cache_bytes,
             sizeof=lambda vector: int(vector.nbytes),
+            warm_tier=None if self._warm_cache is None else _DiffWarmAdapter(self),
         )
         self._model_cache = LRUCache(
             "model",
             max_entries=model_cache_entries,
             sizeof=lambda model: int(model.theta.nbytes),
         )
-        self._size_cache = LRUCache("size", max_entries=size_cache_entries)
+        self._size_cache = LRUCache(
+            "size",
+            max_entries=size_cache_entries,
+            warm_tier=None if self._warm_cache is None else _SizeWarmAdapter(self),
+        )
         # Shared read-only zeros vector for the degenerate n >= N estimate:
         # the full model differs from itself by exactly zero, so there is
         # nothing to sample and nothing worth a per-n cache entry.
@@ -457,6 +501,63 @@ class EstimationSession:
     def diff_cache_misses(self) -> int:
         """Total difference-vector cache misses (see :meth:`cache_stats`)."""
         return self._diff_cache.stats().misses
+
+    # ------------------------------------------------------------------
+    # Warm tier: cross-process persistent artifacts beneath the LRUs
+    # ------------------------------------------------------------------
+    @property
+    def warm_cache(self) -> WarmCacheTier | None:
+        """The cross-process warm tier, or ``None`` when disabled."""
+        return self._warm_cache
+
+    def warm_cache_stats(self) -> WarmCacheStats | None:
+        """Hit/miss/quarantine snapshot of the warm tier (``None`` = off)."""
+        return None if self._warm_cache is None else self._warm_cache.stats()
+
+    def _warm_draws_digest(self, tags: tuple[str, ...]) -> str:
+        """Digest of the sampler's frozen base-draw blocks for ``tags``.
+
+        Folding the *actual draws* into warm keys is what makes equal keys
+        imply bitwise-identical Monte-Carlo inputs: the blocks bake in both
+        the H/J statistics and the RNG seed.  Materialising them here (the
+        probe path) rather than inside the compute keeps RNG consumption
+        identical whether the entry hits or misses — blocks are per-tag
+        frozen caches, so the later compute reuses these exact draws.
+        """
+        blocks = [
+            self._parameter_sampler.base_samples(self._n_parameter_samples, tag=tag)
+            for tag in tags
+        ]
+        return array_digest(*blocks)
+
+    def _warm_diff_key(self, key: Hashable) -> str:
+        """Warm-tier key for a diff-cache key ``(θ-digest, n, N)``."""
+        theta_digest_bytes, n, N = cast("tuple[bytes, int, int]", key)
+        return diff_entry_key(
+            spec_digest=self._spec_digest,
+            holdout_digest=self.holdout.content_digest(),
+            draws_digest=self._warm_draws_digest(("accuracy",)),
+            theta_digest=theta_digest_bytes.hex(),
+            n=n,
+            N=N,
+            k=self._n_parameter_samples,
+        )
+
+    def _warm_size_key(self, key: Hashable) -> str:
+        """Warm-tier key for a size-cache key ``(ε, δ)``."""
+        epsilon, delta = cast("tuple[float, float]", key)
+        return size_entry_key(
+            spec_digest=self._spec_digest,
+            holdout_digest=self.holdout.content_digest(),
+            draws_digest=self._warm_draws_digest(("stage-one", "stage-two")),
+            theta_digest=self._theta_digest(self._initial_model.theta).hex(),
+            n0=self._n0,
+            N=self._N,
+            k=self._n_parameter_samples,
+            probe_batch=self._probe_batch,
+            epsilon=epsilon,
+            delta=delta,
+        )
 
     # ------------------------------------------------------------------
     # Cached difference vectors and contract answers
@@ -987,3 +1088,124 @@ class EstimationSession:
             fused_search_passes=fused_passes,
             serial_search_passes=serial_passes,
         )
+
+
+def _size_estimate_payload(estimate: SampleSizeEstimate) -> dict[str, np.ndarray]:
+    """Deterministic array payload for a size-search outcome.
+
+    ``estimation_seconds`` is stored as 0.0: warm entries are
+    content-addressed, and racing processes must publish byte-identical
+    files for last-writer-wins to be benign — wall-clock timing is the one
+    field that would differ between otherwise identical searches.
+    """
+    return {
+        "sample_size": np.array(estimate.sample_size, dtype=np.int64),
+        "feasible": np.array(estimate.feasible, dtype=np.bool_),
+        "n_probability_evaluations": np.array(
+            estimate.n_probability_evaluations, dtype=np.int64
+        ),
+        "probed_sizes": np.asarray(estimate.probed_sizes, dtype=np.int64),
+        "estimation_seconds": np.array(0.0, dtype=np.float64),
+    }
+
+
+def _size_estimate_from_payload(
+    payload: dict[str, np.ndarray],
+) -> SampleSizeEstimate | None:
+    """Rebuild a size estimate from a warm entry; ``None`` when malformed.
+
+    Scalars are stored as single-element arrays (the serializer promotes
+    0-d arrays to contiguous 1-d), so each is read back through ``ravel``;
+    any missing or misshapen member degrades to ``None`` — the caller then
+    treats the entry as a miss and simply reruns the search.
+    """
+
+    def scalar(name: str) -> np.ndarray:
+        values = np.ravel(payload[name])
+        if values.shape != (1,):
+            raise ValueError(f"warm size entry field {name!r} is not scalar")
+        return values[0]
+
+    try:
+        return SampleSizeEstimate(
+            sample_size=int(scalar("sample_size")),
+            feasible=bool(scalar("feasible")),
+            n_probability_evaluations=int(scalar("n_probability_evaluations")),
+            probed_sizes=tuple(
+                int(size) for size in np.ravel(payload["probed_sizes"])
+            ),
+            estimation_seconds=float(scalar("estimation_seconds")),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class _DiffWarmAdapter:
+    """Second-tier hook mapping diff-cache keys onto warm-tier entries.
+
+    Installed as the diff cache's ``warm_tier``: an in-memory miss probes
+    the persistent tier before streaming the k model diffs, and a fresh
+    compute is written behind.  Payload validation (dtype, length) means a
+    foreign or truncated entry degrades to a recompute, never a wrong
+    answer.  Loaded vectors are frozen, honouring the diff cache's
+    read-only invariant.
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: EstimationSession) -> None:
+        self._session = session
+
+    def load(self, key: Hashable) -> np.ndarray | None:
+        session = self._session
+        tier = session.warm_cache
+        if tier is None:  # pragma: no cover - adapter only installed with a tier
+            return None
+        payload = tier.get(DIFF_KIND, session._warm_diff_key(key))
+        if payload is None:
+            return None
+        vector = payload.get("differences")
+        if (
+            vector is None
+            or vector.dtype != np.float64
+            or vector.shape != (session._n_parameter_samples,)
+        ):
+            return None
+        return vector
+
+    def store(self, key: Hashable, value: np.ndarray) -> None:
+        session = self._session
+        tier = session.warm_cache
+        if tier is not None:
+            tier.put(DIFF_KIND, session._warm_diff_key(key), {"differences": value})
+
+
+class _SizeWarmAdapter:
+    """Second-tier hook mapping size-cache keys onto warm-tier entries.
+
+    Same contract as :class:`_DiffWarmAdapter` for (ε, δ) search outcomes:
+    the dataclass round-trips through a fixed array schema
+    (:func:`_size_estimate_payload`), and a malformed payload degrades to a
+    miss so the search simply reruns.
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: EstimationSession) -> None:
+        self._session = session
+
+    def load(self, key: Hashable) -> SampleSizeEstimate | None:
+        session = self._session
+        tier = session.warm_cache
+        if tier is None:  # pragma: no cover - adapter only installed with a tier
+            return None
+        payload = tier.get(SIZE_KIND, session._warm_size_key(key))
+        if payload is None:
+            return None
+        return _size_estimate_from_payload(payload)
+
+    def store(self, key: Hashable, value: SampleSizeEstimate) -> None:
+        session = self._session
+        tier = session.warm_cache
+        if tier is not None:
+            tier.put(SIZE_KIND, session._warm_size_key(key), _size_estimate_payload(value))

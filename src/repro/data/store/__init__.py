@@ -17,7 +17,11 @@ The storage tier beneath the streaming sharded holdout engine (see
 * :class:`StatisticsIndex` / :class:`StatisticsSidecarInfo` — per-shard H/J
   moment-summary sidecars keyed by (model-spec digest, θ-digest, method),
   written lazily by the streaming statistics tier and reused on every later
-  session bootstrap.
+  session bootstrap;
+* :class:`WarmCacheTier` / :class:`WarmCacheStats` — the cross-process warm
+  cache: digest-keyed persistent ``.npz`` artifacts (sorted-difference
+  vectors, size-search outcomes) shared across restarts and co-located
+  serving processes, verified on every read and quarantined when corrupt.
 """
 
 from repro.data.store.manifest import (
@@ -35,6 +39,12 @@ from repro.data.store.shard_store import (
     write_blocks,
 )
 from repro.data.store.statistics_index import StatisticsIndex, sidecar_filename
+from repro.data.store.warm_cache import (
+    WarmCacheStats,
+    WarmCacheTier,
+    resolve_warm_cache,
+    shared_warm_cache,
+)
 
 __all__ = [
     "MANIFEST_FILENAME",
@@ -47,6 +57,10 @@ __all__ = [
     "ShardStoreWriter",
     "ShardedDataset",
     "StatisticsIndex",
+    "WarmCacheStats",
+    "WarmCacheTier",
+    "resolve_warm_cache",
+    "shared_warm_cache",
     "sidecar_filename",
     "write_blocks",
 ]

@@ -1,0 +1,584 @@
+"""Cross-process warm cache tier: digest-keyed persistent artifacts.
+
+The paper's serving economy — a repeat (ε, δ) contract costs a quantile
+lookup, not k model trainings — previously died at the process boundary:
+every restart, and every one of N co-located serving processes, recomputed
+identical sorted-difference vectors and size-search brackets from scratch.
+:class:`WarmCacheTier` is the durable second tier beneath the in-memory
+session caches (:meth:`repro.core.caching.LRUCache.get_or_compute` probes
+it on a miss before computing), the same shape as a persistent KV /
+compilation cache in an inference stack:
+
+* **self-describing entries** — each artifact is one ``.npz`` file holding
+  the payload arrays plus its kind, its full key string, and an embedded
+  content digest over the payload; nothing outside the file is needed to
+  validate it, so there is no manifest to keep consistent across
+  processes;
+* **content-addressed, deterministic bytes** — the file name is a digest
+  of the key and the archive is serialised with fixed member order and
+  zip timestamps, so two processes racing to publish the same key write
+  *byte-identical* files and last-writer-wins is benign;
+* **crash-safe publication** — writes go to a unique dot-prefixed temp
+  file and become visible only through one atomic ``os.replace``; a
+  reader can never observe a torn entry, and a SIGKILL mid-write leaves
+  only an invisible temp file the next GC sweeps up;
+* **verification + quarantine on every read** — a mismatched digest (or a
+  key collision, or any parse failure) moves the entry into a
+  ``quarantine/`` subdirectory — mirroring the tamper semantics of
+  :meth:`repro.data.store.shard_store.ShardStore.verify`, but recovering
+  by recomputation instead of raising — and reports a miss, so a
+  corrupted entry can never surface a wrong answer;
+* **byte-bounded mtime-GC** — after each write the tier deletes
+  oldest-first until the directory is back under ``max_bytes`` (and
+  removes aged temp files left by crashed writers);
+* **async write-behind** — by default entries are published from a
+  background thread so the serving path never waits on disk; a bounded
+  queue drops (and counts) writes under pressure rather than blocking.
+
+Keys are built by the pure functions :func:`diff_entry_key` /
+:func:`size_entry_key` from content digests only — model-spec digest,
+holdout content digest, θ-digest, and a digest of the parameter sampler's
+actual base draws (which captures both the H/J statistics and the RNG
+seed).  Draw-digest inclusion is what makes a warm hit *bitwise* equal to
+the cold compute: equal keys imply the Monte-Carlo inputs match exactly,
+and distinct statistics or seeds can never alias.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import queue
+import threading
+import time
+import uuid
+import zipfile
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    DEFAULT_WARM_CACHE_DIR,
+    DEFAULT_WARM_CACHE_MAX_BYTES,
+    DEFAULT_WARM_CACHE_WRITE_BEHIND,
+)
+from repro.linalg.utils import freeze
+
+#: entry kinds the session layer persists.
+DIFF_KIND = "diff"
+SIZE_KIND = "size"
+
+_ENTRY_PREFIX = "warm-"
+_ENTRY_SUFFIX = ".npz"
+_TEMP_MARKER = ".tmp-"
+_QUARANTINE_DIR = "quarantine"
+#: temp files older than this are presumed abandoned by a crashed writer.
+_TEMP_MAX_AGE_SECONDS = 600.0
+#: bounded write-behind queue; submissions beyond it are dropped, not blocked.
+_WRITE_QUEUE_CAPACITY = 256
+
+
+# ----------------------------------------------------------------------
+# Digests and keys (pure functions — stable across processes by design)
+# ----------------------------------------------------------------------
+def array_digest(*arrays: np.ndarray) -> str:
+    """Content digest of one or more arrays (dtype, shape and bytes)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def payload_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """Content digest of a named payload, order-independent (sorted names)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        digest.update(array.dtype.str.encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _float_hex(value: float) -> str:
+    """Exact (bit-level) spelling of a float for key strings."""
+    return np.float64(value).tobytes().hex()
+
+
+def diff_entry_key(
+    *,
+    spec_digest: str,
+    holdout_digest: str,
+    draws_digest: str,
+    theta_digest: str,
+    n: int,
+    N: int,
+    k: int,
+) -> str:
+    """The warm key of one sorted-difference vector.
+
+    All keyword-only, so the key cannot depend on caller argument order;
+    ``draws_digest`` hashes the sampler's actual base-draw block, which
+    folds in the H/J statistics and the RNG seed (see module docstring).
+    """
+    return (
+        f"{DIFF_KIND}|spec={spec_digest}|holdout={holdout_digest}"
+        f"|draws={draws_digest}|theta={theta_digest}|n={int(n)}|N={int(N)}"
+        f"|k={int(k)}"
+    )
+
+
+def size_entry_key(
+    *,
+    spec_digest: str,
+    holdout_digest: str,
+    draws_digest: str,
+    theta_digest: str,
+    n0: int,
+    N: int,
+    k: int,
+    probe_batch: int,
+    epsilon: float,
+    delta: float,
+) -> str:
+    """The warm key of one size-search outcome (adds ε, δ, probe_batch)."""
+    return (
+        f"{SIZE_KIND}|spec={spec_digest}|holdout={holdout_digest}"
+        f"|draws={draws_digest}|theta={theta_digest}|n0={int(n0)}|N={int(N)}"
+        f"|k={int(k)}|probe={int(probe_batch)}"
+        f"|eps={_float_hex(epsilon)}|delta={_float_hex(delta)}"
+    )
+
+
+def entry_filename(kind: str, key: str) -> str:
+    """Content-addressed file name for ``key`` (same key → same name)."""
+    digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+    return f"{_ENTRY_PREFIX}{kind}-{digest}{_ENTRY_SUFFIX}"
+
+
+def serialize_entry(kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialise one entry to deterministic ``.npz`` bytes.
+
+    Member order is sorted, members are stored uncompressed, and zip
+    timestamps are pinned to the epoch, so the same (kind, key, payload)
+    always yields the same bytes — two processes racing to publish one key
+    write byte-identical files (the last-writer-wins guarantee).
+    """
+    members = {
+        str(name): np.ascontiguousarray(value) for name, value in arrays.items()
+    }
+    members["__kind__"] = np.array(kind)
+    members["__key__"] = np.array(key)
+    members["__digest__"] = np.array(payload_digest(arrays))
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as archive:
+        for name in sorted(members):
+            payload = io.BytesIO()
+            np.lib.format.write_array(payload, members[name], allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+            archive.writestr(info, payload.getvalue())
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WarmCacheStats:
+    """Immutable snapshot of one tier's counters and directory occupancy.
+
+    ``hits``/``misses`` count :meth:`WarmCacheTier.get` probes;
+    ``quarantined`` counts entries moved aside for a failed digest/key
+    check or parse error; ``writes`` counts entries actually published,
+    ``dropped_writes`` write-behind submissions shed by the bounded queue;
+    ``gc_removed`` files deleted by the byte-bounded mtime-GC.
+    ``entries``/``bytes`` describe the directory at snapshot time.
+    """
+
+    directory: str
+    hits: int
+    misses: int
+    writes: int
+    dropped_writes: int
+    quarantined: int
+    gc_removed: int
+    entries: int
+    bytes: int
+    max_bytes: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes served from disk (0.0 when never probed)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+# ----------------------------------------------------------------------
+# The tier
+# ----------------------------------------------------------------------
+class WarmCacheTier:
+    """A directory of digest-verified, crash-safe ``.npz`` artifacts.
+
+    Parameters
+    ----------
+    directory:
+        The shared warm-cache directory (created on first use).  Safe to
+        share across threads, sessions and processes: entries are
+        content-addressed, published atomically, and verified on read.
+    max_bytes:
+        Byte bound for the directory; after each write an mtime-GC deletes
+        oldest entries until the bound holds again.
+    write_behind:
+        When true (default), :meth:`put` enqueues the entry for a
+        background daemon thread and returns immediately (a full queue
+        drops the write and counts it — the tier is an optimisation, never
+        a blocking dependency).  When false, writes happen synchronously.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        max_bytes: int = DEFAULT_WARM_CACHE_MAX_BYTES,
+        write_behind: bool = bool(DEFAULT_WARM_CACHE_WRITE_BEHIND),
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.max_bytes = max(1, int(max_bytes))
+        self.write_behind = bool(write_behind)
+        self._lock = threading.Lock()
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._writes = 0  # guarded-by: _lock
+        self._dropped_writes = 0  # guarded-by: _lock
+        self._quarantined = 0  # guarded-by: _lock
+        self._gc_removed = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._writer: threading.Thread | None = None  # guarded-by: _lock
+        self._queue: queue.Queue[tuple[str, str, dict[str, np.ndarray]] | None] = (
+            queue.Queue(maxsize=_WRITE_QUEUE_CAPACITY)
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, kind: str, key: str) -> dict[str, np.ndarray] | None:
+        """Load, verify and return the payload for ``key`` (``None`` = miss).
+
+        Every returned array is frozen read-only (the caller typically
+        publishes it straight into a shared in-memory cache).  Any failure
+        mode — missing file, unparseable archive, kind/key mismatch (a
+        digest collision or a tampered entry), payload digest mismatch
+        (bit rot) — quarantines the file where applicable and reports a
+        miss, so corruption costs a recompute, never a wrong answer.
+        """
+        path = os.path.join(self.directory, entry_filename(kind, key))
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                members = {name: archive[name] for name in archive.files}
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except Exception:
+            # Unparseable bytes where a verified entry should be: a torn
+            # copy (impossible via our atomic rename, but the directory is
+            # shared), truncation, or external tampering.
+            self._quarantine(path)
+            with self._lock:
+                self._misses += 1
+            return None
+        payload = {
+            name: value for name, value in members.items() if not name.startswith("__")
+        }
+        if (
+            str(members.get("__kind__", "")) != kind
+            or str(members.get("__key__", "")) != key
+            or str(members.get("__digest__", "")) != payload_digest(payload)
+        ):
+            self._quarantine(path)
+            with self._lock:
+                self._misses += 1
+            return None
+        with self._lock:
+            self._hits += 1
+        return {name: freeze(value) for name, value in payload.items()}
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Publish (or re-publish) the payload for ``key``.
+
+        With write-behind enabled the entry lands on the background queue
+        (dropped and counted if the queue is full); otherwise it is
+        written synchronously.  Publication is atomic either way: readers
+        see the previous entry or the new one, never a torn file.
+        """
+        payload = {
+            str(name): np.ascontiguousarray(value) for name, value in arrays.items()
+        }
+        if not self.write_behind:
+            self._write_entry(kind, key, payload)
+            return
+        with self._lock:
+            if self._closed:
+                self._dropped_writes += 1
+                return
+            self._ensure_writer_locked()
+        try:
+            self._queue.put_nowait((kind, key, payload))
+        except queue.Full:
+            with self._lock:
+                self._dropped_writes += 1
+
+    def flush(self) -> None:
+        """Block until every queued write-behind entry has been published."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain the write-behind queue and stop the writer.  Idempotent.
+
+        Later :meth:`put` calls are dropped (and counted); :meth:`get`
+        keeps working — the directory outlives the tier object by design.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            writer = self._writer
+        if writer is not None:
+            self._queue.put(None)
+            writer.join()
+
+    def _ensure_writer_locked(self) -> None:  # repro-lint: holds=_lock
+        if self._writer is None:
+            self._writer = threading.Thread(
+                target=self._writer_loop,
+                name="repro-warm-cache-writer",
+                daemon=True,
+            )
+            self._writer.start()
+
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            kind, key, payload = item
+            try:
+                self._write_entry(kind, key, payload)
+            except Exception:
+                # A failing disk must never take the writer thread (and
+                # with it every later flush()) down; the write is simply
+                # lost and the entry recomputes next time.
+                with self._lock:
+                    self._dropped_writes += 1
+            finally:
+                self._queue.task_done()
+
+    def _write_entry(
+        self, kind: str, key: str, payload: dict[str, np.ndarray]
+    ) -> None:
+        """Serialise, write to a temp file, atomically rename, then GC."""
+        data = serialize_entry(kind, key, payload)
+        final_path = os.path.join(self.directory, entry_filename(kind, key))
+        temp_path = (
+            f"{final_path}{_TEMP_MARKER}{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(temp_path, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, final_path)
+        except OSError:
+            with self._lock:
+                self._dropped_writes += 1
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            return
+        with self._lock:
+            self._writes += 1
+        self.gc()
+
+    # ------------------------------------------------------------------
+    # Quarantine and GC
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: str) -> None:
+        """Move a failed entry aside (mirrors ShardStore.verify semantics).
+
+        The file is preserved under ``quarantine/`` for post-mortems
+        rather than deleted; if even the move fails (e.g. a concurrent
+        quarantine already claimed it) the entry is removed so it cannot
+        be re-served.
+        """
+        quarantine_dir = os.path.join(self.directory, _QUARANTINE_DIR)
+        target = os.path.join(quarantine_dir, os.path.basename(path))
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        with self._lock:
+            self._quarantined += 1
+
+    def _scan(self) -> list[tuple[str, float, int]]:
+        """(path, mtime, size) for every visible entry file, oldest first."""
+        rows: list[tuple[str, float, int]] = []
+        try:
+            with os.scandir(self.directory) as it:
+                for item in it:
+                    if not (
+                        item.is_file()
+                        and item.name.startswith(_ENTRY_PREFIX)
+                        and item.name.endswith(_ENTRY_SUFFIX)
+                    ):
+                        continue
+                    try:
+                        stat = item.stat()
+                    except OSError:
+                        continue
+                    rows.append((item.path, stat.st_mtime, stat.st_size))
+        except OSError:
+            return []
+        rows.sort(key=lambda row: row[1])
+        return rows
+
+    def gc(self) -> int:
+        """Enforce the byte bound (oldest-mtime first); sweep stale temps.
+
+        Concurrent GCs from co-located processes are safe: deletions race
+        benignly (a vanished file is skipped) and every surviving entry is
+        still individually verified on read.  Returns files removed.
+        """
+        removed = 0
+        try:
+            with os.scandir(self.directory) as it:
+                stale = [
+                    item.path
+                    for item in it
+                    if item.is_file() and _TEMP_MARKER in item.name
+                ]
+        except OSError:
+            stale = []
+        now = time.time()
+        for path in stale:
+            try:
+                if now - os.stat(path).st_mtime > _TEMP_MAX_AGE_SECONDS:
+                    os.remove(path)
+                    removed += 1
+            except OSError:
+                continue
+        rows = self._scan()
+        total = sum(size for _, _, size in rows)
+        for path, _, size in rows:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        if removed:
+            with self._lock:
+                self._gc_removed += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> WarmCacheStats:
+        """A snapshot of counters plus the directory's current occupancy."""
+        rows = self._scan()
+        with self._lock:
+            return WarmCacheStats(
+                directory=self.directory,
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                dropped_writes=self._dropped_writes,
+                quarantined=self._quarantined,
+                gc_removed=self._gc_removed,
+                entries=len(rows),
+                bytes=sum(size for _, _, size in rows),
+                max_bytes=self.max_bytes,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snapshot = self.stats()
+        return (
+            f"WarmCacheTier({self.directory!r}, entries={snapshot.entries}, "
+            f"bytes={snapshot.bytes}/{self.max_bytes}, hits={snapshot.hits}, "
+            f"misses={snapshot.misses}, quarantined={snapshot.quarantined})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide shared tiers
+# ----------------------------------------------------------------------
+_shared_lock = threading.Lock()
+_shared_tiers: dict[str, WarmCacheTier] = {}  # guarded-by: _shared_lock
+
+
+def default_warm_cache_dir() -> str:
+    """The configured warm-cache directory ('' = disabled).
+
+    Reads the deployment-facing ``REPRO_WARM_CACHE_DIR`` runtime alias
+    first (evaluated per call, so tests and CI can retarget it without
+    re-importing :mod:`repro.config`), then the REP005 import-time knob
+    ``DEFAULT_WARM_CACHE_DIR``.
+    """
+    return os.environ.get("REPRO_WARM_CACHE_DIR", "").strip() or DEFAULT_WARM_CACHE_DIR
+
+
+def shared_warm_cache(directory: str | os.PathLike[str]) -> WarmCacheTier:
+    """The process-wide tier for ``directory`` (one instance per real path).
+
+    Co-located sessions and registries sharing a directory must share the
+    write-behind thread and the counters too, so resolution memoises per
+    absolute path.
+    """
+    path = os.path.abspath(os.fspath(directory))
+    with _shared_lock:
+        tier = _shared_tiers.get(path)
+        if tier is None:
+            tier = WarmCacheTier(path)
+            _shared_tiers[path] = tier
+        return tier
+
+
+def resolve_warm_cache(
+    warm_cache: WarmCacheTier | str | os.PathLike[str] | bool | None = None,
+) -> WarmCacheTier | None:
+    """Resolve a constructor-facing ``warm_cache`` argument to a tier.
+
+    ``None``/``True`` resolve through :func:`default_warm_cache_dir`
+    (``None`` when unconfigured), ``False`` disables the tier even when
+    the environment configures one (tests asserting cold-path behaviour
+    pin this), a path selects the process-shared tier for that directory,
+    and an existing :class:`WarmCacheTier` passes through.
+    """
+    if isinstance(warm_cache, WarmCacheTier):
+        return warm_cache
+    if warm_cache is False:
+        return None
+    if warm_cache is None or warm_cache is True:
+        directory = default_warm_cache_dir()
+        return shared_warm_cache(directory) if directory else None
+    return shared_warm_cache(warm_cache)

@@ -42,6 +42,7 @@ coalescing counters (``stats().serving``).
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -63,6 +64,7 @@ from repro.core.result import ApproximateTrainingResult
 from repro.core.session import SessionAnswer
 from repro.data.dataset import Dataset
 from repro.data.store import ShardedDataset
+from repro.data.store.warm_cache import WarmCacheTier
 from repro.exceptions import ServingError
 from repro.models.base import ModelClassSpec
 from repro.serving.batcher import BatcherStats, ContractBatcher
@@ -78,6 +80,13 @@ class CoalescingService:
         (``None`` constructs one with the defaults).  The service attaches
         its :meth:`batching_stats` provider to it, so
         ``registry.stats().serving`` reports the coalescing counters.
+    warm_cache:
+        Forwarded to the default-constructed registry
+        (:class:`~repro.core.registry.SessionRegistry`'s ``warm_cache``):
+        the cross-process warm tier every member session shares, so a
+        restarted service answers repeat contracts with zero streamed
+        passes.  When ``registry`` is passed explicitly this must stay
+        ``None`` — configure the tier on the registry you construct.
     window_ms / max_batch / max_queue:
         Per-key :class:`~repro.serving.batcher.ContractBatcher` parameters
         (see that class).
@@ -111,8 +120,18 @@ class CoalescingService:
         rebalance_drift: float = DEFAULT_SERVICE_REBALANCE_DRIFT,
         hot_bytes_fraction: float = DEFAULT_SERVICE_HOT_BYTES_FRACTION,
         start_housekeeping: bool = True,
+        warm_cache: WarmCacheTier | str | os.PathLike[str] | bool | None = None,
     ):
-        self.registry = registry if registry is not None else SessionRegistry()
+        if registry is not None and warm_cache is not None:
+            raise ServingError(
+                "serving: pass warm_cache through the registry you construct, "
+                "not alongside an explicit registry"
+            )
+        self.registry = (
+            registry
+            if registry is not None
+            else SessionRegistry(warm_cache=warm_cache)
+        )
         self._window_ms = float(window_ms)
         self._max_batch = int(max_batch)
         self._max_queue = int(max_queue)

@@ -6,12 +6,48 @@ suite runs in a couple of minutes on a laptop.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.data.dataset import Dataset
 from repro.data.splits import SplitSpec, train_holdout_test_split
 from repro.data.synthetic import criteo_like, gas_like, higgs_like, mnist_like
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_env(monkeypatch, tmp_path):
+    """Scrub ``REPRO_*`` runtime overrides so tests never leak state.
+
+    Every test starts with a clean environment: no ambient override can
+    change cache defaults mid-suite, and no test can poison a neighbour by
+    exporting one.  The one override that *re-targets* rather than
+    disables: when the surrounding run enables the warm cache
+    (``REPRO_WARM_CACHE_DIR`` — the CI warm-enabled tier-1 job), it is
+    re-pointed at a per-test temporary directory so tests share no on-disk
+    entries while the warm code path stays active.
+    """
+    warm_enabled = bool(os.environ.get("REPRO_WARM_CACHE_DIR", "").strip())
+    for name in [name for name in os.environ if name.startswith("REPRO_")]:
+        monkeypatch.delenv(name)
+    if not warm_enabled:
+        yield
+        return
+    warm_dir = tmp_path / "warm-cache"
+    monkeypatch.setenv("REPRO_WARM_CACHE_DIR", str(warm_dir))
+    yield
+    # Retire the per-test shared tier (and its write-behind thread) so a
+    # long suite does not accumulate one tier per test in the process-wide
+    # memo.
+    from repro.data.store import warm_cache as warm_cache_module
+
+    with warm_cache_module._shared_lock:
+        tier = warm_cache_module._shared_tiers.pop(
+            os.path.abspath(str(warm_dir)), None
+        )
+    if tier is not None:
+        tier.close()
 
 
 @pytest.fixture(scope="session")

@@ -372,7 +372,11 @@ def test_single_flight_construction_under_contention(tiny_splits):
 # Real-session fleets
 # ----------------------------------------------------------------------
 def test_fingerprint_mismatched_dataset_always_misses(tiny_splits):
-    registry = SessionRegistry(max_sessions=4, max_total_bytes=None)
+    # warm_cache=False: this test asserts the *cost* of invalidation (the
+    # fresh session recomputes).  A live warm tier would legitimately serve
+    # the recompute from disk — holdout and θ0 are unchanged — and flip
+    # from_cache to True.
+    registry = SessionRegistry(max_sessions=4, max_total_bytes=None, warm_cache=False)
     original = registry.get_or_create(
         "pair", SPEC, tiny_splits.train, tiny_splits.holdout, **session_kwargs()
     )

@@ -66,6 +66,11 @@ def make_session(spec, splits, **kwargs):
     kwargs.setdefault("initial_sample_size", 500)
     kwargs.setdefault("n_parameter_samples", 32)
     kwargs.setdefault("rng", 0)
+    # These tests assert exact in-memory hit/miss economics; a live warm
+    # tier (the REPRO_WARM_CACHE_DIR CI run) would legitimately serve
+    # cross-session repeats from disk and change the counts.  The warm
+    # tier's own semantics live in tests/test_warm_cache.py.
+    kwargs.setdefault("warm_cache", False)
     return EstimationSession(spec, splits.train, splits.holdout, **kwargs)
 
 

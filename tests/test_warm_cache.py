@@ -1,0 +1,564 @@
+"""Tests for the cross-process warm cache tier.
+
+Covers the tier itself (atomic publication, digest verification +
+quarantine, crash and tamper recovery, byte-bounded GC, deterministic
+serialisation), the key builders (distinctness and stability properties),
+the session/registry wiring (a fresh process answers repeat contracts with
+zero streamed passes, bitwise identical to a cold run), and multi-process
+contention against one shared warm directory.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximationContract,
+    EstimationSession,
+    LogisticRegressionSpec,
+    SessionRegistry,
+    WarmCacheStats,
+    WarmCacheTier,
+)
+from repro.data import ShardStore, train_holdout_test_split
+from repro.data.splits import SplitSpec
+from repro.data.synthetic import higgs_like
+from repro.data.store.warm_cache import (
+    DIFF_KIND,
+    SIZE_KIND,
+    diff_entry_key,
+    entry_filename,
+    payload_digest,
+    resolve_warm_cache,
+    serialize_entry,
+    shared_warm_cache,
+    size_entry_key,
+)
+from repro.evaluation.streaming import streaming_pass_count
+from repro.exceptions import ServingError
+from repro.serving import CoalescingService
+
+# ----------------------------------------------------------------------
+# A deterministic forcing workload: the initial model cannot satisfy the
+# contract, so a cold serve runs the full pipeline (diff vector, size
+# search, final model, final estimate).  Module-level so the spawn-based
+# workers rebuild the identical datasets in their own interpreters.
+# ----------------------------------------------------------------------
+_ROWS = 2_500
+_FEATURES = 10
+_SESSION_KWARGS = dict(rng=0, n_parameter_samples=24, initial_sample_size=250)
+_CONTRACT = (0.015, 0.05)
+_EXTRA_CONTRACTS = ((0.010, 0.05), (0.020, 0.10))
+
+
+def _splits():
+    return train_holdout_test_split(
+        higgs_like(n_rows=_ROWS, n_features=_FEATURES, seed=13),
+        SplitSpec(holdout_fraction=0.2, test_fraction=0.1),
+        rng=np.random.default_rng(9),
+    )
+
+
+def _session(warm_cache, splits=None) -> EstimationSession:
+    splits = splits if splits is not None else _splits()
+    return EstimationSession(
+        LogisticRegressionSpec(regularization=1e-3),
+        splits.train,
+        splits.holdout,
+        warm_cache=warm_cache,
+        **_SESSION_KWARGS,
+    )
+
+
+def _result_row(result) -> tuple[bytes, float, int]:
+    return (
+        result.model.theta.tobytes(),
+        float(result.estimated_epsilon),
+        int(result.sample_size),
+    )
+
+
+def _serve_worker(warm_dir: str, contracts, out_queue) -> None:
+    """Spawn target: serve ``contracts`` against a shared warm directory."""
+    session = _session(warm_dir)
+    rows = []
+    before = streaming_pass_count()
+    for epsilon, delta in contracts:
+        result = session.train_to(ApproximationContract(epsilon, delta))
+        rows.append(_result_row(result))
+    passes = streaming_pass_count() - before
+    tier = session.warm_cache
+    tier.flush()
+    out_queue.put((os.getpid(), rows, passes, tier.stats().quarantined))
+
+
+def _key_worker(out_queue) -> None:
+    """Spawn target: report the warm keys a fresh interpreter builds."""
+    session = _session(False)
+    diff_key = session._warm_diff_key(
+        (session._theta_digest(session.initial_model.theta), 1_000, session.full_size)
+    )
+    size_key = session._warm_size_key(_CONTRACT)
+    out_queue.put((diff_key, size_key))
+
+
+def _payload(seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "differences": np.sort(rng.standard_normal(32)),
+        "meta": np.arange(4, dtype=np.int64),
+    }
+
+
+# ----------------------------------------------------------------------
+# Tier unit tests
+# ----------------------------------------------------------------------
+class TestWarmCacheTier:
+    def test_roundtrip_and_counters(self, tmp_path):
+        tier = WarmCacheTier(tmp_path, write_behind=False)
+        payload = _payload()
+        assert tier.get(DIFF_KIND, "k1") is None
+        tier.put(DIFF_KIND, "k1", payload)
+        loaded = tier.get(DIFF_KIND, "k1")
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["differences"], payload["differences"])
+        np.testing.assert_array_equal(loaded["meta"], payload["meta"])
+        assert not loaded["differences"].flags.writeable
+        stats = tier.stats()
+        assert isinstance(stats, WarmCacheStats)
+        assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+        assert stats.entries == 1 and stats.bytes > 0
+        assert stats.requests == 2 and stats.hit_rate == 0.5
+
+    def test_write_behind_flush(self, tmp_path):
+        tier = WarmCacheTier(tmp_path, write_behind=True)
+        tier.put(DIFF_KIND, "k1", _payload())
+        tier.flush()
+        assert tier.get(DIFF_KIND, "k1") is not None
+        tier.close()
+        # Post-close puts are dropped (and counted), gets keep working.
+        tier.put(DIFF_KIND, "k2", _payload(1))
+        assert tier.stats().dropped_writes == 1
+        assert tier.get(DIFF_KIND, "k1") is not None
+
+    def test_serialization_is_deterministic(self):
+        payload = _payload()
+        reordered = dict(reversed(list(payload.items())))
+        assert serialize_entry(DIFF_KIND, "k", payload) == serialize_entry(
+            DIFF_KIND, "k", reordered
+        )
+        assert payload_digest(payload) == payload_digest(reordered)
+
+    def test_racing_writers_produce_identical_bytes(self, tmp_path):
+        """Last-writer-wins is benign: same key → byte-identical files."""
+        a = WarmCacheTier(tmp_path / "a", write_behind=False)
+        b = WarmCacheTier(tmp_path / "b", write_behind=False)
+        a.put(DIFF_KIND, "k1", _payload())
+        b.put(DIFF_KIND, "k1", _payload())
+        (file_a,) = glob.glob(str(tmp_path / "a" / "warm-*.npz"))
+        (file_b,) = glob.glob(str(tmp_path / "b" / "warm-*.npz"))
+        with open(file_a, "rb") as fa, open(file_b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_bit_flip_quarantined_and_recomputed(self, tmp_path):
+        tier = WarmCacheTier(tmp_path, write_behind=False)
+        tier.put(DIFF_KIND, "k1", _payload())
+        (path,) = glob.glob(str(tmp_path / "warm-*.npz"))
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        assert tier.get(DIFF_KIND, "k1") is None
+        stats = tier.stats()
+        assert stats.quarantined == 1
+        assert stats.entries == 0
+        quarantined = glob.glob(str(tmp_path / "quarantine" / "warm-*.npz"))
+        assert len(quarantined) == 1
+        # Transparent recovery: the next put republishes a good entry.
+        tier.put(DIFF_KIND, "k1", _payload())
+        assert tier.get(DIFF_KIND, "k1") is not None
+
+    def test_key_collision_is_rejected(self, tmp_path):
+        """An entry copied under another key's file name never serves."""
+        tier = WarmCacheTier(tmp_path, write_behind=False)
+        tier.put(DIFF_KIND, "k1", _payload())
+        source = os.path.join(tmp_path, entry_filename(DIFF_KIND, "k1"))
+        target = os.path.join(tmp_path, entry_filename(DIFF_KIND, "k2"))
+        with open(source, "rb") as handle:
+            blob = handle.read()
+        with open(target, "wb") as handle:
+            handle.write(blob)
+        assert tier.get(DIFF_KIND, "k2") is None
+        assert tier.stats().quarantined == 1
+        assert tier.get(DIFF_KIND, "k1") is not None
+
+    def test_crashed_writer_leaves_no_visible_entry(self, tmp_path):
+        """SIGKILL mid-write = temp file present, final name never created."""
+        tier = WarmCacheTier(tmp_path, write_behind=False)
+        final = os.path.join(tmp_path, entry_filename(DIFF_KIND, "k1"))
+        temp = f"{final}.tmp-99999-deadbeef"
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(temp, "wb") as handle:
+            handle.write(serialize_entry(DIFF_KIND, "k1", _payload())[:64])
+        # The tier opens clean: the torn temp is invisible to reads...
+        assert tier.get(DIFF_KIND, "k1") is None
+        assert tier.stats().quarantined == 0
+        # ...a fresh temp survives GC (the writer may still be alive)...
+        tier.gc()
+        assert os.path.exists(temp)
+        # ...and an aged temp is swept.
+        os.utime(temp, (time.time() - 3_600, time.time() - 3_600))
+        tier.gc()
+        assert not os.path.exists(temp)
+        # Recompute path: publishing k1 now works normally.
+        tier.put(DIFF_KIND, "k1", _payload())
+        assert tier.get(DIFF_KIND, "k1") is not None
+
+    def test_gc_evicts_oldest_to_byte_bound(self, tmp_path):
+        tier = WarmCacheTier(tmp_path, write_behind=False)
+        entry_bytes = len(serialize_entry(DIFF_KIND, "k0", _payload()))
+        tier.max_bytes = 3 * entry_bytes + entry_bytes // 2
+        now = time.time()
+        for index in range(4):
+            tier.put(DIFF_KIND, f"k{index}", _payload())
+            path = os.path.join(tmp_path, entry_filename(DIFF_KIND, f"k{index}"))
+            stamp = now - 100 + index
+            os.utime(path, (stamp, stamp))
+        tier.put(DIFF_KIND, "k4", _payload())
+        stats = tier.stats()
+        assert stats.bytes <= tier.max_bytes
+        assert stats.gc_removed >= 1
+        # Oldest-first: k0 (and possibly k1) went; the newest survives.
+        assert tier.get(DIFF_KIND, "k0") is None
+        assert tier.get(DIFF_KIND, "k4") is not None
+
+    def test_resolve_semantics(self, tmp_path, monkeypatch):
+        tier = WarmCacheTier(tmp_path / "t")
+        assert resolve_warm_cache(tier) is tier
+        assert resolve_warm_cache(False) is None
+        monkeypatch.delenv("REPRO_WARM_CACHE_DIR", raising=False)
+        assert resolve_warm_cache(None) is None
+        monkeypatch.setenv("REPRO_WARM_CACHE_DIR", str(tmp_path / "env"))
+        resolved = resolve_warm_cache(None)
+        assert resolved is not None
+        assert resolved is resolve_warm_cache(True)
+        # Same directory → the process-shared instance.
+        assert resolve_warm_cache(tmp_path / "env") is resolved
+        assert shared_warm_cache(tmp_path / "env") is resolved
+
+
+# ----------------------------------------------------------------------
+# Key properties
+# ----------------------------------------------------------------------
+class TestKeyProperties:
+    def test_distinct_parameters_give_distinct_keys(self):
+        base = dict(
+            spec_digest="s" * 32,
+            holdout_digest="h" * 32,
+            draws_digest="d" * 32,
+            theta_digest="t" * 32,
+            n0=300,
+            N=6_000,
+            k=32,
+            probe_batch=4,
+            epsilon=0.005,
+            delta=0.05,
+        )
+        keys = {size_entry_key(**base)}
+        for field, values in {
+            "epsilon": (0.004, 0.0051),
+            "delta": (0.04, 0.1),
+            "probe_batch": (1, 8),
+            "theta_digest": ("u" * 32,),
+            "draws_digest": ("e" * 32,),
+            "spec_digest": ("q" * 32,),
+            "holdout_digest": ("g" * 32,),
+            "n0": (301,),
+            "N": (6_001,),
+            "k": (64,),
+        }.items():
+            for value in values:
+                keys.add(size_entry_key(**{**base, field: value}))
+        assert len(keys) == 14
+
+        diff_base = dict(
+            spec_digest="s" * 32,
+            holdout_digest="h" * 32,
+            draws_digest="d" * 32,
+            theta_digest="t" * 32,
+            n=1_000,
+            N=6_000,
+            k=32,
+        )
+        assert diff_entry_key(**diff_base) != size_entry_key(**base)
+        assert diff_entry_key(**diff_base) != diff_entry_key(
+            **{**diff_base, "n": 1_001}
+        )
+
+    def test_keys_stable_across_kwarg_ordering(self):
+        forward = dict(
+            spec_digest="s",
+            holdout_digest="h",
+            draws_digest="d",
+            theta_digest="t",
+            n=10,
+            N=100,
+            k=8,
+        )
+        reordered = dict(reversed(list(forward.items())))
+        assert diff_entry_key(**forward) == diff_entry_key(**reordered)
+
+    def test_float_keys_are_bit_exact(self):
+        base = dict(
+            spec_digest="s",
+            holdout_digest="h",
+            draws_digest="d",
+            theta_digest="t",
+            n0=10,
+            N=100,
+            k=8,
+            probe_batch=1,
+        )
+        a = size_entry_key(**base, epsilon=0.1, delta=0.05)
+        b = size_entry_key(**base, epsilon=0.1 + 1e-18, delta=0.05)
+        c = size_entry_key(**base, epsilon=np.nextafter(0.1, 1.0), delta=0.05)
+        assert a == b  # 0.1 + 1e-18 rounds to the same float64
+        assert a != c  # one ulp apart → distinct keys
+
+    def test_keys_stable_across_storage_tiers(self, tmp_path):
+        """Dataset vs ShardedDataset holdouts of the same rows share keys."""
+        splits = _splits()
+        sharded_holdout = ShardStore.write(
+            splits.holdout, tmp_path / "holdout", shard_rows=512
+        ).dataset()
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        in_memory = EstimationSession(
+            spec, splits.train, splits.holdout, warm_cache=False, **_SESSION_KWARGS
+        )
+        sharded = EstimationSession(
+            spec, splits.train, sharded_holdout, warm_cache=False, **_SESSION_KWARGS
+        )
+        diff_key = in_memory._warm_diff_key(
+            (in_memory._theta_digest(in_memory.initial_model.theta), 1_000, _ROWS)
+        )
+        assert diff_key == sharded._warm_diff_key(
+            (sharded._theta_digest(sharded.initial_model.theta), 1_000, _ROWS)
+        )
+        assert in_memory._warm_size_key(_CONTRACT) == sharded._warm_size_key(
+            _CONTRACT
+        )
+
+    def test_keys_stable_across_processes(self):
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        worker = ctx.Process(target=_key_worker, args=(queue,))
+        worker.start()
+        child_diff, child_size = queue.get(timeout=120)
+        worker.join(timeout=120)
+        assert worker.exitcode == 0
+        session = _session(False)
+        diff_key = session._warm_diff_key(
+            (session._theta_digest(session.initial_model.theta), 1_000, session.full_size)
+        )
+        assert diff_key == child_diff
+        assert session._warm_size_key(_CONTRACT) == child_size
+
+
+# ----------------------------------------------------------------------
+# Session integration
+# ----------------------------------------------------------------------
+class TestSessionWarmServing:
+    def test_restart_answers_with_zero_streamed_passes(self, tmp_path):
+        contract = ApproximationContract(*_CONTRACT)
+        splits = _splits()
+        cold = _session(str(tmp_path), splits)
+        before = streaming_pass_count()
+        cold_result = cold.train_to(contract)
+        cold_passes = streaming_pass_count() - before
+        assert cold_passes > 0
+        cold.warm_cache.flush()
+
+        # "Restart": a brand-new session against the same warm directory.
+        warm = _session(str(tmp_path), splits)
+        before = streaming_pass_count()
+        warm_result = warm.train_to(contract)
+        assert streaming_pass_count() - before == 0
+        assert _result_row(warm_result) == _result_row(cold_result)
+        answer = warm.answer(contract)
+        assert answer.from_cache
+        stats = warm.warm_cache_stats()
+        assert stats is not None and stats.hits >= 3 and stats.quarantined == 0
+
+    def test_warm_results_match_cold_control_bitwise(self, tmp_path):
+        contract = ApproximationContract(*_CONTRACT)
+        splits = _splits()
+        seeded = _session(str(tmp_path), splits)
+        seeded_result = seeded.train_to(contract)
+        seeded.warm_cache.flush()
+        warm = _session(str(tmp_path), splits)
+        warm_result = warm.train_to(contract)
+        control = _session(False, splits)
+        control_result = control.train_to(contract)
+        assert _result_row(warm_result) == _result_row(control_result)
+        assert _result_row(seeded_result) == _result_row(control_result)
+
+    def test_corrupt_entries_recompute_not_misserve(self, tmp_path):
+        contract = ApproximationContract(*_CONTRACT)
+        splits = _splits()
+        cold = _session(str(tmp_path), splits)
+        cold_result = cold.train_to(contract)
+        cold.warm_cache.flush()
+        for path in glob.glob(str(tmp_path / "warm-*.npz")):
+            blob = bytearray(open(path, "rb").read())
+            blob[len(blob) // 3] ^= 0xFF
+            with open(path, "wb") as handle:
+                handle.write(bytes(blob))
+        tampered = _session(str(tmp_path), splits)
+        before = streaming_pass_count()
+        tampered_result = tampered.train_to(contract)
+        assert streaming_pass_count() - before > 0  # recomputed, not served
+        assert _result_row(tampered_result) == _result_row(cold_result)
+        stats = tampered.warm_cache_stats()
+        assert stats is not None and stats.quarantined >= 1
+
+    def test_env_var_enables_warm_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WARM_CACHE_DIR", str(tmp_path / "warm"))
+        session = _session(None)
+        assert session.warm_cache is not None
+        assert session.warm_cache.directory == os.path.abspath(
+            str(tmp_path / "warm")
+        )
+        disabled = _session(False)
+        assert disabled.warm_cache is None
+        monkeypatch.delenv("REPRO_WARM_CACHE_DIR")
+        assert _session(None).warm_cache is None
+
+    def test_train_to_many_publishes_each_survivor_once(self, tmp_path):
+        contracts = [
+            ApproximationContract(*_CONTRACT),
+            ApproximationContract(*_CONTRACT),  # duplicate
+            ApproximationContract(*_EXTRA_CONTRACTS[0]),
+        ]
+        splits = _splits()
+        cold = _session(str(tmp_path), splits)
+        outcome = cold.train_to_many(contracts)
+        cold.warm_cache.flush()
+        # One entry per distinct (ε, δ) that ran its own size search (the
+        # fused dispatch may satisfy a weaker contract from a stronger one).
+        size_entries = glob.glob(str(tmp_path / "warm-size-*.npz"))
+        assert 1 <= len(size_entries) <= 2
+        warm = _session(str(tmp_path), splits)
+        before = streaming_pass_count()
+        warm_outcome = warm.train_to_many(contracts)
+        assert streaming_pass_count() - before == 0
+        assert [_result_row(result) for result in warm_outcome.results] == [
+            _result_row(result) for result in outcome.results
+        ]
+
+
+# ----------------------------------------------------------------------
+# Registry / service integration
+# ----------------------------------------------------------------------
+class TestRegistryWarmTier:
+    def test_registry_shares_one_tier_and_reports_stats(self, tmp_path):
+        splits = _splits()
+        registry = SessionRegistry(warm_cache=str(tmp_path))
+        spec = LogisticRegressionSpec(regularization=1e-3)
+        first = registry.get_or_create(
+            "a", spec, splits.train, splits.holdout, **_SESSION_KWARGS
+        )
+        second = registry.get_or_create(
+            "b", spec, splits.train, splits.holdout, rng=1, n_parameter_samples=32,
+            initial_sample_size=300,
+        )
+        assert first.warm_cache is registry.warm_cache
+        assert second.warm_cache is registry.warm_cache
+        first.train_to(ApproximationContract(*_CONTRACT))
+        registry.warm_cache.flush()
+        warm_stats = registry.stats().warm
+        assert warm_stats is not None and warm_stats.writes >= 1
+        # Explicit kwargs win over the registry tier.
+        opted_out = registry.get_or_create(
+            "c", spec, splits.train, splits.holdout, warm_cache=False,
+            **_SESSION_KWARGS,
+        )
+        assert opted_out.warm_cache is None
+
+    def test_registry_false_forces_members_cold(self, tmp_path, monkeypatch):
+        """Registry-level ``warm_cache=False`` beats the environment."""
+        monkeypatch.setenv("REPRO_WARM_CACHE_DIR", str(tmp_path / "warm"))
+        splits = _splits()
+        registry = SessionRegistry(warm_cache=False)
+        session = registry.get_or_create(
+            "a", LogisticRegressionSpec(regularization=1e-3), splits.train,
+            splits.holdout, **_SESSION_KWARGS,
+        )
+        assert registry.warm_cache is None
+        assert session.warm_cache is None
+
+    def test_registry_without_tier_reports_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WARM_CACHE_DIR", raising=False)
+        registry = SessionRegistry()
+        assert registry.warm_cache is None
+        assert registry.stats().warm is None
+
+    def test_service_forwards_warm_cache_to_default_registry(self, tmp_path):
+        service = CoalescingService(
+            warm_cache=str(tmp_path), start_housekeeping=False
+        )
+        try:
+            assert service.registry.warm_cache is not None
+        finally:
+            service.close()
+        with pytest.raises(ServingError):
+            CoalescingService(
+                SessionRegistry(), warm_cache=str(tmp_path),
+                start_housekeeping=False,
+            )
+
+
+# ----------------------------------------------------------------------
+# Multi-process contention
+# ----------------------------------------------------------------------
+class TestMultiProcess:
+    def test_concurrent_workers_share_one_warm_dir(self, tmp_path):
+        """Overlapping contracts, one directory, no torn reads, identical
+        answers — every worker must match a serial cold run bitwise."""
+        contracts = [_CONTRACT, *_EXTRA_CONTRACTS, _CONTRACT]
+        serial = _session(False)
+        expected = [
+            _result_row(serial.train_to(ApproximationContract(*pair)))
+            for pair in contracts
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_serve_worker, args=(str(tmp_path), contracts, queue)
+            )
+            for _ in range(3)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [queue.get(timeout=300) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=300)
+            assert worker.exitcode == 0
+        for _pid, rows, _passes, quarantined in outcomes:
+            assert rows == expected
+            assert quarantined == 0
+        # The directory holds only verifiable content-addressed entries.
+        follower = _session(str(tmp_path))
+        before = streaming_pass_count()
+        replay = [
+            _result_row(follower.train_to(ApproximationContract(*pair)))
+            for pair in contracts
+        ]
+        assert streaming_pass_count() - before == 0
+        assert replay == expected

@@ -6,7 +6,8 @@ same-named environment variable.  This rule machine-checks the three-way
 parity:
 
 * every module-level ``DEFAULT_*`` assignment in config.py must call one
-  of the ``_env_int`` / ``_env_float`` / ``_env_choice`` helpers;
+  of the ``_env_int`` / ``_env_float`` / ``_env_choice`` / ``_env_str``
+  helpers;
 * the helper's first argument must be the knob's own name (the env var
   *is* the constant name);
 * every knob must have a row in the docs/serving.md knob table whose
@@ -25,7 +26,7 @@ from tools.analysis.context import Finding, RepoContext
 RULE_ID = "REP005"
 SUMMARY = "every DEFAULT_* config knob is env-overridable and documented"
 
-_ENV_HELPERS = {"_env_int", "_env_float", "_env_choice"}
+_ENV_HELPERS = {"_env_int", "_env_float", "_env_choice", "_env_str"}
 _CONFIG_RELPATH = "src/repro/config.py"
 _DOC_RELPATH = "docs/serving.md"
 _ROW_RE = re.compile(r"^\|\s*`(DEFAULT_[A-Z0-9_]+)`\s*\|[^|]*\|\s*([^|]+?)\s*\|")
