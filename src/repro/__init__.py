@@ -62,11 +62,23 @@ from repro.data import (
     train_holdout_test_split,
 )
 from repro.data.store import WarmCacheStats, WarmCacheTier
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    Span,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    obs_enabled,
+    render_prometheus,
+    render_span_tree,
+)
 from repro.exceptions import (
     BlinkMLError,
     ContractError,
     DataError,
     ModelSpecError,
+    ObservabilityError,
     OptimizationError,
     SampleSizeError,
     ServingError,
@@ -118,8 +130,18 @@ __all__ = [
     "ShardedDataset",
     "WarmCacheStats",
     "WarmCacheTier",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "obs_enabled",
+    "render_prometheus",
+    "render_span_tree",
     "train_holdout_test_split",
     "BlinkMLError",
+    "ObservabilityError",
     "ContractError",
     "DataError",
     "ModelSpecError",

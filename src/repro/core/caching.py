@@ -93,6 +93,35 @@ class CacheStats:
         """Fraction of requests served from cache (0.0 when never used)."""
         return self.hits / self.requests if self.requests else 0.0
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold two snapshots of same-named caches into one roll-up.
+
+        Counters and occupancy sum; bounds sum too, with ``None``
+        (unbounded) absorbing — any unbounded member makes the roll-up
+        unbounded.  Associative and commutative up to the kept ``name``,
+        so fleet-wide totals (:meth:`RegistryStats.cache_totals
+        <repro.core.registry.RegistryStats.cache_totals>`) can fold
+        members in any order.
+        """
+        if other.name != self.name:
+            raise BlinkMLError(
+                f"cannot merge cache stats {self.name!r} with {other.name!r}"
+            )
+
+        def _add(a: int | None, b: int | None) -> int | None:
+            return None if a is None or b is None else a + b
+
+        return CacheStats(
+            name=self.name,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            entries=self.entries + other.entries,
+            bytes=self.bytes + other.bytes,
+            max_entries=_add(self.max_entries, other.max_entries),
+            max_bytes=_add(self.max_bytes, other.max_bytes),
+        )
+
 
 def default_sizeof(value: Any) -> int:
     """Approximate in-memory size of a cached value in bytes.

@@ -90,9 +90,24 @@ from repro.data.store import ShardedDataset
 from repro.data.store.warm_cache import WarmCacheStats, WarmCacheTier, resolve_warm_cache
 from repro.exceptions import BlinkMLError
 from repro.models.base import ModelClassSpec
+from repro.obs import get_metrics, obs_enabled
 
 #: accepted ``rebalance_policy`` values.
 REBALANCE_POLICIES = ("traffic", "even")
+
+# Fleet lifecycle *events* (repro.obs, telemetry-gated): the cumulative
+# totals in RegistryStats are bridged to gauges at scrape time; these
+# counters attribute each event to a reason as it happens.
+_REBALANCE_EVENTS = get_metrics().counter(
+    "repro_registry_rebalance_total",
+    "Byte-pool rebalances that applied new per-session shares, by policy.",
+    ("policy",),
+)
+_EVICTION_EVENTS = get_metrics().counter(
+    "repro_registry_eviction_events_total",
+    "Whole-session evictions, by reason (capacity admission vs idleness).",
+    ("reason",),
+)
 
 
 @dataclass(frozen=True)
@@ -177,23 +192,7 @@ class RegistryStats:
         for info in self.per_session:
             for name, stats in info.cache_stats.items():
                 base = totals.get(name)
-                if base is None:
-                    totals[name] = stats
-                    continue
-
-                def _add(a: int | None, b: int | None) -> int | None:
-                    return None if a is None or b is None else a + b
-
-                totals[name] = CacheStats(
-                    name=name,
-                    hits=base.hits + stats.hits,
-                    misses=base.misses + stats.misses,
-                    evictions=base.evictions + stats.evictions,
-                    entries=base.entries + stats.entries,
-                    bytes=base.bytes + stats.bytes,
-                    max_entries=_add(base.max_entries, stats.max_entries),
-                    max_bytes=_add(base.max_bytes, stats.max_bytes),
-                )
+                totals[name] = stats if base is None else base.merge(stats)
         return totals
 
 
@@ -572,6 +571,8 @@ class SessionRegistry:
                 del self._members[key]
                 self._evictions += 1
             if stale:
+                if obs_enabled():
+                    _EVICTION_EVENTS.inc(len(stale), reason="idle")
                 self._rebalance_locked()
             return len(stale)
 
@@ -594,6 +595,8 @@ class SessionRegistry:
                 return
             del self._members[victim]
             self._evictions += 1
+            if obs_enabled():
+                _EVICTION_EVENTS.inc(1, reason="capacity")
 
     def _rebalance_locked(self, min_drift: float = 0.0) -> bool:  # repro-lint: holds=_lock
         """Re-split the byte pool across the current members (lock held).
@@ -649,6 +652,8 @@ class SessionRegistry:
         for member, share in zip(members, shares):
             member.share = share
             member.session.resize_cache_budget(share)
+        if obs_enabled():
+            _REBALANCE_EVENTS.inc(1, policy=self.rebalance_policy)
         return True
 
     # ------------------------------------------------------------------

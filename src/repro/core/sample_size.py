@@ -48,6 +48,29 @@ from repro.evaluation.streaming import (
 )
 from repro.exceptions import SampleSizeError
 from repro.models.base import ModelClassSpec
+from repro.obs import get_metrics, maybe_span, obs_enabled
+
+# Size-search round economics (repro.obs): every round is one streamed
+# candidate pass, so rounds-by-mode plus the fused passes-saved counter
+# reproduce the coalescing tier's exact pass accounting at scrape time.
+# Ticked only when telemetry is enabled (obs_enabled()).
+_SEARCH_ROUNDS = get_metrics().counter(
+    "repro_size_search_rounds_total",
+    "Size-search evaluation rounds executed (one streamed candidate pass "
+    "each), by search mode.",
+    ("mode",),
+)
+_SEARCHES_TOTAL = get_metrics().counter(
+    "repro_size_search_searches_total",
+    "Completed size searches, by search mode (fused counts each member "
+    "contract).",
+    ("mode",),
+)
+_PASSES_SAVED_TOTAL = get_metrics().counter(
+    "repro_size_search_passes_saved_total",
+    "Streamed passes fused lockstep searches avoided versus running the "
+    "same contracts serially (exact accounting).",
+)
 
 
 @dataclass(frozen=True)
@@ -326,12 +349,44 @@ class SampleSizeEstimator:
             raise SampleSizeError(f"initial sample size {n0} exceeds N={N}")
         if probe_batch < 1:
             raise SampleSizeError("probe_batch must be at least 1")
-
-        start = time.perf_counter()
         sampler = sampler or ParameterSampler(statistics)
+        if not obs_enabled():
+            return self._estimate_impl(
+                theta0, n0, N, contract, sampler, skip_lower_probe, probe_batch
+            )
+        with maybe_span(
+            "size_search.estimate",
+            epsilon=contract.epsilon,
+            delta=contract.delta,
+            n0=n0,
+            N=N,
+        ) as span:
+            estimate = self._estimate_impl(
+                theta0, n0, N, contract, sampler, skip_lower_probe, probe_batch
+            )
+            if span is not None:
+                span.set_attribute("sample_size", estimate.sample_size)
+                span.set_attribute("feasible", estimate.feasible)
+        _SEARCHES_TOTAL.inc(1, mode="serial")
+        return estimate
+
+    def _estimate_impl(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        N: int,
+        contract: ApproximationContract,
+        sampler: ParameterSampler,
+        skip_lower_probe: bool,
+        probe_batch: int,
+    ) -> SampleSizeEstimate:
+        start = time.perf_counter()
+        telemetry = obs_enabled()
         probed: list[int] = []
 
         def satisfied(candidate: int) -> bool:
+            if telemetry:
+                _SEARCH_ROUNDS.inc(1, mode="serial")
             probed.append(candidate)
             return self.contract_satisfied(theta0, n0, candidate, N, contract, sampler)
 
@@ -361,6 +416,8 @@ class SampleSizeEstimator:
             count = adaptive_probe_count(high - low, probe_batch)
             candidates = _bracket_candidates(low, high, count)
             probed.extend(candidates)
+            if telemetry:
+                _SEARCH_ROUNDS.inc(1, mode="serial")
             outcomes = self.contract_satisfied_batch(
                 theta0, n0, candidates, N, contract, sampler
             )
@@ -425,9 +482,39 @@ class SampleSizeEstimator:
         contracts = list(contracts)
         if not contracts:
             return FusedSizeSearch(estimates=(), fused_passes=0, serial_passes=0)
-
-        start = time.perf_counter()
         sampler = sampler or ParameterSampler(statistics)
+        if not obs_enabled():
+            return self._estimate_many_impl(
+                theta0, n0, N, contracts, sampler, skip_lower_probe, probe_batch
+            )
+        with maybe_span(
+            "size_search.estimate_many",
+            contracts=len(contracts),
+            n0=n0,
+            N=N,
+        ) as span:
+            outcome = self._estimate_many_impl(
+                theta0, n0, N, contracts, sampler, skip_lower_probe, probe_batch
+            )
+            if span is not None:
+                span.set_attribute("fused_passes", outcome.fused_passes)
+                span.set_attribute("serial_passes", outcome.serial_passes)
+        _SEARCHES_TOTAL.inc(len(contracts), mode="fused")
+        _PASSES_SAVED_TOTAL.inc(outcome.passes_saved)
+        return outcome
+
+    def _estimate_many_impl(
+        self,
+        theta0: np.ndarray,
+        n0: int,
+        N: int,
+        contracts: list[ApproximationContract],
+        sampler: ParameterSampler,
+        skip_lower_probe: bool,
+        probe_batch: int,
+    ) -> FusedSizeSearch:
+        start = time.perf_counter()
+        telemetry = obs_enabled()
         searches = [_LockstepSearch(contract) for contract in contracts]
         fused_passes = 0
         serial_passes = 0
@@ -439,6 +526,8 @@ class SampleSizeEstimator:
             nonlocal fused_passes, serial_passes
             fused_passes += 1
             serial_passes += len(active)
+            if telemetry:
+                _SEARCH_ROUNDS.inc(1, mode="fused")
             for search, candidates in active:
                 search.probed.extend(candidates)
             if len(active) == 1:

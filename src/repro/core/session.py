@@ -89,6 +89,23 @@ from repro.evaluation.streaming import StreamingConfig
 from repro.exceptions import BlinkMLError, DataError, SampleSizeError
 from repro.linalg.utils import freeze
 from repro.models.base import ModelClassSpec, TrainedModel
+from repro.obs import get_metrics, maybe_span, obs_enabled, pass_scope
+
+# Serving-latency histograms (repro.obs): observed only when telemetry is
+# enabled, labelled by the session's model-spec class so fleets mixing
+# model families stay distinguishable in one scrape.
+_ANSWER_SECONDS = get_metrics().histogram(
+    "repro_session_answer_seconds",
+    "Wall time of EstimationSession.answer() — quantile lookup when the "
+    "difference vector is cached, one streamed evaluation otherwise.",
+    ("session",),
+)
+_TRAIN_SECONDS = get_metrics().histogram(
+    "repro_session_train_seconds",
+    "Wall time of one EstimationSession.train_to() call or one "
+    "train_to_many() coalesced dispatch.",
+    ("session",),
+)
 
 
 @dataclass(frozen=True)
@@ -278,6 +295,10 @@ class EstimationSession:
                 f"{statistics_scope!r}"
             )
         self.spec = spec
+        # Label streamed passes / latency series are attributed to: the
+        # model-spec class name distinguishes sessions in a mixed fleet
+        # without leaking dataset contents into metric labels.
+        self._session_label = type(spec).__name__
         self.train_data = train
         self.holdout = holdout
         self.statistics_method = StatisticsMethod(statistics_method)
@@ -393,14 +414,15 @@ class EstimationSession:
     ) -> ModelStatistics:
         """H/J statistics at ``theta`` on the session's configured scope."""
         source = self.train_data if self.statistics_scope == "train" else initial_data
-        return compute_statistics(
-            self.spec,
-            theta,
-            source,
-            method=self.statistics_method,
-            streaming=self._streaming,
-            persist=persist,
-        )
+        with pass_scope("statistics", session=self._session_label):
+            return compute_statistics(
+                self.spec,
+                theta,
+                source,
+                method=self.statistics_method,
+                streaming=self._streaming,
+                persist=persist,
+            )
 
     # ------------------------------------------------------------------
     # Registry integration: byte accounting, resizable caps, idle time
@@ -582,14 +604,15 @@ class EstimationSession:
             # cache with an entry per distinct n.
             return self._full_data_differences, True
         key = (self._theta_digest(theta), n, self._N)
-        return self._diff_cache.get_or_compute(
-            key,
-            lambda: freeze(
-                self._accuracy_estimator.sorted_differences(
-                    theta, n, self._N, self._parameter_sampler
-                )
-            ),
-        )
+        with pass_scope("accuracy", session=self._session_label):
+            return self._diff_cache.get_or_compute(
+                key,
+                lambda: freeze(
+                    self._accuracy_estimator.sorted_differences(
+                        theta, n, self._N, self._parameter_sampler
+                    )
+                ),
+            )
 
     def sorted_differences(self, theta: np.ndarray, n: int) -> np.ndarray:
         """The ascending sampled-difference vector for (θ, n, N), cached.
@@ -639,6 +662,22 @@ class EstimationSession:
         """
         with self._standing_contracts_lock:
             self._standing_contracts[contract] = None
+        if not obs_enabled():
+            return self._answer_impl(contract)
+        start = time.perf_counter()
+        with maybe_span(
+            "session.answer",
+            session=self._session_label,
+            epsilon=contract.epsilon,
+            delta=contract.delta,
+        ):
+            result = self._answer_impl(contract)
+        _ANSWER_SECONDS.observe(
+            time.perf_counter() - start, session=self._session_label
+        )
+        return result
+
+    def _answer_impl(self, contract: ApproximationContract) -> SessionAnswer:
         estimate, from_cache = self._accuracy_estimate(
             self.initial_model.theta, self._n0, contract.delta
         )
@@ -827,6 +866,24 @@ class EstimationSession:
         skipped automatically when the initial model already satisfies the
         contract or the search fell back to the full data (ε = 0 either way).
         """
+        if not obs_enabled():
+            return self._train_to_impl(contract, recompute_at_theta_n)
+        start = time.perf_counter()
+        with maybe_span(
+            "session.train_to",
+            session=self._session_label,
+            epsilon=contract.epsilon,
+            delta=contract.delta,
+        ):
+            result = self._train_to_impl(contract, recompute_at_theta_n)
+        _TRAIN_SECONDS.observe(
+            time.perf_counter() - start, session=self._session_label
+        )
+        return result
+
+    def _train_to_impl(
+        self, contract: ApproximationContract, recompute_at_theta_n: bool
+    ) -> ApproximateTrainingResult:
         self._touch()
         timings = self._claim_construction_timings()
         answer = self.answer(contract)
@@ -843,16 +900,17 @@ class EstimationSession:
         size_key = (contract.epsilon, contract.delta)
 
         def run_search() -> SampleSizeEstimate:
-            return self._size_estimator.estimate(
-                self.initial_model.theta,
-                n0=self._n0,
-                N=self._N,
-                contract=contract,
-                statistics=self._statistics,
-                sampler=self._parameter_sampler,
-                skip_lower_probe=True,
-                probe_batch=self._probe_batch,
-            )
+            with pass_scope("size-search", session=self._session_label):
+                return self._size_estimator.estimate(
+                    self.initial_model.theta,
+                    n0=self._n0,
+                    N=self._N,
+                    contract=contract,
+                    statistics=self._statistics,
+                    sampler=self._parameter_sampler,
+                    skip_lower_probe=True,
+                    probe_batch=self._probe_batch,
+                )
 
         size_estimate, size_cache_hit = self._size_cache.get_or_compute(
             size_key, run_search
@@ -905,22 +963,24 @@ class EstimationSession:
                 stats_source = self._data_sampler.nested_sample(final_n)
             # persist=False: publishing θ_n sidecars would garbage-collect
             # the θ_0 sidecars every later bootstrap of this store reuses.
-            stats_n = compute_statistics(
-                self.spec,
-                final_model.theta,
-                stats_source,
-                method=self.statistics_method,
-                streaming=self._streaming,
-                persist=False,
-            )
+            with pass_scope("statistics", session=self._session_label):
+                stats_n = compute_statistics(
+                    self.spec,
+                    final_model.theta,
+                    stats_source,
+                    method=self.statistics_method,
+                    streaming=self._streaming,
+                    persist=False,
+                )
             seed = int.from_bytes(self._theta_digest(final_model.theta)[:8], "little")
             sampler_n = ParameterSampler(stats_n, rng=np.random.default_rng(seed))
             # Bypasses the diff cache deliberately: its key is (θ, n, N),
             # which cannot distinguish a θ_0-statistics vector from this
             # θ_n-statistics one.
-            differences_n = self._accuracy_estimator.sorted_differences(
-                final_model.theta, final_n, self._N, sampler_n, tag="theta_n"
-            )
+            with pass_scope("accuracy", session=self._session_label):
+                differences_n = self._accuracy_estimator.sorted_differences(
+                    final_model.theta, final_n, self._N, sampler_n, tag="theta_n"
+                )
             epsilon_n = float(
                 conservative_upper_bound(
                     differences_n, contract.delta, assume_sorted=True
@@ -996,6 +1056,28 @@ class EstimationSession:
             return CoalescedTrainOutcome(
                 results=(), fused_search_passes=0, serial_search_passes=0
             )
+        if not obs_enabled():
+            return self._train_to_many_impl(contracts, recompute_at_theta_n)
+        start = time.perf_counter()
+        with maybe_span(
+            "session.train_to_many",
+            session=self._session_label,
+            contracts=len(contracts),
+        ) as span:
+            outcome = self._train_to_many_impl(contracts, recompute_at_theta_n)
+            if span is not None:
+                span.set_attribute("fused_passes", outcome.fused_search_passes)
+                span.set_attribute("serial_passes", outcome.serial_search_passes)
+        _TRAIN_SECONDS.observe(
+            time.perf_counter() - start, session=self._session_label
+        )
+        return outcome
+
+    def _train_to_many_impl(
+        self,
+        contracts: list[ApproximationContract],
+        recompute_at_theta_n: bool,
+    ) -> CoalescedTrainOutcome:
         self._touch()
 
         requests = []
@@ -1044,16 +1126,17 @@ class EstimationSession:
                         not in self._size_cache
                     )
                 ]
-                outcome = self._size_estimator.estimate_many(
-                    self.initial_model.theta,
-                    n0=self._n0,
-                    N=self._N,
-                    contracts=batch,
-                    statistics=self._statistics,
-                    sampler=self._parameter_sampler,
-                    skip_lower_probe=True,
-                    probe_batch=self._probe_batch,
-                )
+                with pass_scope("size-search", session=self._session_label):
+                    outcome = self._size_estimator.estimate_many(
+                        self.initial_model.theta,
+                        n0=self._n0,
+                        N=self._N,
+                        contracts=batch,
+                        statistics=self._statistics,
+                        sampler=self._parameter_sampler,
+                        skip_lower_probe=True,
+                        probe_batch=self._probe_batch,
+                    )
                 fused_passes += outcome.fused_passes
                 serial_passes += outcome.serial_passes
                 for member, estimate in zip(batch, outcome.estimates):

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from collections.abc import Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -62,25 +63,63 @@ from repro.config import (
 from repro.data.dataset import Dataset
 from repro.exceptions import DataError
 from repro.models.base import DiffAccumulator, ModelClassSpec
+from repro.obs import current_pass_scope, get_metrics, maybe_span, obs_enabled
 
 #: executor backends accepted by :class:`StreamingConfig`.
 STREAMING_BACKENDS = ("threads", "processes")
 
-# Global streamed-pass counter: one tick per stream_accumulate() call that
+# Streamed-pass accounting: one tick per stream_accumulate() call that
 # actually consumes holdout blocks (parameter-space metrics and the
 # materialised fallback never stream and never count).  The coalescing
 # serving tier's "passes saved" accounting is defined against this counter:
 # tests and the bench_coalesced_serving gate measure fused-vs-serial
 # executions by diffing it, so it must tick exactly once per pass no matter
-# how many fan-out segments the pass carries.
-_PASS_COUNTER_LOCK = threading.Lock()
-_STREAMING_PASSES = 0  # guarded-by: _PASS_COUNTER_LOCK
+# how many fan-out segments the pass carries.  Since the observability tier
+# the counter lives in the process-global metrics registry, labelled by the
+# calling scope ("accuracy" / "size-search" / "statistics" / "unscoped")
+# and session label the caller set via repro.obs.pass_scope();
+# streaming_pass_count() stays as a thin label-blind reader so every
+# existing diff-two-readings call site keeps working unchanged.
+#
+# Processes-backend audit: the tick happens here in the *parent*, before
+# any fan-out.  Process workers execute _run_block_range only — they never
+# call stream_accumulate, so no increment can be lost in (or double-counted
+# by) a worker process whose registry dies with it; the same reasoning
+# keeps the per-pass telemetry below parent-side.  The counter is always
+# live (not gated by obs_enabled) because pass economy is this library's
+# central claim, not optional telemetry.
+_PASSES_TOTAL = get_metrics().counter(
+    "repro_streaming_passes_total",
+    "Streamed passes over a block source (one per stream_accumulate() "
+    "call that consumes holdout blocks).",
+    ("scope", "session"),
+)
+_PASS_BLOCKS_TOTAL = get_metrics().counter(
+    "repro_streaming_blocks_total",
+    "Holdout blocks consumed by streamed passes (parent-side accounting).",
+    ("scope",),
+)
+_PASS_ROWS_TOTAL = get_metrics().counter(
+    "repro_streaming_rows_total",
+    "Holdout rows swept by streamed passes.",
+    ("scope",),
+)
+_PASS_BYTES_TOTAL = get_metrics().counter(
+    "repro_streaming_bytes_total",
+    "Approximate bytes of holdout data swept by streamed passes "
+    "(rows x 8-byte features, labels included).",
+    ("scope",),
+)
+_PASS_SECONDS = get_metrics().histogram(
+    "repro_streaming_pass_seconds",
+    "Wall time of one streamed pass (fan-out included).",
+    ("scope",),
+)
 
 
 def _count_streaming_pass() -> None:
-    global _STREAMING_PASSES
-    with _PASS_COUNTER_LOCK:
-        _STREAMING_PASSES += 1
+    scope, session = current_pass_scope()
+    _PASSES_TOTAL.inc(1, scope=scope, session=session)
 
 
 def streaming_pass_count() -> int:
@@ -91,9 +130,32 @@ def streaming_pass_count() -> int:
     segments: a fan-out pass evaluating many candidate segments in one
     block sweep counts once — that is precisely the economy the
     request-coalescing tier exists to create.
+
+    A thin reader over the ``repro_streaming_passes_total`` metric (summed
+    across its scope/session labels); scrape the registry
+    (:func:`repro.obs.get_metrics`) for the per-scope attribution.
     """
-    with _PASS_COUNTER_LOCK:
-        return _STREAMING_PASSES
+    return int(_PASSES_TOTAL.total())
+
+
+def _approx_pass_nbytes(blocks: BlockSource) -> int:
+    """Approximate bytes one full sweep of ``blocks`` reads.
+
+    Exact for in-memory datasets (the buffers' nbytes); sharded sources
+    are estimated from the manifest row/feature counts (float64 features
+    plus a label column when supervised) without touching a shard.  Zero
+    for sources exposing neither surface — the bytes metric is telemetry,
+    never accounting.
+    """
+    if isinstance(blocks, _DatasetBlocks):
+        dataset = blocks._dataset
+        y_nbytes = 0 if dataset.y is None else int(dataset.y.nbytes)
+        return int(dataset.X.nbytes) + y_nbytes
+    n_features = getattr(blocks, "n_features", None)
+    if n_features is None:
+        return 0
+    columns = int(n_features) + (1 if getattr(blocks, "is_supervised", False) else 0)
+    return blocks.n_rows * 8 * columns
 
 
 @runtime_checkable
@@ -409,6 +471,37 @@ def stream_accumulate(task: StreamTask, config: StreamingConfig) -> Any:
     _count_streaming_pass()
     blocks = as_block_source(task.source)
     bounds = blocks.block_bounds(config.block_rows)
+    if not obs_enabled():
+        return _consume_blocks(task, first, blocks, bounds, config)
+    # Extra per-pass telemetry (REPRO_OBS_ENABLED): a span plus block/row/
+    # byte/wall-time metrics, recorded parent-side around the exact same
+    # consumption path — the fold itself is untouched, so results are
+    # bitwise identical with the flag on or off.
+    scope, _session = current_pass_scope()
+    started = time.monotonic()
+    with maybe_span(
+        "streaming.pass",
+        scope=scope,
+        backend=config.backend,
+        blocks=len(bounds),
+        rows=blocks.n_rows,
+    ):
+        result = _consume_blocks(task, first, blocks, bounds, config)
+    _PASS_SECONDS.observe(time.monotonic() - started, scope=scope)
+    _PASS_BLOCKS_TOTAL.inc(len(bounds), scope=scope)
+    _PASS_ROWS_TOTAL.inc(blocks.n_rows, scope=scope)
+    _PASS_BYTES_TOTAL.inc(_approx_pass_nbytes(blocks), scope=scope)
+    return result
+
+
+def _consume_blocks(
+    task: StreamTask,
+    first: DiffAccumulator,
+    blocks: BlockSource,
+    bounds: list[tuple[int, int]],
+    config: StreamingConfig,
+) -> Any:
+    """The executor core of :func:`stream_accumulate` (one counted pass)."""
     if config.n_workers <= 1 or len(bounds) <= 1:
         for start, stop in bounds:
             first.update(blocks.read_block(start, stop))

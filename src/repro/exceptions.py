@@ -55,6 +55,18 @@ class ServingError(BlinkMLError):
     """Raised by the coalescing serving tier (closed batcher, timed-out wait)."""
 
 
+class ObservabilityError(BlinkMLError):
+    """Raised by the observability tier (repro.obs) on misuse.
+
+    Conflicting instrument redeclarations (same name, different kind or
+    label set), label values for undeclared label names, negative counter
+    increments, and snapshot merges across incompatible schemas (mismatched
+    histogram buckets) all fail fast with this error — silently folding
+    incompatible series would corrupt the accounting the tier exists to
+    keep exact.
+    """
+
+
 class ServingOverloadError(ServingError):
     """Raised when admission control load-sheds a request.
 

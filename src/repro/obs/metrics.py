@@ -1,0 +1,542 @@
+"""Thread-safe metrics registry: counters, gauges, log-bucketed histograms.
+
+The accounting substrate of the observability tier (see
+``docs/observability.md``).  Three instrument kinds cover everything the
+serving stack measures:
+
+* :class:`Counter` — monotone sums (streamed passes, coalesced requests,
+  size-search rounds);
+* :class:`Gauge` — set-to-current values (cache bytes, fleet occupancy;
+  also the bridge targets for the pre-existing stats snapshots);
+* :class:`Histogram` — fixed-bucket latency distributions.  The buckets
+  are *fixed at declaration* (default :data:`LATENCY_BUCKETS`, a
+  log-spaced 100 µs → 100 s ladder) so independently collected snapshots
+  are always bucket-compatible and merge exactly.
+
+Every instrument is named, labelled and thread-safe: one lock per
+instrument guards its label-keyed series map, so hot-path increments from
+the streaming executor's worker threads never contend with unrelated
+instruments.  :meth:`MetricsRegistry.snapshot` freezes the whole registry
+into a :class:`MetricsSnapshot` — plain frozen dataclasses of tuples,
+picklable by construction, so a process-backend worker can ship its
+snapshot to the parent and :meth:`MetricsSnapshot.merge` folds the two
+exactly the way the TSQR moment summaries merge: associatively,
+bucket-by-bucket, with incompatible schemas rejected loudly
+(:class:`~repro.exceptions.ObservabilityError`) instead of silently
+misfolded.
+
+Collectors (:meth:`MetricsRegistry.add_collector`) let pull-time bridges
+publish externally owned counters — the serving tier registers one that
+copies its :class:`~repro.core.registry.RegistryStats` roll-up into
+gauges on every scrape, so one snapshot covers the fleet without the
+fleet pushing on its request path.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import ObservabilityError
+
+#: fixed log-spaced latency buckets (seconds): a 1-2.5-5 ladder from
+#: 100 µs to 100 s.  Fixed — not per-declaration-tunable at call sites —
+#: so every histogram snapshot in the system merges with every other.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+def _validate_metric_name(name: str) -> str:
+    if not _METRIC_NAME.fullmatch(name):
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+def _validate_label_names(label_names: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(label_names)
+    if len(set(names)) != len(names):
+        raise ObservabilityError(f"duplicate label names in {names!r}")
+    for label in names:
+        if not _LABEL_NAME.fullmatch(label):
+            raise ObservabilityError(f"invalid label name {label!r}")
+    return names
+
+
+# ----------------------------------------------------------------------
+# Snapshot dataclasses (immutable, picklable, mergeable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesValue:
+    """One labelled counter/gauge series: its label values and its value."""
+
+    labels: tuple[str, ...]
+    value: float
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """One labelled histogram series.
+
+    ``counts`` holds *per-bucket* (non-cumulative) observation counts, one
+    per declared bucket bound plus a final overflow (+Inf) slot; the
+    Prometheus renderer re-accumulates them into the cumulative ``le``
+    form.  ``total`` is the sum of observed values, ``count`` the number
+    of observations (== ``sum(counts)``).
+    """
+
+    labels: tuple[str, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+
+@dataclass(frozen=True)
+class InstrumentSnapshot:
+    """Frozen view of one instrument: schema plus every labelled series."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    label_names: tuple[str, ...]
+    buckets: tuple[float, ...]  # empty for counters and gauges
+    series: tuple[SeriesValue, ...] = ()
+    histogram_series: tuple[HistogramValue, ...] = ()
+
+    def value(self, **labels: str) -> float:
+        """The scalar value of one series (0.0 when the series is absent)."""
+        key = tuple(str(labels[name]) for name in self.label_names)
+        for entry in self.series:
+            if entry.labels == key:
+                return entry.value
+        return 0.0
+
+    def total(self) -> float:
+        """Sum over every labelled series (counters/gauges)."""
+        return sum(entry.value for entry in self.series)
+
+    def merge(self, other: "InstrumentSnapshot") -> "InstrumentSnapshot":
+        """Fold two snapshots of the *same* instrument schema (additive).
+
+        Counters and gauges sum per label set (gauges too: the merge
+        exists for cross-process roll-ups — bytes, entries — where the
+        fleet total is the sum of the workers' gauges).  Histograms add
+        bucket-by-bucket, which is exact because buckets are part of the
+        schema.  Any schema mismatch raises
+        :class:`~repro.exceptions.ObservabilityError`.
+        """
+        if (
+            self.name != other.name
+            or self.kind != other.kind
+            or self.label_names != other.label_names
+            or self.buckets != other.buckets
+        ):
+            raise ObservabilityError(
+                f"cannot merge incompatible instrument snapshots for "
+                f"{self.name!r} / {other.name!r} (kind, labels and buckets "
+                "must match)"
+            )
+        if self.kind == "histogram":
+            merged_hist: dict[tuple[str, ...], HistogramValue] = {
+                entry.labels: entry for entry in self.histogram_series
+            }
+            for entry in other.histogram_series:
+                base = merged_hist.get(entry.labels)
+                if base is None:
+                    merged_hist[entry.labels] = entry
+                    continue
+                merged_hist[entry.labels] = HistogramValue(
+                    labels=entry.labels,
+                    counts=tuple(
+                        a + b for a, b in zip(base.counts, entry.counts)
+                    ),
+                    total=base.total + entry.total,
+                    count=base.count + entry.count,
+                )
+            return InstrumentSnapshot(
+                name=self.name,
+                kind=self.kind,
+                help=self.help or other.help,
+                label_names=self.label_names,
+                buckets=self.buckets,
+                histogram_series=tuple(
+                    merged_hist[labels] for labels in sorted(merged_hist)
+                ),
+            )
+        merged: dict[tuple[str, ...], float] = {
+            entry.labels: entry.value for entry in self.series
+        }
+        for entry in other.series:
+            merged[entry.labels] = merged.get(entry.labels, 0.0) + entry.value
+        return InstrumentSnapshot(
+            name=self.name,
+            kind=self.kind,
+            help=self.help or other.help,
+            label_names=self.label_names,
+            buckets=self.buckets,
+            series=tuple(
+                SeriesValue(labels=labels, value=merged[labels])
+                for labels in sorted(merged)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen view of a whole registry: every instrument, every series.
+
+    Plain nested frozen dataclasses of tuples — picklable and hashable by
+    construction — so snapshots cross process boundaries and
+    :meth:`merge` folds any number of them associatively (worker
+    snapshots merge like the statistics tier's shard summaries).
+    """
+
+    instruments: tuple[InstrumentSnapshot, ...]
+
+    def get(self, name: str) -> InstrumentSnapshot | None:
+        """The named instrument's snapshot, or ``None``."""
+        for instrument in self.instruments:
+            if instrument.name == name:
+                return instrument
+        return None
+
+    def value(self, name: str, **labels: str) -> float:
+        """One series' scalar value (0.0 when instrument/series is absent)."""
+        instrument = self.get(name)
+        return 0.0 if instrument is None else instrument.value(**labels)
+
+    def total(self, name: str) -> float:
+        """Sum of the named instrument over every label set (0.0 if absent)."""
+        instrument = self.get(name)
+        return 0.0 if instrument is None else instrument.total()
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Union by instrument name; shared names fold via their ``merge``."""
+        merged: dict[str, InstrumentSnapshot] = {
+            instrument.name: instrument for instrument in self.instruments
+        }
+        for instrument in other.instruments:
+            base = merged.get(instrument.name)
+            merged[instrument.name] = (
+                instrument if base is None else base.merge(instrument)
+            )
+        return MetricsSnapshot(
+            instruments=tuple(merged[name] for name in sorted(merged))
+        )
+
+
+# ----------------------------------------------------------------------
+# Live instruments
+# ----------------------------------------------------------------------
+class _Instrument:
+    """Shared machinery: name/label validation and the series-key mapping."""
+
+    kind = ""
+
+    def __init__(self, name: str, help_text: str, label_names: Iterable[str]):
+        self.name = _validate_metric_name(name)
+        self.help = str(help_text)
+        self.label_names = _validate_label_names(label_names)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ObservabilityError(
+                f"instrument {self.name!r} takes labels {self.label_names!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def snapshot(self) -> InstrumentSnapshot:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotone labelled sum; increments must be non-negative."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ):
+        super().__init__(name, help_text, label_names)
+        self._series: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r}: negative increment {amount}"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._series.values())
+
+    def snapshot(self) -> InstrumentSnapshot:
+        with self._lock:
+            series = tuple(
+                SeriesValue(labels=labels, value=self._series[labels])
+                for labels in sorted(self._series)
+            )
+        return InstrumentSnapshot(
+            name=self.name,
+            kind=self.kind,
+            help=self.help,
+            label_names=self.label_names,
+            buckets=(),
+            series=series,
+        )
+
+
+class Gauge(_Instrument):
+    """Set-to-current labelled value (may move in either direction)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ):
+        super().__init__(name, help_text, label_names)
+        self._series: dict[tuple[str, ...], float] = {}  # guarded-by: _lock
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._series.values())
+
+    def snapshot(self) -> InstrumentSnapshot:
+        with self._lock:
+            series = tuple(
+                SeriesValue(labels=labels, value=self._series[labels])
+                for labels in sorted(self._series)
+            )
+        return InstrumentSnapshot(
+            name=self.name,
+            kind=self.kind,
+            help=self.help,
+            label_names=self.label_names,
+            buckets=(),
+            series=series,
+        )
+
+
+@dataclass
+class _HistogramState:
+    """Mutable per-series histogram state (bucket counts, sum, count)."""
+
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket labelled distribution (Prometheus ``le`` semantics).
+
+    An observation equal to a bucket bound lands *in* that bucket
+    (inclusive upper bounds, matching Prometheus); observations above the
+    last bound land in the implicit +Inf overflow slot.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Iterable[str] = (),
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, label_names)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ObservabilityError(f"histogram {self.name!r}: empty buckets")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {self.name!r}: buckets must increase strictly"
+            )
+        self.buckets = bounds
+        self._series: dict[tuple[str, ...], _HistogramState] = {}  # guarded-by: _lock
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, float(value))
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = _HistogramState(counts=[0] * (len(self.buckets) + 1))
+                self._series[key] = state
+            state.counts[index] += 1
+            state.total += float(value)
+            state.count += 1
+
+    def snapshot(self) -> InstrumentSnapshot:
+        with self._lock:
+            series = tuple(
+                HistogramValue(
+                    labels=labels,
+                    counts=tuple(self._series[labels].counts),
+                    total=self._series[labels].total,
+                    count=self._series[labels].count,
+                )
+                for labels in sorted(self._series)
+            )
+        return InstrumentSnapshot(
+            name=self.name,
+            kind=self.kind,
+            help=self.help,
+            label_names=self.label_names,
+            buckets=self.buckets,
+            histogram_series=series,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Named instruments plus pull-time collectors, one scrape surface.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: a repeat
+    declaration with the same schema returns the existing instrument
+    (instrumented modules simply declare at import time); a conflicting
+    redeclaration — different kind, labels or buckets — raises
+    :class:`~repro.exceptions.ObservabilityError` instead of silently
+    aliasing two meanings under one name.
+
+    Collectors run at :meth:`snapshot` time, *outside* the registry lock,
+    so a collector may freely read stats surfaces that take their own
+    locks (the serving bridge walks the whole registry fleet).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}  # guarded-by: _lock
+        self._collectors: list[Callable[[], None]] = []  # guarded-by: _lock
+
+    def _get_or_create(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is None:
+                self._instruments[instrument.name] = instrument
+                return instrument
+        if (
+            existing.kind != instrument.kind
+            or existing.label_names != instrument.label_names
+            or getattr(existing, "buckets", ()) != getattr(instrument, "buckets", ())
+        ):
+            raise ObservabilityError(
+                f"instrument {instrument.name!r} already declared as a "
+                f"{existing.kind} with labels {existing.label_names!r}"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> Counter:
+        instrument = self._get_or_create(Counter(name, help_text, label_names))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self, name: str, help_text: str = "", label_names: Iterable[str] = ()
+    ) -> Gauge:
+        instrument = self._get_or_create(Gauge(name, help_text, label_names))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Iterable[str] = (),
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        instrument = self._get_or_create(
+            Histogram(name, help_text, label_names, buckets)
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a zero-argument callable run before every snapshot.
+
+        Bridges push externally owned stats into gauges here, so the
+        cost of walking a stats surface is paid per scrape, never per
+        request.  Idempotent for the same callable.
+        """
+        with self._lock:
+            if collector not in self._collectors:
+                self._collectors.append(collector)
+
+    def remove_collector(self, collector: Callable[[], None]) -> None:
+        """Deregister a collector (no-op when it is not registered)."""
+        with self._lock:
+            if collector in self._collectors:
+                self._collectors.remove(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector (outside the registry lock)."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+
+    def snapshot(self, run_collectors: bool = True) -> MetricsSnapshot:
+        """Freeze the registry (after running collectors, by default)."""
+        if run_collectors:
+            self.collect()
+        with self._lock:
+            instruments = [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+        return MetricsSnapshot(
+            instruments=tuple(
+                instrument.snapshot() for instrument in instruments
+            )
+        )

@@ -60,6 +60,16 @@ from repro.core.contract import ApproximationContract
 from repro.core.result import ApproximateTrainingResult
 from repro.core.session import EstimationSession, SessionAnswer
 from repro.exceptions import BlinkMLError, ServingError, ServingOverloadError
+from repro.obs import get_metrics, maybe_span, obs_enabled
+
+# Queue-wait *distribution* (repro.obs, telemetry-gated): the cumulative
+# totals live in BatcherStats (bridged to gauges at scrape time); the
+# histogram adds per-request latency quantiles the totals cannot recover.
+_QUEUE_WAIT_SECONDS = get_metrics().histogram(
+    "repro_coalescing_queue_wait_latency_seconds",
+    "Per-request time spent queued in the coalescing window before its "
+    "batch dispatched.",
+)
 
 
 @dataclass(frozen=True)
@@ -355,6 +365,43 @@ class ContractBatcher:
         duplicates = Counter(request.dedupe_key() for request in batch)
         answers = [request for request in batch if request.kind == "answer"]
         trains = [request for request in batch if request.kind == "train"]
+        coalesced = sum(count - 1 for count in duplicates.values())
+        if obs_enabled():
+            for wait in waits:
+                _QUEUE_WAIT_SECONDS.observe(wait)
+        with maybe_span(
+            "coalescing.dispatch",
+            batch=len(batch),
+            coalesced=coalesced,
+            answers=len(answers),
+            trains=len(trains),
+            window_slots=self._max_batch,
+        ) as span:
+            fused, serial = self._execute_batch(batch, answers, trains)
+            if span is not None:
+                span.set_attribute("fused_passes", fused)
+                span.set_attribute("serial_passes", serial)
+        with self._cond:
+            self._batches += 1
+            self._requests += len(batch)
+            self._window_slots += self._max_batch
+            self._coalesced += coalesced
+            self._answer_requests += len(answers)
+            self._train_requests += len(trains)
+            self._fused_passes += fused
+            self._serial_passes += serial
+            self._queue_wait_seconds += sum(waits)
+            self._max_queue_wait_seconds = max(
+                self._max_queue_wait_seconds, max(waits, default=0.0)
+            )
+
+    def _execute_batch(
+        self,
+        batch: list[_Request],
+        answers: list[_Request],
+        trains: list[_Request],
+    ) -> tuple[int, int]:
+        """Run one fused dispatch; returns the (fused, serial) pass counts."""
         fused = serial = 0
         try:
             if answers:
@@ -395,19 +442,7 @@ class ContractBatcher:
                         )
                 except Exception as exc:  # noqa: BLE001 - handed to the caller
                     request.error = exc
-        with self._cond:
-            self._batches += 1
-            self._requests += len(batch)
-            self._window_slots += self._max_batch
-            self._coalesced += sum(count - 1 for count in duplicates.values())
-            self._answer_requests += len(answers)
-            self._train_requests += len(trains)
-            self._fused_passes += fused
-            self._serial_passes += serial
-            self._queue_wait_seconds += sum(waits)
-            self._max_queue_wait_seconds = max(
-                self._max_queue_wait_seconds, max(waits, default=0.0)
-            )
+        return fused, serial
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection

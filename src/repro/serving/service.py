@@ -45,6 +45,7 @@ import asyncio
 import os
 import threading
 import time
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
 from typing import Any
@@ -67,6 +68,15 @@ from repro.data.store import ShardedDataset
 from repro.data.store.warm_cache import WarmCacheTier
 from repro.exceptions import ServingError
 from repro.models.base import ModelClassSpec
+from repro.obs import (
+    MetricsSnapshot,
+    get_metrics,
+    get_tracer,
+    obs_enabled,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.bridge import bridge_registry_stats
 from repro.serving.batcher import BatcherStats, ContractBatcher
 
 
@@ -161,6 +171,15 @@ class CoalescingService:
             thread_name_prefix="repro-serving-wait",
         )
         self.registry.attach_serving_stats(self.batching_stats)
+        # Scrape-time bridge: every metrics snapshot (Prometheus text, JSON,
+        # ``python -m repro.obs``) folds the fleet's RegistryStats — cache
+        # roll-ups, per-session shares, warm tier, coalescing counters —
+        # into the global registry.  Cost is per scrape, never per request;
+        # deregistered in close().
+        self._metrics_collector = lambda: bridge_registry_stats(
+            get_metrics(), self.stats()
+        )
+        get_metrics().add_collector(self._metrics_collector)
         self._stop = threading.Event()
         self._housekeeper: threading.Thread | None = None
         if start_housekeeping:
@@ -281,7 +300,13 @@ class CoalescingService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._waiters,
-            lambda: self.answer_sync(key, contract, timeout=timeout, **resolve_kwargs),
+            self._spanned(
+                "service.answer",
+                key,
+                lambda: self.answer_sync(
+                    key, contract, timeout=timeout, **resolve_kwargs
+                ),
+            ),
         )
 
     async def train_to(
@@ -297,14 +322,41 @@ class CoalescingService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._waiters,
-            lambda: self.train_to_sync(
+            self._spanned(
+                "service.train_to",
                 key,
-                contract,
-                recompute_at_theta_n=recompute_at_theta_n,
-                timeout=timeout,
-                **resolve_kwargs,
+                lambda: self.train_to_sync(
+                    key,
+                    contract,
+                    recompute_at_theta_n=recompute_at_theta_n,
+                    timeout=timeout,
+                    **resolve_kwargs,
+                ),
             ),
         )
+
+    def _spanned(
+        self, name: str, key: object, work: "Callable[[], Any]"
+    ) -> "Callable[[], Any]":
+        """Wrap a waiter-pool callable in a span parented to the caller's.
+
+        Context variables flow into asyncio tasks but *not* into
+        ``ThreadPoolExecutor`` workers, so the submitting task's current
+        span is captured here — still on the event loop — and re-activated
+        inside the worker (:meth:`~repro.obs.tracing.Tracer.activate`).
+        The ``service.*`` span then joins the request's trace even though
+        the blocking batcher wait runs on a pool thread.
+        """
+        if not obs_enabled():
+            return work
+        tracer = get_tracer()
+        parent = tracer.current_span()
+
+        def traced() -> Any:
+            with tracer.activate(parent), tracer.span(name, key=str(key)):
+                return work()
+
+        return traced
 
     # ------------------------------------------------------------------
     # Admission control
@@ -392,6 +444,24 @@ class CoalescingService:
         """The registry snapshot, with :attr:`RegistryStats.serving` populated."""
         return self.registry.stats()
 
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """One frozen scrape of the global metrics registry.
+
+        Runs the registered collectors first — including this service's
+        fleet bridge — so the snapshot carries the streamed-pass counters,
+        latency histograms *and* the cache/warm/batcher/registry roll-ups
+        in a single mergeable, picklable value.
+        """
+        return get_metrics().snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """The scrape in Prometheus text-exposition format."""
+        return render_prometheus(self.metrics_snapshot())
+
+    def json_metrics(self) -> str:
+        """The scrape as deterministic JSON (see :func:`repro.obs.render_json`)."""
+        return render_json(self.metrics_snapshot())
+
     def flush(self) -> None:
         """Block until every queued request in every batcher has completed."""
         with self._lock:
@@ -414,6 +484,7 @@ class CoalescingService:
             self._batchers.clear()
             for _, batcher in batchers:
                 self._retired_stats = self._retired_stats.merge(batcher.stats())
+        get_metrics().remove_collector(self._metrics_collector)
         self._stop.set()
         if self._housekeeper is not None:
             self._housekeeper.join()
